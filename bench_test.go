@@ -1,0 +1,254 @@
+// Package repro's top-level benchmarks regenerate every experiment of
+// the reproduction (one benchmark per table/figure of DESIGN.md §3,
+// reporting each experiment's headline metrics), plus micro-benchmarks
+// of the hot paths the simulated datapath is built on.
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/netfpga"
+	"repro/netfpga/hw"
+	"repro/netfpga/pkt"
+	"repro/netfpga/projects/router"
+	"repro/netfpga/projects/switchp"
+	"repro/netfpga/workload"
+)
+
+// benchExperiment runs one experiment per iteration and reports its
+// metrics through the benchmark interface.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var tables []*experiments.Table
+	for i := 0; i < b.N; i++ {
+		tables = e.Run()
+	}
+	for _, t := range tables {
+		for k, v := range t.Metrics {
+			// Benchmark metric units must not contain whitespace.
+			unit := strings.ReplaceAll(t.ID+"/"+k, " ", "_")
+			b.ReportMetric(v, unit)
+		}
+	}
+}
+
+func BenchmarkF1_BoardInventory(b *testing.B) { benchExperiment(b, "F1") }
+func BenchmarkT1_SerialIO(b *testing.B)       { benchExperiment(b, "T1") }
+func BenchmarkT2_Memory(b *testing.B)         { benchExperiment(b, "T2") }
+func BenchmarkT3_HostDMA(b *testing.B)        { benchExperiment(b, "T3") }
+func BenchmarkT4_Switch(b *testing.B)         { benchExperiment(b, "T4") }
+func BenchmarkT5_Router(b *testing.B)         { benchExperiment(b, "T5") }
+func BenchmarkT6_OSNT(b *testing.B)           { benchExperiment(b, "T6") }
+func BenchmarkT7_BlueSwitch(b *testing.B)     { benchExperiment(b, "T7") }
+func BenchmarkT8_Utilization(b *testing.B)    { benchExperiment(b, "T8") }
+func BenchmarkF2_CustomModule(b *testing.B)   { benchExperiment(b, "F2") }
+func BenchmarkT9_Standalone(b *testing.B)     { benchExperiment(b, "T9") }
+
+// ---- micro-benchmarks of the substrate hot paths ----
+
+func BenchmarkPacketFullDecode(b *testing.B) {
+	frame, err := pkt.BuildUDP(pkt.UDPSpec{
+		SrcMAC: pkt.MustMAC("02:00:00:00:00:01"), DstMAC: pkt.MustMAC("02:00:00:00:00:02"),
+		SrcIP: pkt.MustIP4("10.0.0.1"), DstIP: pkt.MustIP4("10.0.0.2"),
+		SrcPort: 1, DstPort: 2, Payload: make([]byte, 64),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := pkt.Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPacketParserZeroAlloc(b *testing.B) {
+	frame, _ := pkt.BuildUDP(pkt.UDPSpec{
+		SrcMAC: pkt.MustMAC("02:00:00:00:00:01"), DstMAC: pkt.MustMAC("02:00:00:00:00:02"),
+		SrcIP: pkt.MustIP4("10.0.0.1"), DstIP: pkt.MustIP4("10.0.0.2"),
+		SrcPort: 1, DstPort: 2, Payload: make([]byte, 64),
+	})
+	var (
+		eth pkt.Ethernet
+		ip  pkt.IPv4
+		udp pkt.UDP
+	)
+	p := pkt.NewParser(pkt.LayerTypeEthernet, &eth, &ip, &udp)
+	decoded := make([]pkt.LayerType, 0, 4)
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := p.Parse(frame, &decoded); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPacketSerialize(b *testing.B) {
+	ipl := &pkt.IPv4{TTL: 64, Protocol: pkt.IPProtoUDP,
+		Src: pkt.MustIP4("10.0.0.1"), Dst: pkt.MustIP4("10.0.0.2")}
+	udp := &pkt.UDP{SrcPort: 1, DstPort: 2}
+	udp.SetNetworkLayerForChecksum(ipl)
+	eth := &pkt.Ethernet{Dst: pkt.MustMAC("02:00:00:00:00:02"),
+		Src: pkt.MustMAC("02:00:00:00:00:01"), EtherType: pkt.EtherTypeIPv4}
+	payload := pkt.Payload(make([]byte, 64))
+	buf := pkt.NewSerializeBuffer()
+	opts := pkt.SerializeOptions{FixLengths: true, ComputeChecksums: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := pkt.SerializeTo(buf, opts, eth, ipl, udp, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChecksum1500(b *testing.B) {
+	data := make([]byte, 1500)
+	b.SetBytes(1500)
+	for i := 0; i < b.N; i++ {
+		pkt.Checksum(data, 0)
+	}
+}
+
+func BenchmarkFCS1500(b *testing.B) {
+	data := make([]byte, 1500)
+	b.SetBytes(1500)
+	for i := 0; i < b.N; i++ {
+		pkt.FCS(data)
+	}
+}
+
+func BenchmarkLPMLookup64k(b *testing.B) {
+	fib := router.NewTrie()
+	for i := 0; i < 65536; i++ {
+		fib.Insert(router.Route{
+			Prefix: pkt.Prefix{Addr: pkt.IP4{10, byte(i >> 8), byte(i), 0}, Bits: 24},
+			Port:   uint8(i % 4),
+		})
+	}
+	addrs := make([]pkt.IP4, 1024)
+	rng := sim.NewRand(5)
+	for i := range addrs {
+		addrs[i] = pkt.IP4{10, byte(rng.Intn(256)), byte(rng.Intn(256)), 1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := fib.Lookup(addrs[i%len(addrs)]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkCAMLookup(b *testing.B) {
+	cam := switchp.NewCAM(16384, 0)
+	macs := make([]pkt.MAC, 4096)
+	for i := range macs {
+		macs[i] = pkt.MAC{2, 0, byte(i >> 16), byte(i >> 8), byte(i), 1}
+		cam.Learn(macs[i], uint8(i%4), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := cam.Lookup(macs[i%len(macs)], 0); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkStreamPushPop(b *testing.B) {
+	s := hw.NewStream("bench", 64)
+	f := hw.NewFrame(make([]byte, 1514), 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Push(hw.Beat{Frame: f, Off: 0, End: 32})
+		s.Pop()
+	}
+}
+
+func BenchmarkSimEventThroughput(b *testing.B) {
+	s := sim.New()
+	var tm *sim.Timer
+	n := 0
+	tm = s.NewTimer(func() {
+		n++
+		if n < b.N {
+			tm.ScheduleAfter(1)
+		}
+	})
+	tm.ScheduleAfter(1)
+	b.ResetTimer()
+	s.Drain(0)
+	if n != b.N {
+		b.Fatalf("ran %d events", n)
+	}
+}
+
+func BenchmarkSwitchIMIXWorkload(b *testing.B) {
+	// Realistic-mix traffic through the reference switch: the per-frame
+	// simulation cost under the IMIX size distribution.
+	dev := netfpga.NewDevice(netfpga.SUME(), netfpga.Options{})
+	p := switchp.New(switchp.Config{})
+	if err := p.Build(dev); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		dev.Tap(i)
+	}
+	gen, err := workload.New(workload.Config{Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tap := dev.Tap(0)
+	var sent uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame := gen.Next()
+		tap.Send(frame)
+		sent += uint64(len(frame))
+		if i%128 == 127 {
+			dev.RunFor(128 * 1300 * hw.Nanosecond) // drain at ~line rate
+		}
+	}
+	dev.RunUntilIdle(0)
+	b.SetBytes(int64(sent / uint64(b.N)))
+}
+
+func BenchmarkDatapathMinFrames10G(b *testing.B) {
+	// End-to-end cost of simulating one minimum-size frame through the
+	// full reference switch at 10G line rate.
+	dev := netfpga.NewDevice(netfpga.SUME(), netfpga.Options{})
+	p := switchp.New(switchp.Config{})
+	if err := p.Build(dev); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		dev.Tap(i)
+	}
+	tap := dev.Tap(0)
+	frame, err := pkt.Serialize(pkt.SerializeOptions{},
+		&pkt.Ethernet{Dst: pkt.MustMAC("02:00:00:00:00:02"),
+			Src: pkt.MustMAC("02:00:00:00:00:01"), EtherType: 0x88B5},
+		pkt.Payload(make([]byte, 46)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tap.Send(frame)
+		if i%256 == 255 {
+			// Let the 256-frame burst traverse: 256 x 67.2ns of wire
+			// time plus pipeline slack.
+			dev.RunFor(256*68*hw.Nanosecond + hw.Microsecond)
+		}
+	}
+	dev.RunUntilIdle(0)
+}

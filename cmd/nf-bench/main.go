@@ -1,0 +1,50 @@
+// nf-bench regenerates the reproduction's experiment tables (DESIGN.md
+// §3, recorded in EXPERIMENTS.md). With no arguments it runs everything;
+// -exp selects one experiment by ID.
+//
+//	nf-bench            # all experiments
+//	nf-bench -exp T4    # just the switch line-rate table
+//	nf-bench -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment by ID (e.g. T4)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	todo := experiments.All()
+	if *exp != "" {
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nf-bench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(1)
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		tables := e.Run()
+		elapsed := time.Since(start)
+		fmt.Printf("==== %s: %s (wall %v) ====\n\n", e.ID, e.Title, elapsed.Round(time.Millisecond))
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+	}
+}

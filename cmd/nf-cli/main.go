@@ -1,0 +1,157 @@
+// nf-cli is the platform front-end: list boards and projects, synthesize
+// a project against a board's device, dump register maps, and run the
+// I/O self-test — the everyday workflows of a NetFPGA user, against the
+// simulated boards.
+//
+//	nf-cli boards
+//	nf-cli projects
+//	nf-cli synth   -project reference_router -board sume
+//	nf-cli regs    -project reference_nic    -board sume
+//	nf-cli selftest -board sume
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/netfpga"
+	"repro/netfpga/projects"
+	"repro/netfpga/projects/iotest"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: nf-cli <command> [flags]
+
+commands:
+  boards     list supported platform boards
+  projects   list shipped projects
+  synth      build a project on a board and print the utilization report
+  regs       build a project and print its register map
+  selftest   run the I/O exerciser on a board
+
+flags (synth/regs/selftest):
+  -board   sume | sume40g | sume100g | 10g | 1g-cml   (default sume)
+  -project one of the names from 'nf-cli projects'    (default reference_nic)
+`)
+	os.Exit(2)
+}
+
+func boardByName(name string) (core.BoardSpec, bool) {
+	switch strings.ToLower(name) {
+	case "sume", "":
+		return core.SUME(), true
+	case "sume40g":
+		return core.SUME40G(), true
+	case "sume100g":
+		return core.SUME100G(), true
+	case "10g":
+		return core.TenG(), true
+	case "1g-cml", "1g":
+		return core.OneGCML(), true
+	}
+	return core.BoardSpec{}, false
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	boardName := fs.String("board", "sume", "target board")
+	projName := fs.String("project", "reference_nic", "project to build")
+	fs.Parse(os.Args[2:])
+
+	switch cmd {
+	case "boards":
+		fmt.Printf("%-18s %-8s %-10s %s\n", "board", "ports", "aggregate", "description")
+		for _, b := range core.Boards() {
+			fmt.Printf("%-18s %dx%-5.0f %-10s %s\n", b.Name, b.Ports, b.PortRate(0),
+				fmt.Sprintf("%.0fG", b.TotalPortGbps()), b.Description)
+		}
+
+	case "projects":
+		fmt.Printf("%-18s %-12s %s\n", "name", "kind", "description")
+		for _, e := range projects.All() {
+			p := e.New()
+			fmt.Printf("%-18s %-12s %s\n", e.Name, e.Kind, p.Description())
+		}
+
+	case "synth":
+		board, ok := boardByName(*boardName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nf-cli: unknown board %q\n", *boardName)
+			os.Exit(1)
+		}
+		entry, ok := projects.ByName(*projName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nf-cli: unknown project %q\n", *projName)
+			os.Exit(1)
+		}
+		dev := netfpga.NewDevice(board, netfpga.Options{})
+		proj := entry.New()
+		if err := proj.Build(dev); err != nil {
+			fmt.Fprintf(os.Stderr, "nf-cli: build: %v\n", err)
+			os.Exit(1)
+		}
+		rep, err := dev.Dsn.Synthesize(board.FPGA)
+		if rep != nil {
+			fmt.Print(rep)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nf-cli: %v\n", err)
+			os.Exit(1)
+		}
+
+	case "regs":
+		board, _ := boardByName(*boardName)
+		entry, ok := projects.ByName(*projName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nf-cli: unknown project %q\n", *projName)
+			os.Exit(1)
+		}
+		dev := netfpga.NewDevice(board, netfpga.Options{})
+		proj := entry.New()
+		if err := proj.Build(dev); err != nil {
+			fmt.Fprintf(os.Stderr, "nf-cli: build: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("register map of %s on %s:\n", proj.Name(), board.Name)
+		for _, blk := range dev.Regs.Blocks() {
+			fmt.Printf("0x%08x  %s\n", blk.Base, blk.RF.Name())
+			for _, name := range blk.RF.Names() {
+				off, _ := blk.RF.OffsetOf(name)
+				v, err := dev.Regs.Read(blk.Base + off)
+				if err != nil {
+					continue
+				}
+				fmt.Printf("    +0x%03x %-24s = 0x%08x\n", off, name, v)
+			}
+		}
+
+	case "selftest":
+		board, ok := boardByName(*boardName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nf-cli: unknown board %q\n", *boardName)
+			os.Exit(1)
+		}
+		dev := netfpga.NewDevice(board, netfpga.Options{})
+		p := iotest.New()
+		if err := p.Build(dev); err != nil {
+			fmt.Fprintf(os.Stderr, "nf-cli: build: %v\n", err)
+			os.Exit(1)
+		}
+		rep := p.RunSelfTest(dev)
+		fmt.Printf("I/O self-test on %s:\n%s", board.Name, rep)
+		if !rep.Pass() {
+			os.Exit(1)
+		}
+		fmt.Println("ALL PASS")
+
+	default:
+		usage()
+	}
+}

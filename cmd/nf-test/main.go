@@ -1,0 +1,231 @@
+// nf-test is the unified test runner (the nf_test analogue of the
+// physical platform): each project's test vectors are executed against
+// the cycle-level design ("sim" target) and the project's behavioral
+// model (the "hw" target stand-in), and outputs must agree. Projects
+// without a behavioral model run sim-only assertions.
+//
+//	nf-test              # all projects
+//	nf-test -project reference_router
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/netfpga"
+	"repro/netfpga/hw"
+	"repro/netfpga/pkt"
+	"repro/netfpga/projects/blueswitch"
+	"repro/netfpga/projects/iotest"
+	"repro/netfpga/projects/nic"
+	"repro/netfpga/projects/osnt"
+	"repro/netfpga/projects/router"
+	"repro/netfpga/projects/switchp"
+)
+
+func newDev() *netfpga.Device {
+	return netfpga.NewDevice(netfpga.SUME(), netfpga.Options{})
+}
+
+// suite is one project's test set.
+type suite struct {
+	name string
+	run  func() error
+}
+
+func main() {
+	sel := flag.String("project", "", "run a single project's suite")
+	flag.Parse()
+
+	suites := []suite{
+		{"reference_nic", nicSuite},
+		{"reference_switch", switchSuite},
+		{"reference_router", routerSuite},
+		{"reference_iotest", iotestSuite},
+		{"osnt", osntSuite},
+		{"blueswitch", blueswitchSuite},
+	}
+	failed := 0
+	for _, s := range suites {
+		if *sel != "" && s.name != *sel {
+			continue
+		}
+		err := s.run()
+		status := "PASS"
+		if err != nil {
+			status = "FAIL: " + err.Error()
+			failed++
+		}
+		fmt.Printf("%-18s %s\n", s.name, status)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func payload(n int, tag byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = tag
+	}
+	return b
+}
+
+func nicSuite() error {
+	p := nic.New()
+	_, _, err := netfpga.RunUnified(p, newDev, netfpga.TestCase{
+		Name: "nic_bridging",
+		Vectors: []netfpga.TestVector{
+			{Port: 0, Data: payload(64, 1)},
+			{Port: 3, Data: payload(1514, 2)},
+			{Port: netfpga.HostPort(1), Data: payload(256, 3)},
+			{Port: netfpga.HostPort(2), Data: payload(900, 4)},
+		},
+	})
+	return err
+}
+
+func switchSuite() error {
+	mac := func(i byte) pkt.MAC { return pkt.MAC{2, 0, 0, 0, 0, i} }
+	eth := func(dst, src pkt.MAC, tag byte) []byte {
+		f, _ := pkt.Serialize(pkt.SerializeOptions{},
+			&pkt.Ethernet{Dst: dst, Src: src, EtherType: 0x88B5},
+			pkt.Payload(payload(50, tag)))
+		return f
+	}
+	p := switchp.New(switchp.Config{})
+	_, _, err := netfpga.RunUnified(p, newDev, netfpga.TestCase{
+		Name: "switch_learning_and_flooding",
+		Vectors: []netfpga.TestVector{
+			{Port: 0, Data: eth(mac(2), mac(1), 1)},
+			{Port: 1, Data: eth(mac(1), mac(2), 2), At: 300 * netfpga.Microsecond},
+			{Port: 0, Data: eth(mac(2), mac(1), 3), At: 600 * netfpga.Microsecond},
+			{Port: 3, Data: eth(pkt.BroadcastMAC, mac(4), 4), At: 900 * netfpga.Microsecond},
+		},
+	})
+	return err
+}
+
+func routerSuite() error {
+	ifs := router.DefaultInterfaces(4)
+	hostMAC := pkt.MustMAC("02:aa:00:00:00:01")
+	hostIP := pkt.MustIP4("10.0.0.2")
+	peerIP := pkt.MustIP4("10.0.1.2")
+	peerMAC := pkt.MustMAC("02:bb:00:00:00:01")
+
+	p := router.New(router.Config{})
+	seed := func(fib *router.Trie, arp map[pkt.IP4]pkt.MAC) {
+		for i := 0; i < 4; i++ {
+			fib.Insert(router.Route{
+				Prefix: pkt.Prefix{Addr: pkt.IP4{10, 0, byte(i), 0}, Bits: 24},
+				Port:   uint8(i),
+			})
+		}
+		arp[hostIP] = hostMAC
+		arp[peerIP] = peerMAC
+	}
+	fwd, _ := pkt.BuildUDP(pkt.UDPSpec{
+		SrcMAC: hostMAC, DstMAC: ifs[0].MAC, SrcIP: hostIP, DstIP: peerIP,
+		SrcPort: 1, DstPort: 2, Payload: payload(64, 5)})
+	expired, _ := pkt.BuildUDP(pkt.UDPSpec{
+		SrcMAC: hostMAC, DstMAC: ifs[0].MAC, SrcIP: hostIP, DstIP: peerIP,
+		SrcPort: 1, DstPort: 2, TTL: 1})
+	echo, _ := pkt.BuildICMPEcho(hostMAC, ifs[0].MAC, hostIP, ifs[0].IP, 9, 1, false, nil)
+
+	_, _, err := netfpga.RunUnified(p, newDev, netfpga.TestCase{
+		Name: "router_paths",
+		Vectors: []netfpga.TestVector{
+			{Port: 0, Data: pkt.PadToMin(fwd)},
+			{Port: 0, Data: pkt.PadToMin(expired), At: 300 * netfpga.Microsecond},
+			{Port: 0, Data: pkt.PadToMin(echo), At: 600 * netfpga.Microsecond},
+		},
+		Configure: func(*netfpga.Device) error {
+			seed(p.Engine().FIB, p.Engine().ARP)
+			return nil
+		},
+		ConfigureBehavioral: func(b netfpga.Behavioral) error {
+			eng := b.(*router.Behavioral).Engine()
+			seed(eng.FIB, eng.ARP)
+			return nil
+		},
+	})
+	return err
+}
+
+func iotestSuite() error {
+	p := iotest.New()
+	if _, _, err := netfpga.RunUnified(p, newDev, netfpga.TestCase{
+		Name: "iotest_loopback",
+		Vectors: []netfpga.TestVector{
+			{Port: 0, Data: payload(64, 1)},
+			{Port: 2, Data: payload(777, 2)},
+			{Port: netfpga.HostPort(3), Data: payload(128, 3)},
+		},
+	}); err != nil {
+		return err
+	}
+	// Full self-test (ports, DMA, memories, storage).
+	dev := newDev()
+	p2 := iotest.New()
+	if err := p2.Build(dev); err != nil {
+		return err
+	}
+	rep := p2.RunSelfTest(dev)
+	if !rep.Pass() {
+		return fmt.Errorf("self-test failed:\n%s", rep)
+	}
+	return nil
+}
+
+func osntSuite() error {
+	// Sim-only: closed loop gen->DUT->mon, assert counts and latency
+	// sanity.
+	dev := newDev()
+	p := osnt.New()
+	if err := p.Build(dev); err != nil {
+		return err
+	}
+	tap0, tap1 := dev.Tap(0), dev.Tap(1)
+	tap0.OnRx = func(f *hw.Frame, at netfpga.Time) { tap1.Send(f.Data) }
+	tester := p.Instance()
+	if err := tester.Configure(0, osnt.TrafficSpec{
+		Template: payload(300, 9), Count: 100, Mode: osnt.CBR, RateMbps: 1000, Stamp: true,
+	}); err != nil {
+		return err
+	}
+	tester.Start(0)
+	dev.RunFor(5 * netfpga.Millisecond)
+	st := tester.Stats(1)
+	if st.Pkts != 100 || st.LatSamples != 100 {
+		return fmt.Errorf("monitor saw %d pkts / %d samples, want 100/100", st.Pkts, st.LatSamples)
+	}
+	return nil
+}
+
+func blueswitchSuite() error {
+	dev := newDev()
+	p := blueswitch.New(blueswitch.Config{Mode: blueswitch.Versioned})
+	if err := p.Build(dev); err != nil {
+		return err
+	}
+	for i := 0; i < 4; i++ {
+		dev.Tap(i)
+	}
+	if err := p.InstallInitial(blueswitch.TagForwardPolicy(0x0800, 1, 1)); err != nil {
+		return err
+	}
+	f, _ := pkt.Serialize(pkt.SerializeOptions{},
+		&pkt.Ethernet{Dst: pkt.MustMAC("02:00:00:00:00:02"),
+			Src: pkt.MustMAC("02:00:00:00:00:01"), EtherType: 0x0800},
+		pkt.Payload(payload(46, 1)))
+	dev.Tap(0).Send(f)
+	dev.RunFor(netfpga.Millisecond)
+	if dev.Tap(1).Pending() != 1 {
+		return fmt.Errorf("match-action forwarding failed")
+	}
+	if p.Violations() != 0 {
+		return fmt.Errorf("spurious violations")
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+// osnt is the tester front-end: generate traffic on port 0 through an
+// external loop into port 1, monitor, and report — optionally dumping
+// the capture as a pcap file.
+//
+//	osnt -rate 5000 -count 10000 -size 512 -mode cbr
+//	osnt -mode poisson -rate 2000 -count 5000 -pcap /tmp/cap.pcap
+//	osnt -dut 5us   # extra device-under-test delay in the loop
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/netfpga"
+	"repro/netfpga/hw"
+	"repro/netfpga/pkt"
+	"repro/netfpga/projects/osnt"
+)
+
+func parseDur(s string) (netfpga.Time, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	return netfpga.Time(d.Nanoseconds()) * netfpga.Nanosecond, nil
+}
+
+func main() {
+	rate := flag.Float64("rate", 5000, "target rate in Mb/s")
+	count := flag.Int("count", 10000, "frames to send")
+	size := flag.Int("size", 512, "frame size in bytes (without FCS)")
+	mode := flag.String("mode", "cbr", "cbr | poisson")
+	dut := flag.String("dut", "0s", "device-under-test delay inserted in the loop")
+	pcapPath := flag.String("pcap", "", "write the monitor capture to this pcap file")
+	flag.Parse()
+
+	dutDelay, err := parseDur(*dut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "osnt: bad -dut: %v\n", err)
+		os.Exit(1)
+	}
+	var genMode osnt.GenMode
+	switch strings.ToLower(*mode) {
+	case "cbr":
+		genMode = osnt.CBR
+	case "poisson":
+		genMode = osnt.Poisson
+	default:
+		fmt.Fprintf(os.Stderr, "osnt: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+
+	dev := netfpga.NewDevice(netfpga.SUME(), netfpga.Options{})
+	proj := osnt.New()
+	if err := proj.Build(dev); err != nil {
+		fmt.Fprintln(os.Stderr, "osnt:", err)
+		os.Exit(1)
+	}
+	tester := proj.Instance()
+	tap0, tap1 := dev.Tap(0), dev.Tap(1)
+	tap0.OnRx = func(f *hw.Frame, at netfpga.Time) {
+		data := append([]byte(nil), f.Data...)
+		if dutDelay == 0 {
+			tap1.Send(data)
+		} else {
+			dev.Sim.At(at+dutDelay, func() { tap1.Send(data) })
+		}
+	}
+
+	template, err := pkt.BuildUDP(pkt.UDPSpec{
+		SrcMAC: pkt.MustMAC("02:05:00:00:00:01"), DstMAC: pkt.MustMAC("02:05:00:00:00:02"),
+		SrcIP: pkt.MustIP4("192.0.2.1"), DstIP: pkt.MustIP4("192.0.2.2"),
+		SrcPort: 5000, DstPort: 5001, Payload: make([]byte, *size-42),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "osnt:", err)
+		os.Exit(1)
+	}
+	if err := tester.Configure(0, osnt.TrafficSpec{
+		Template: template, Count: *count, Mode: genMode, RateMbps: *rate,
+		Stamp: true, Seed: 42,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "osnt:", err)
+		os.Exit(1)
+	}
+
+	wire := *size + 24
+	expected := netfpga.Time(float64(*count) * float64(wire*8) / (*rate / 1e3) * 1e3)
+	fmt.Printf("generating %d x %dB frames, %s at %.2f Gb/s (expected %v on the wire)\n",
+		*count, *size, *mode, *rate/1000, expected)
+	tester.Start(0)
+	dev.RunFor(expected + 10*netfpga.Millisecond)
+
+	st := tester.Stats(1)
+	fmt.Printf("\nmonitor port 1:\n")
+	fmt.Printf("  rx packets     %d\n", st.Pkts)
+	fmt.Printf("  rx bytes       %d\n", st.Bytes)
+	if st.LatSamples > 0 {
+		fmt.Printf("  latency        min %v / mean %v / max %v\n", st.LatMin, st.LatMean, st.LatMax)
+		fmt.Printf("  jitter         %v\n", st.LatMax-st.LatMin)
+	}
+	if st.Pkts != uint64(*count) {
+		fmt.Printf("  WARNING: %d frames missing\n", uint64(*count)-st.Pkts)
+	}
+
+	if *pcapPath != "" {
+		f, err := os.Create(*pcapPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "osnt:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		n, err := tester.WriteCapture(1, f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "osnt:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  capture        %d frames -> %s\n", n, *pcapPath)
+	}
+}

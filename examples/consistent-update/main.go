@@ -1,0 +1,99 @@
+// Consistent update: BlueSwitch's versioned reconfiguration against the
+// naive baseline. A policy flip is applied under full-rate traffic in
+// both modes; the versioned update shows zero mixed-policy packets and
+// zero update-induced loss, the naive one does not.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/netfpga"
+	"repro/netfpga/pkt"
+	"repro/netfpga/projects/blueswitch"
+)
+
+func testFrame() []byte {
+	data, err := pkt.Serialize(pkt.SerializeOptions{},
+		&pkt.Ethernet{
+			Dst: pkt.MustMAC("02:00:00:00:00:02"),
+			Src: pkt.MustMAC("02:00:00:00:00:01"), EtherType: 0x0800,
+		},
+		pkt.Payload(make([]byte, 46)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return data
+}
+
+// run applies V1 -> V2 under traffic in the given mode and reports
+// (sent, delivered, violations).
+func run(mode blueswitch.Mode) (sent, delivered int, violations uint64) {
+	dev := netfpga.NewDevice(netfpga.SUME(), netfpga.Options{})
+	p := blueswitch.New(blueswitch.Config{Mode: mode})
+	if err := p.Build(dev); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		dev.Tap(i)
+	}
+	// V1: IPv4 -> tag 1 -> port 1.   V2: IPv4 -> tag 2 -> port 2.
+	if err := p.InstallInitial(blueswitch.TagForwardPolicy(0x0800, 1, 1)); err != nil {
+		log.Fatal(err)
+	}
+
+	frame := testFrame()
+	pump := func(dur netfpga.Time) {
+		end := dev.Now() + dur
+		for dev.Now() < end {
+			for i := 0; i < 14; i++ { // ~line rate at min frames
+				if dev.Tap(0).Send(frame) {
+					sent++
+				}
+			}
+			dev.RunFor(netfpga.Microsecond)
+		}
+	}
+
+	pump(100 * netfpga.Microsecond)
+	switch mode {
+	case blueswitch.Versioned:
+		if err := p.StageUpdate(blueswitch.TagForwardPolicy(0x0800, 2, 2)); err != nil {
+			log.Fatal(err)
+		}
+		pump(20 * netfpga.Microsecond) // staging is invisible to traffic
+		p.Commit()                     // one atomic register write
+	case blueswitch.Naive:
+		// In-place rewrite, one table every 50us: the inconsistency
+		// window.
+		if err := p.ApplyNaive(blueswitch.TagForwardPolicy(0x0800, 2, 2), 50*netfpga.Microsecond); err != nil {
+			log.Fatal(err)
+		}
+	}
+	pump(200 * netfpga.Microsecond)
+	dev.RunFor(netfpga.Millisecond)
+
+	delivered = len(dev.Tap(1).Received()) + len(dev.Tap(2).Received())
+	return sent, delivered, p.Violations()
+}
+
+func main() {
+	fmt.Println("policy flip under line-rate traffic: V1(tag1->port1) -> V2(tag2->port2)")
+	fmt.Println()
+	fmt.Printf("%-22s %8s %10s %10s %11s\n", "update mechanism", "sent", "delivered", "lost", "violations")
+	for _, m := range []struct {
+		name string
+		mode blueswitch.Mode
+	}{
+		{"naive (in-place)", blueswitch.Naive},
+		{"BlueSwitch versioned", blueswitch.Versioned},
+	} {
+		sent, delivered, viol := run(m.mode)
+		fmt.Printf("%-22s %8d %10d %10d %11d\n",
+			m.name, sent, delivered, sent-delivered, viol)
+	}
+	fmt.Println()
+	fmt.Println("the versioned mechanism loses nothing and applies exactly one policy")
+	fmt.Println("to every packet; the naive baseline misprocesses every packet in")
+	fmt.Println("flight during the table-by-table rewrite window.")
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/pcie"
+	"repro/internal/serial"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/netfpga/hw"
+)
+
+// The three platforms the NetFPGA project supports (paper §1), with
+// board-level parameters from the SUME paper and the public board
+// documentation.
+
+// SUME returns the NetFPGA SUME board: Virtex-7 690T, 4x SFP+ (10G each,
+// bondable to 40/100G via the 30x 13.1G serial links), PCIe Gen3 x8,
+// 3x QDRII+ and 2x DDR3-1866 SoDIMM, MicroSD + 2x SATA, standalone
+// capable.
+func SUME() BoardSpec {
+	return BoardSpec{
+		Name:        "NetFPGA-SUME",
+		Description: "100Gbps-class platform: Virtex-7 690T, 4x SFP+, PCIe Gen3 x8, QDRII+/DDR3, standalone capable",
+		FPGA:        hw.Virtex7_690T,
+		Ports:       4,
+		PortConfig: func(i int) serial.Config {
+			return serial.Eth10G(fmt.Sprintf("nf%d", i))
+		},
+		PCIe: pcie.SUMELink(),
+		SRAM: []mem.SRAMConfig{
+			mem.DefaultSUMESRAM("qdr0"),
+			mem.DefaultSUMESRAM("qdr1"),
+			mem.DefaultSUMESRAM("qdr2"),
+		},
+		DRAM: []mem.DRAMConfig{
+			mem.DefaultSUMEDRAM("ddr0"),
+			mem.DefaultSUMEDRAM("ddr1"),
+		},
+		Storage: []storage.Config{
+			storage.MicroSD("microsd"),
+			storage.SATASSD("sata0"),
+			storage.SATASSD("sata1"),
+		},
+		BusBytes:   32,
+		ClockMHz:   200,
+		Standalone: true,
+	}
+}
+
+// SUME100G returns the SUME board configured as a single 100G device:
+// ten 13.1G-capable serial links bonded CAUI-10 style, with the wider
+// 512-bit datapath such designs use.
+func SUME100G() BoardSpec {
+	b := SUME()
+	b.Name = "NetFPGA-SUME-100G"
+	b.Description = "SUME with one bonded 100GbE port (10 serial links) and a 512-bit datapath"
+	b.Ports = 1
+	b.PortConfig = func(i int) serial.Config { return serial.Eth100G("nf0-100g") }
+	b.BusBytes = 64
+	return b
+}
+
+// SUME40G returns the SUME board as 2x 40GbE.
+func SUME40G() BoardSpec {
+	b := SUME()
+	b.Name = "NetFPGA-SUME-40G"
+	b.Description = "SUME with two bonded 40GbE ports and a 512-bit datapath"
+	b.Ports = 2
+	b.PortConfig = func(i int) serial.Config {
+		return serial.Eth40G(fmt.Sprintf("nf%d-40g", i))
+	}
+	b.BusBytes = 64
+	return b
+}
+
+// TenG returns the NetFPGA-10G board: Virtex-5 TX240T, 4x SFP+, PCIe
+// Gen2 x8, QDRII and RLDRAM-II.
+func TenG() BoardSpec {
+	rld := mem.DRAMConfig{
+		Name: "rldram0", Size: 288 << 20, MTps: 800, BusBytes: 8, BurstLen: 4,
+		Banks: 8, RowBytes: 2 << 10,
+		// RLDRAM's selling point is SRAM-like row behaviour.
+		TRCD: 8 * sim.Nanosecond, TRP: 8 * sim.Nanosecond, TCL: 8 * sim.Nanosecond,
+		TRRD: 2 * sim.Nanosecond, TFAW: 8 * sim.Nanosecond,
+		TRFC: 120 * sim.Nanosecond, TREFI: 3900 * sim.Nanosecond,
+	}
+	return BoardSpec{
+		Name:        "NetFPGA-10G",
+		Description: "4x10G platform (2010): Virtex-5 TX240T, PCIe Gen2 x8, QDRII/RLDRAM-II",
+		FPGA:        hw.Virtex5_TX240T,
+		Ports:       4,
+		PortConfig: func(i int) serial.Config {
+			return serial.Eth10G(fmt.Sprintf("nf%d", i))
+		},
+		PCIe: pcie.LinkConfig{Gen: pcie.Gen2, Lanes: 8},
+		SRAM: []mem.SRAMConfig{
+			{Name: "qdr0", Size: 9 << 20, ClockMHz: 300, WordBytes: 4, ReadLatency: 3},
+			{Name: "qdr1", Size: 9 << 20, ClockMHz: 300, WordBytes: 4, ReadLatency: 3},
+			{Name: "qdr2", Size: 9 << 20, ClockMHz: 300, WordBytes: 4, ReadLatency: 3},
+		},
+		DRAM:     []mem.DRAMConfig{rld},
+		BusBytes: 32,
+		ClockMHz: 160,
+	}
+}
+
+// OneGCML returns the NetFPGA-1G-CML board: Kintex-7 325T, 4x 1G ports,
+// PCIe Gen1 x4, aimed at gigabit and network-security applications.
+func OneGCML() BoardSpec {
+	return BoardSpec{
+		Name:        "NetFPGA-1G-CML",
+		Description: "gigabit platform for low-bandwidth and network-security applications: Kintex-7 325T, 4x 1G",
+		FPGA:        hw.Kintex7_325T,
+		Ports:       4,
+		PortConfig: func(i int) serial.Config {
+			return serial.Eth1G(fmt.Sprintf("nf%d", i))
+		},
+		PCIe: pcie.LinkConfig{Gen: pcie.Gen1, Lanes: 4},
+		SRAM: []mem.SRAMConfig{
+			{Name: "qdr0", Size: 4608 << 10, ClockMHz: 250, WordBytes: 4, ReadLatency: 3},
+		},
+		DRAM: []mem.DRAMConfig{
+			{Name: "ddr0", Size: 512 << 20, MTps: 800, BusBytes: 8, BurstLen: 8,
+				Banks: 8, RowBytes: 8 << 10,
+				TRCD: 13930 * sim.Picosecond, TRP: 13930 * sim.Picosecond,
+				TCL: 13930 * sim.Picosecond, TRRD: 6 * sim.Nanosecond,
+				TFAW: 30 * sim.Nanosecond, TRFC: 160 * sim.Nanosecond,
+				TREFI: 7800 * sim.Nanosecond},
+		},
+		Storage:  []storage.Config{storage.MicroSD("sd")},
+		BusBytes: 8,
+		ClockMHz: 125,
+	}
+}
+
+// Boards returns every supported board specification.
+func Boards() []BoardSpec {
+	return []BoardSpec{SUME(), SUME40G(), SUME100G(), TenG(), OneGCML()}
+}

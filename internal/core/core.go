@@ -1,0 +1,265 @@
+// Package core is the gonetfpga platform engine: it instantiates a board
+// (FPGA datapath clock + design, port MACs, PCIe DMA, memories, storage),
+// binds the simulated host driver, and manages the device lifecycle. The
+// public netfpga package is a thin facade over this engine.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/host"
+	"repro/internal/mem"
+	"repro/internal/pcie"
+	"repro/internal/serial"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/netfpga/hw"
+)
+
+// BoardSpec describes one NetFPGA platform generation.
+type BoardSpec struct {
+	Name        string
+	Description string
+	FPGA        hw.FPGA
+	// Ports is the number of front-panel ports.
+	Ports int
+	// PortConfig builds the MAC configuration of port i.
+	PortConfig func(i int) serial.Config
+	// PCIe is the host link; Lanes == 0 means no host interface.
+	PCIe pcie.LinkConfig
+	// Memory parts on the board.
+	SRAM []mem.SRAMConfig
+	DRAM []mem.DRAMConfig
+	// Storage devices (SUME: MicroSD + 2x SATA).
+	Storage []storage.Config
+	// BusBytes and ClockMHz are the default datapath parameters for
+	// designs targeting this board.
+	BusBytes int
+	ClockMHz float64
+	// Standalone indicates the board can operate without a PCIe host.
+	Standalone bool
+}
+
+// PortRate returns the data rate of port i in Gb/s.
+func (b BoardSpec) PortRate(i int) float64 {
+	cfg := b.PortConfig(i)
+	enc := cfg.Encoding
+	if enc == 0 {
+		enc = serial.Encoding64b66b
+	}
+	return float64(cfg.Lanes) * cfg.LineGbps * enc
+}
+
+// TotalPortGbps returns the aggregate front-panel bandwidth.
+func (b BoardSpec) TotalPortGbps() float64 {
+	var sum float64
+	for i := 0; i < b.Ports; i++ {
+		sum += b.PortRate(i)
+	}
+	return sum
+}
+
+// Device is an instantiated board running one design.
+type Device struct {
+	Board BoardSpec
+	Sim   *sim.Sim
+	Clock *sim.Clock
+	Dsn   *hw.Design
+
+	MACs   []*serial.MAC
+	Engine *pcie.Engine
+	Regs   *hw.AddressMap
+	Driver *host.Driver
+	SRAMs  []*mem.SRAM
+	DRAMs  []*mem.DRAM
+	Disks  []*storage.BlockDev
+
+	taps   []*PortTap
+	agents []Agent
+
+	// regNext is the next free mount base for auto-mounted blocks.
+	regNext uint32
+}
+
+// Options tune device instantiation.
+type Options struct {
+	// BusBytes overrides the board's default datapath width.
+	BusBytes int
+	// ClockMHz overrides the board's default datapath clock.
+	ClockMHz float64
+	// PortBER injects a bit error rate on every port's wire.
+	PortBER float64
+	// Seed seeds stochastic elements (error injection).
+	Seed uint64
+	// NoHost omits the PCIe engine and driver (standalone operation).
+	NoHost bool
+}
+
+// NewDevice instantiates a board.
+func NewDevice(board BoardSpec, opts Options) *Device {
+	bus := opts.BusBytes
+	if bus == 0 {
+		bus = board.BusBytes
+	}
+	clkMHz := opts.ClockMHz
+	if clkMHz == 0 {
+		clkMHz = board.ClockMHz
+	}
+	s := sim.New()
+	clk := s.NewClockMHz("datapath", clkMHz)
+	d := &Device{
+		Board:   board,
+		Sim:     s,
+		Clock:   clk,
+		Dsn:     hw.NewDesign(board.Name, clk, bus),
+		Regs:    hw.NewAddressMap(),
+		regNext: 0x0000,
+	}
+	for i := 0; i < board.Ports; i++ {
+		cfg := board.PortConfig(i)
+		cfg.BER = opts.PortBER
+		cfg.Seed = opts.Seed + uint64(i)*7919
+		d.MACs = append(d.MACs, serial.NewMAC(s, cfg))
+	}
+	d.taps = make([]*PortTap, board.Ports)
+	if board.PCIe.Lanes > 0 && !opts.NoHost {
+		d.Engine = pcie.NewEngine(s, pcie.EngineConfig{Link: board.PCIe})
+		d.Driver = host.NewDriver(board.Name+".nf0", d.Engine, d.Regs, s.Now)
+	}
+	for _, c := range board.SRAM {
+		d.SRAMs = append(d.SRAMs, mem.NewSRAM(s, c))
+	}
+	for _, c := range board.DRAM {
+		d.DRAMs = append(d.DRAMs, mem.NewDRAM(s, c))
+	}
+	for _, c := range board.Storage {
+		d.Disks = append(d.Disks, storage.New(s, c))
+	}
+	return d
+}
+
+// MountRegs places a register file at the next free 4 KB-aligned base and
+// returns the base address.
+func (d *Device) MountRegs(rf *hw.RegisterFile) uint32 {
+	base := d.regNext
+	d.Regs.Mount(base, 0x1000, rf)
+	d.regNext += 0x1000
+	return base
+}
+
+// Now returns the device's current simulated time.
+func (d *Device) Now() hw.Time { return d.Sim.Now() }
+
+// RunFor advances the simulation by dur.
+func (d *Device) RunFor(dur hw.Time) { d.Sim.RunFor(dur) }
+
+// RunUntilIdle runs until no events remain (bounded by limit events;
+// 0 means unbounded). It reports whether the event queue drained.
+func (d *Device) RunUntilIdle(limit uint64) bool { return d.Sim.Drain(limit) }
+
+// Agent is project "firmware": software that runs against the register
+// file and exception path in simulated time, standing in for the
+// soft-core embedded code of the physical platform.
+type Agent interface {
+	// Name identifies the agent.
+	Name() string
+	// Start lets the agent register its timers on the device.
+	Start(d *Device)
+}
+
+// AddAgent registers and starts an agent.
+func (d *Device) AddAgent(a Agent) {
+	d.agents = append(d.agents, a)
+	a.Start(d)
+}
+
+// Every runs fn every interval of simulated time, starting one interval
+// from now — the agents' periodic-work primitive.
+func (d *Device) Every(interval hw.Time, fn func()) {
+	if interval <= 0 {
+		panic("core: non-positive agent interval")
+	}
+	var tm *sim.Timer
+	tm = d.Sim.NewTimer(func() {
+		fn()
+		tm.ScheduleAfter(interval)
+	})
+	tm.ScheduleAfter(interval)
+}
+
+// RxFrame is a frame captured at a port tap.
+type RxFrame struct {
+	Data []byte
+	At   hw.Time
+}
+
+// PortTap is the far end of the cable plugged into a device port: tests,
+// examples and workload generators send and capture traffic through it.
+type PortTap struct {
+	dev  *Device
+	port int
+	mac  *serial.MAC
+	rx   []RxFrame
+	// OnRx, when set, intercepts arrivals instead of buffering them.
+	OnRx func(f *hw.Frame, at hw.Time)
+}
+
+// Tap returns (creating on first use) the traffic endpoint of port i.
+func (d *Device) Tap(i int) *PortTap {
+	if i < 0 || i >= len(d.MACs) {
+		panic(fmt.Sprintf("core: port %d out of range", i))
+	}
+	if d.taps[i] != nil {
+		return d.taps[i]
+	}
+	cfg := d.Board.PortConfig(i)
+	cfg.Name = fmt.Sprintf("tap%d", i)
+	cfg.TxBufBytes = 1 << 22 // generous: the tap is test equipment
+	peer := serial.NewMAC(d.Sim, cfg)
+	if err := serial.Connect(d.MACs[i], peer, 5*sim.Nanosecond); err != nil {
+		panic(err)
+	}
+	t := &PortTap{dev: d, port: i, mac: peer}
+	peer.SetReceiver(func(f *hw.Frame, ok bool) {
+		if !ok {
+			return
+		}
+		if t.OnRx != nil {
+			t.OnRx(f, d.Sim.Now())
+			return
+		}
+		t.rx = append(t.rx, RxFrame{Data: f.Data, At: d.Sim.Now()})
+	})
+	d.taps[i] = t
+	return t
+}
+
+// Port returns the tap's port index.
+func (t *PortTap) Port() int { return t.port }
+
+// MAC returns the tap-side MAC, for rate math.
+func (t *PortTap) MAC() *serial.MAC { return t.mac }
+
+// Send injects a frame into the device port. The data is copied.
+func (t *PortTap) Send(data []byte) bool {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return t.mac.Send(hw.NewFrame(cp, 0))
+}
+
+// SendAt schedules a frame injection at an absolute simulated time.
+func (t *PortTap) SendAt(at hw.Time, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	t.dev.Sim.At(at, func() { t.mac.Send(hw.NewFrame(cp, 0)) })
+}
+
+// Received drains and returns frames captured since the last call.
+func (t *PortTap) Received() []RxFrame {
+	out := t.rx
+	t.rx = nil
+	return out
+}
+
+// Pending returns the number of captured-but-undrained frames.
+func (t *PortTap) Pending() int { return len(t.rx) }

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/netfpga/hw"
+)
+
+func TestBoardSpecs(t *testing.T) {
+	for _, b := range Boards() {
+		if b.Ports <= 0 || b.Ports > hw.MaxPorts {
+			t.Errorf("%s: bad port count %d", b.Name, b.Ports)
+		}
+		if b.PortRate(0) <= 0 {
+			t.Errorf("%s: bad port rate", b.Name)
+		}
+		if b.BusBytes <= 0 || b.ClockMHz <= 0 {
+			t.Errorf("%s: bad datapath params", b.Name)
+		}
+		if b.FPGA.Capacity.LUTs == 0 {
+			t.Errorf("%s: empty FPGA capacity", b.Name)
+		}
+	}
+	if SUME().TotalPortGbps() < 39.9 || SUME().TotalPortGbps() > 40.1 {
+		t.Errorf("SUME aggregate = %v", SUME().TotalPortGbps())
+	}
+	if SUME100G().TotalPortGbps() < 99 || SUME100G().TotalPortGbps() > 101 {
+		t.Errorf("SUME100G aggregate = %v", SUME100G().TotalPortGbps())
+	}
+}
+
+func TestDeviceInstantiation(t *testing.T) {
+	dev := NewDevice(SUME(), Options{})
+	if len(dev.MACs) != 4 {
+		t.Fatalf("%d MACs", len(dev.MACs))
+	}
+	if dev.Engine == nil || dev.Driver == nil {
+		t.Fatal("host interface missing")
+	}
+	if len(dev.SRAMs) != 3 || len(dev.DRAMs) != 2 || len(dev.Disks) != 3 {
+		t.Fatalf("memory/storage counts wrong: %d/%d/%d",
+			len(dev.SRAMs), len(dev.DRAMs), len(dev.Disks))
+	}
+	if dev.Dsn.BusBytes() != 32 {
+		t.Fatalf("bus = %d", dev.Dsn.BusBytes())
+	}
+}
+
+func TestDeviceNoHost(t *testing.T) {
+	dev := NewDevice(SUME(), Options{NoHost: true})
+	if dev.Engine != nil || dev.Driver != nil {
+		t.Fatal("NoHost device still has a host interface")
+	}
+}
+
+func TestDeviceOptionOverrides(t *testing.T) {
+	dev := NewDevice(SUME(), Options{BusBytes: 64, ClockMHz: 300})
+	if dev.Dsn.BusBytes() != 64 {
+		t.Fatal("bus override ignored")
+	}
+	if f := dev.Clock.FreqMHz(); f < 299 || f > 301 {
+		t.Fatalf("clock override ignored: %v MHz", f)
+	}
+}
+
+func TestMountRegsSequential(t *testing.T) {
+	dev := NewDevice(SUME(), Options{NoHost: true})
+	a := hw.NewRegisterFile("a")
+	var v uint32
+	a.AddVar(0, "x", &v)
+	b := hw.NewRegisterFile("b")
+	b.AddVar(0, "x", &v)
+	baseA := dev.MountRegs(a)
+	baseB := dev.MountRegs(b)
+	if baseB != baseA+0x1000 {
+		t.Fatalf("mounts not sequential: 0x%x 0x%x", baseA, baseB)
+	}
+	if err := dev.Regs.Write(baseB, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v != 7 {
+		t.Fatal("write did not land")
+	}
+}
+
+func TestTapSendReceive(t *testing.T) {
+	dev := NewDevice(SUME(), Options{})
+	tap := dev.Tap(0)
+	if dev.Tap(0) != tap {
+		t.Fatal("Tap not idempotent")
+	}
+	// Loop the device MAC's rx straight back to tx.
+	dev.MACs[0].SetReceiver(func(f *hw.Frame, ok bool) {
+		if ok {
+			dev.MACs[0].Send(f)
+		}
+	})
+	buf := []byte{1, 2, 3, 4}
+	if !tap.Send(buf) {
+		t.Fatal("send failed")
+	}
+	buf[0] = 99 // tap must have copied
+	dev.RunFor(sim.Millisecond)
+	rx := tap.Received()
+	if len(rx) != 1 {
+		t.Fatalf("got %d frames", len(rx))
+	}
+	if rx[0].Data[0] != 1 {
+		t.Fatal("tap did not copy on send")
+	}
+	if rx[0].At == 0 {
+		t.Fatal("missing arrival time")
+	}
+	if tap.Pending() != 0 {
+		t.Fatal("Received did not drain")
+	}
+}
+
+func TestTapSendAt(t *testing.T) {
+	dev := NewDevice(SUME(), Options{})
+	tap := dev.Tap(1)
+	dev.MACs[1].SetReceiver(func(f *hw.Frame, ok bool) { dev.MACs[1].Send(f) })
+	tap.SendAt(500*sim.Microsecond, []byte{9})
+	dev.RunFor(100 * sim.Microsecond)
+	if tap.Pending() != 0 {
+		t.Fatal("frame arrived before schedule")
+	}
+	dev.RunFor(sim.Millisecond)
+	if tap.Pending() != 1 {
+		t.Fatal("scheduled frame never arrived")
+	}
+}
+
+func TestTapOnRxIntercepts(t *testing.T) {
+	dev := NewDevice(SUME(), Options{})
+	tap := dev.Tap(2)
+	dev.MACs[2].SetReceiver(func(f *hw.Frame, ok bool) { dev.MACs[2].Send(f) })
+	var got int
+	tap.OnRx = func(f *hw.Frame, at sim.Time) { got++ }
+	tap.Send([]byte{1})
+	dev.RunFor(sim.Millisecond)
+	if got != 1 {
+		t.Fatal("OnRx not called")
+	}
+	if tap.Pending() != 0 {
+		t.Fatal("OnRx frames must not buffer")
+	}
+}
+
+func TestTapOutOfRangePanics(t *testing.T) {
+	dev := NewDevice(SUME(), Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	dev.Tap(7)
+}
+
+func TestEveryPeriodicAgent(t *testing.T) {
+	dev := NewDevice(SUME(), Options{NoHost: true})
+	n := 0
+	dev.Every(100*sim.Microsecond, func() { n++ })
+	dev.RunFor(sim.Millisecond)
+	if n != 10 {
+		t.Fatalf("agent ran %d times, want 10", n)
+	}
+}
+
+func TestEveryInvalidIntervalPanics(t *testing.T) {
+	dev := NewDevice(SUME(), Options{NoHost: true})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	dev.Every(0, func() {})
+}
+
+type testAgent struct{ started *bool }
+
+func (a testAgent) Name() string    { return "t" }
+func (a testAgent) Start(d *Device) { *a.started = true }
+
+func TestAddAgentStarts(t *testing.T) {
+	dev := NewDevice(SUME(), Options{NoHost: true})
+	started := false
+	dev.AddAgent(testAgent{started: &started})
+	if !started {
+		t.Fatal("agent not started")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []sim.Time {
+		dev := NewDevice(SUME(), Options{Seed: 1, PortBER: 1e-5})
+		tap := dev.Tap(0)
+		dev.MACs[0].SetReceiver(func(f *hw.Frame, ok bool) {
+			if ok {
+				dev.MACs[0].Send(f)
+			}
+		})
+		for i := 0; i < 50; i++ {
+			tap.Send(make([]byte, 400))
+		}
+		dev.RunFor(sim.Millisecond)
+		var times []sim.Time
+		for _, rx := range tap.Received() {
+			times = append(times, rx.At)
+		}
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic delivery count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic timing at %d", i)
+		}
+	}
+}

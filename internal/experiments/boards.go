@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// F1BoardInventory reproduces Figure 1 and §1-2 of the paper as data:
+// the SUME board's subsystem inventory and the three-platform
+// comparison.
+func F1BoardInventory() []*Table {
+	cmp := &Table{
+		ID:    "F1a",
+		Title: "the three NetFPGA platforms (paper §1)",
+		Columns: []string{"board", "FPGA", "ports", "aggregate", "PCIe",
+			"SRAM", "DRAM", "storage", "standalone"},
+	}
+	for _, b := range []core.BoardSpec{core.SUME(), core.TenG(), core.OneGCML()} {
+		var sram, dram uint64
+		for _, s := range b.SRAM {
+			sram += s.Size
+		}
+		for _, d := range b.DRAM {
+			dram += d.Size
+		}
+		pcie := fmt.Sprintf("Gen%d x%d", b.PCIe.Gen, b.PCIe.Lanes)
+		standalone := "no"
+		if b.Standalone {
+			standalone = "yes"
+		}
+		cmp.AddRow(b.Name, b.FPGA.Name,
+			fmt.Sprintf("%dx%.0fG", b.Ports, b.PortRate(0)),
+			fmt.Sprintf("%.0f Gb/s", b.TotalPortGbps()),
+			pcie,
+			fmt.Sprintf("%d MB", sram>>20),
+			fmt.Sprintf("%.1f GB", float64(dram)/(1<<30)),
+			fmt.Sprintf("%d devices", len(b.Storage)),
+			standalone)
+	}
+
+	sume := core.SUME()
+	inv := &Table{
+		ID:      "F1b",
+		Title:   "NetFPGA SUME subsystem inventory (paper §2, Figure 1)",
+		Columns: []string{"subsystem", "component", "capability"},
+	}
+	inv.AddRow("FPGA", sume.FPGA.Name,
+		fmt.Sprintf("%d LUTs, %d FFs, %d BRAM36, %d DSPs",
+			sume.FPGA.Capacity.LUTs, sume.FPGA.Capacity.FFs,
+			sume.FPGA.Capacity.BRAM36, sume.FPGA.Capacity.DSPs))
+	inv.AddRow("serial I/O", fmt.Sprintf("%d links", sume.FPGA.Serial),
+		fmt.Sprintf("up to %.1f Gb/s each; SFP+ / 40G / 100G bonding", sume.FPGA.SerialGbs))
+	for _, s := range sume.SRAM {
+		inv.AddRow("memory", s.Name,
+			fmt.Sprintf("QDRII+ %d MB @ %.0f MHz", s.Size>>20, s.ClockMHz))
+	}
+	for _, d := range sume.DRAM {
+		inv.AddRow("memory", d.Name,
+			fmt.Sprintf("DDR3 SoDIMM %d GB @ %.0f MT/s", d.Size>>30, d.MTps))
+	}
+	inv.AddRow("host", "PCIe", fmt.Sprintf("Gen%d x%d", sume.PCIe.Gen, sume.PCIe.Lanes))
+	for _, st := range sume.Storage {
+		inv.AddRow("storage", st.Name,
+			fmt.Sprintf("%d GB block device", uint64(st.BlockSize)*st.Blocks>>30))
+	}
+	serialAgg := float64(sume.FPGA.Serial) * sume.FPGA.SerialGbs
+	cmp.Metric("sume_serial_aggregate_gbps", serialAgg)
+	cmp.Notes = append(cmp.Notes, fmt.Sprintf(
+		"SUME serial aggregate %.0f Gb/s across %d links enables 100G applications (paper claim)",
+		serialAgg, sume.FPGA.Serial))
+	return []*Table{cmp, inv}
+}

@@ -1,0 +1,114 @@
+// Package experiments regenerates every table and figure of the
+// reproduction's experiment index (DESIGN.md §3). Each experiment returns
+// printable tables plus machine-readable metrics; cmd/nf-bench renders
+// them and the top-level benchmarks report the metrics.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+	// Metrics are the headline numbers, for benchmark reporting and
+	// assertions (key -> value).
+	Metrics map[string]float64
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Metric records a headline number.
+func (t *Table) Metric(key string, v float64) {
+	if t.Metrics == nil {
+		t.Metrics = make(map[string]float64)
+	}
+	t.Metrics[key] = v
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is one runnable experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() []*Table
+}
+
+// All returns every experiment in index order.
+func All() []Experiment {
+	return []Experiment{
+		{"F1", "board inventory and platform comparison", F1BoardInventory},
+		{"T1", "serial I/O bandwidth up to 100G", T1SerialIO},
+		{"T2", "memory subsystem: QDRII+ vs DDR3", T2Memory},
+		{"T3", "host DMA throughput (reference NIC)", T3HostDMA},
+		{"T4", "reference switch line rate and latency", T4Switch},
+		{"T5", "reference router line rate vs FIB size", T5Router},
+		{"T6", "OSNT generator precision and latency accuracy", T6OSNT},
+		{"T7", "BlueSwitch consistent update vs naive baseline", T7BlueSwitch},
+		{"T8", "design utilization and module reuse across projects", T8Utilization},
+		{"F2", "rapid prototyping: custom module insertion", F2CustomModule},
+		{"T9", "standalone operation: boot from storage", T9Standalone},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// gbps formats a rate.
+func gbps(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// pct formats a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }

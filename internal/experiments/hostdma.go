@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pcie"
+	"repro/internal/serial"
+	"repro/netfpga"
+	"repro/netfpga/projects/nic"
+)
+
+// T3HostDMA measures reference-NIC host I/O: host->wire throughput
+// across frame sizes on PCIe Gen3 x8 versus Gen2 x8. The shape to
+// reproduce: small frames are per-descriptor limited, large frames
+// approach the link's effective data rate, Gen3 ~2x Gen2.
+func T3HostDMA() []*Table {
+	t := &Table{
+		ID:    "T3",
+		Title: "reference NIC host transmit throughput (single queue)",
+		Columns: []string{"PCIe", "frame", "achieved Gb/s", "link effective",
+			"of link", "Mpps"},
+	}
+	frames := []int{64, 256, 512, 1024, 1518, 4096, 9000}
+	gens := []struct {
+		name string
+		gen  pcie.Gen
+	}{
+		{"Gen3 x8", pcie.Gen3},
+		{"Gen2 x8", pcie.Gen2},
+	}
+	const window = 300 * netfpga.Microsecond
+
+	for _, g := range gens {
+		for _, fs := range frames {
+			board := core.SUME()
+			board.PCIe = pcie.LinkConfig{Gen: g.gen, Lanes: 8}
+			// Keep the wire out of the equation: a 100G port so PCIe is
+			// the bottleneck.
+			board = withFatPorts(board)
+			dev := netfpga.NewDevice(board, netfpga.Options{})
+			p := nic.New()
+			if err := p.Build(dev); err != nil {
+				panic(err)
+			}
+			tap := dev.Tap(0)
+			data := make([]byte, fs)
+			pump := func(dur netfpga.Time) {
+				end := dev.Now() + dur
+				for dev.Now() < end {
+					for dev.Driver.Send(data, 0) == nil {
+					}
+					dev.RunFor(2 * netfpga.Microsecond)
+				}
+			}
+			pump(50 * netfpga.Microsecond) // warmup
+			tap.Received()                 // discard
+			pump(window)
+			var rxBytes uint64
+			rx := tap.Received() // collected exactly at window end
+			for _, f := range rx {
+				rxBytes += uint64(len(f.Data))
+			}
+			achieved := float64(rxBytes) * 8 / window.Seconds() / 1e9
+			eff := 5.0 * 0.8 * 8 // Gen2 x8 effective Gb/s
+			if g.gen == pcie.Gen3 {
+				eff = 8.0 * 128 / 130 * 8
+			}
+			mpps := float64(len(rx)) / window.Seconds() / 1e6
+			t.AddRow(g.name, fmt.Sprintf("%dB", fs), gbps(achieved), gbps(eff),
+				pct(100*achieved/eff), fmt.Sprintf("%.2f", mpps))
+			if fs == 1518 {
+				t.Metric(fmt.Sprintf("%s_1518_gbps", g.name), achieved)
+			}
+			if fs == 64 {
+				t.Metric(fmt.Sprintf("%s_64_mpps", g.name), mpps)
+			}
+		}
+	}
+	g3 := t.Metrics["Gen3 x8_1518_gbps"]
+	g2 := t.Metrics["Gen2 x8_1518_gbps"]
+	t.Metric("gen3_vs_gen2", g3/g2)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("Gen3/Gen2 large-frame ratio %.2fx (expect ~2x)", g3/g2),
+		"small frames are bounded by per-TLP and per-descriptor overhead, large frames by link rate")
+	return []*Table{t}
+}
+
+// withFatPorts rebuilds the board with 100G ports so the wire never
+// bottlenecks a PCIe measurement.
+func withFatPorts(b core.BoardSpec) core.BoardSpec {
+	inner := b.PortConfig
+	b.PortConfig = func(i int) serial.Config {
+		c := inner(i)
+		c.Lanes = 10
+		return c
+	}
+	b.BusBytes = 64
+	return b
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+
+	"repro/netfpga"
+)
+
+// measureGoodput saturates the given taps (tap i repeatedly sends
+// streams[i]; nil entries stay silent) through a warmup and a timed
+// window, and returns the bytes and frames received across all taps
+// strictly within the window. Collection happens exactly at window end,
+// so queued-but-undelivered frames are excluded and goodput can never
+// exceed the wire.
+func measureGoodput(dev *netfpga.Device, taps []*netfpga.PortTap, streams [][]byte,
+	warmup, window netfpga.Time) (bytes uint64, frames int) {
+
+	topUp := func() {
+		for i, tap := range taps {
+			if i >= len(streams) || streams[i] == nil {
+				continue
+			}
+			for tap.MAC().TxQueue().Bytes() < 1<<16 {
+				if !tap.Send(streams[i]) {
+					break
+				}
+			}
+		}
+	}
+	run := func(dur netfpga.Time) {
+		end := dev.Now() + dur
+		for dev.Now() < end {
+			topUp()
+			dev.RunFor(netfpga.Microsecond)
+		}
+	}
+	run(warmup)
+	for _, tap := range taps {
+		tap.Received() // discard warmup arrivals
+	}
+	run(window)
+	for _, tap := range taps {
+		for _, f := range tap.Received() {
+			bytes += uint64(len(f.Data))
+			frames++
+		}
+	}
+	return bytes, frames
+}
+
+// designDrops sums the design's queue-overflow drops (receive FIFOs and
+// output queues). Lookup-stage verdict drops are policy, not loss, and
+// are excluded.
+func designDrops(dev *netfpga.Device) uint64 {
+	var total uint64
+	for k, v := range dev.Dsn.Stats() {
+		if !strings.HasSuffix(k, "drops") {
+			continue
+		}
+		if strings.Contains(k, "fifo") || strings.HasPrefix(k, "oq") ||
+			strings.Contains(k, "port") && strings.Contains(k, "_drops") {
+			total += v
+		}
+	}
+	return total
+}

@@ -1,0 +1,149 @@
+// Package host simulates the host system a NetFPGA board is plugged
+// into: the kernel driver's register access path and its netdev-style
+// send/receive interface over the DMA engine. Host software (tests,
+// examples, CLI tools) runs outside simulated time and interacts with the
+// device between simulation runs — the standard co-simulation pattern.
+package host
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pcie"
+	"repro/netfpga/hw"
+)
+
+// Errors returned by the driver.
+var (
+	ErrTxRingFull = errors.New("host: transmit ring full")
+	ErrFrameSize  = errors.New("host: frame size out of range")
+)
+
+// RxPacket is one received frame with its originating host queue.
+type RxPacket struct {
+	Data  []byte
+	Queue int
+	// Port is the physical ingress port the frame arrived on.
+	Port uint8
+	// At is the DMA completion time.
+	At hw.Time
+}
+
+// Driver is the simulated kernel driver bound to one device.
+type Driver struct {
+	name   string
+	engine *pcie.Engine
+	regs   *hw.AddressMap
+	now    func() hw.Time
+
+	rxBuf   []RxPacket
+	rxLimit int
+
+	txSent, rxGot, rxDropped uint64
+}
+
+// NewDriver binds a driver to a DMA engine and register map. now provides
+// the simulation clock for rx timestamps.
+func NewDriver(name string, engine *pcie.Engine, regs *hw.AddressMap, now func() hw.Time) *Driver {
+	d := &Driver{name: name, engine: engine, regs: regs, now: now, rxLimit: 4096}
+	engine.SetDeliver(d.rxComplete)
+	// Pre-post the full rx ring, as a real driver does at ifup.
+	engine.PostRx(256)
+	return d
+}
+
+// Name returns the driver instance name.
+func (d *Driver) Name() string { return d.name }
+
+// Send transmits data out of host queue q. The driver copies the frame,
+// so the caller may reuse the buffer.
+func (d *Driver) Send(data []byte, q int) error {
+	if len(data) == 0 || len(data) > 9600 {
+		return ErrFrameSize
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	f := hw.NewFrame(cp, uint8(hw.HostPortBase+q))
+	f.Meta.Flags |= hw.FlagFromHost
+	if !d.engine.HostSend(f) {
+		return ErrTxRingFull
+	}
+	d.txSent++
+	return nil
+}
+
+// rxComplete runs in simulated time as the DMA engine finishes a
+// device→host transfer.
+func (d *Driver) rxComplete(f *hw.Frame) {
+	if len(d.rxBuf) >= d.rxLimit {
+		d.rxDropped++
+	} else {
+		q := 0
+		for i := 0; i < hw.MaxHostPorts; i++ {
+			if f.Meta.DstPorts&hw.HostPortMask(i) != 0 {
+				q = i
+				break
+			}
+		}
+		d.rxBuf = append(d.rxBuf, RxPacket{Data: f.Data, Queue: q, Port: f.Meta.SrcPort, At: d.now()})
+		d.rxGot++
+	}
+	// Replenish the consumed descriptor, as a real rx path does.
+	d.engine.PostRx(1)
+}
+
+// Poll drains and returns the frames received since the last call.
+func (d *Driver) Poll() []RxPacket {
+	out := d.rxBuf
+	d.rxBuf = nil
+	return out
+}
+
+// Pending returns the number of undelivered received frames.
+func (d *Driver) Pending() int { return len(d.rxBuf) }
+
+// RegRead performs a 32-bit register read at a device-absolute address.
+func (d *Driver) RegRead(addr uint32) (uint32, error) { return d.regs.Read(addr) }
+
+// RegWrite performs a 32-bit register write.
+func (d *Driver) RegWrite(addr uint32, v uint32) error { return d.regs.Write(addr, v) }
+
+// RegReadName reads a register by "block.name" notation.
+func (d *Driver) RegReadName(block, name string) (uint32, error) {
+	addr, ok := d.regs.Lookup(block, name)
+	if !ok {
+		return 0, fmt.Errorf("host: no register %s.%s", block, name)
+	}
+	return d.regs.Read(addr)
+}
+
+// RegWriteName writes a register by "block.name" notation.
+func (d *Driver) RegWriteName(block, name string, v uint32) error {
+	addr, ok := d.regs.Lookup(block, name)
+	if !ok {
+		return fmt.Errorf("host: no register %s.%s", block, name)
+	}
+	return d.regs.Write(addr, v)
+}
+
+// ReadCounter64 reads a 64-bit counter mapped by hw.AddCounter64.
+func (d *Driver) ReadCounter64(block, name string) (uint64, error) {
+	lo, err := d.RegReadName(block, name+"_lo")
+	if err != nil {
+		return 0, err
+	}
+	hi, err := d.RegReadName(block, name+"_hi")
+	if err != nil {
+		return 0, err
+	}
+	return uint64(hi)<<32 | uint64(lo), nil
+}
+
+// Stats exports driver counters.
+func (d *Driver) Stats() map[string]uint64 {
+	return map[string]uint64{
+		"tx_sent":    d.txSent,
+		"rx_got":     d.rxGot,
+		"rx_dropped": d.rxDropped,
+	}
+}

@@ -1,0 +1,133 @@
+package host
+
+import (
+	"testing"
+
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/netfpga/hw"
+)
+
+func newHost(t *testing.T) (*sim.Sim, *pcie.Engine, *Driver) {
+	t.Helper()
+	s := sim.New()
+	e := pcie.NewEngine(s, pcie.EngineConfig{Link: pcie.SUMELink()})
+	regs := hw.NewAddressMap()
+	rf := hw.NewRegisterFile("core")
+	var scratch uint32
+	rf.AddVar(0x0, "scratch", &scratch)
+	var pkts uint64 = 77
+	rf.AddCounter64(0x8, "pkts", &pkts)
+	regs.Mount(0x0000, 0x100, rf)
+	d := NewDriver("nf0", e, regs, s.Now)
+	return s, e, d
+}
+
+func TestDriverSendReachesDevice(t *testing.T) {
+	s, e, d := newHost(t)
+	if err := d.Send(make([]byte, 200), 2); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain(0)
+	f := e.ToDevice().Pop()
+	if f == nil {
+		t.Fatal("no frame at device")
+	}
+	if f.Meta.SrcPort != hw.HostPortBase+2 || f.Meta.Flags&hw.FlagFromHost == 0 {
+		t.Fatalf("meta %+v", f.Meta)
+	}
+}
+
+func TestDriverSendValidation(t *testing.T) {
+	_, _, d := newHost(t)
+	if err := d.Send(nil, 0); err != ErrFrameSize {
+		t.Fatalf("err = %v", err)
+	}
+	if err := d.Send(make([]byte, 10000), 0); err != ErrFrameSize {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDriverSendCopies(t *testing.T) {
+	s, e, d := newHost(t)
+	buf := []byte{1, 2, 3, 4}
+	d.Send(buf, 0)
+	buf[0] = 99 // caller reuses buffer immediately
+	s.Drain(0)
+	f := e.ToDevice().Pop()
+	if f.Data[0] != 1 {
+		t.Fatal("driver did not copy the frame")
+	}
+}
+
+func TestDriverReceiveAndQueueDemux(t *testing.T) {
+	s, e, d := newHost(t)
+	f := hw.NewFrame([]byte{9, 9}, 3)
+	f.Meta.DstPorts = hw.HostPortMask(1)
+	e.FromDevice().Push(f)
+	s.Drain(0)
+	got := d.Poll()
+	if len(got) != 1 {
+		t.Fatalf("polled %d", len(got))
+	}
+	if got[0].Queue != 1 || got[0].Port != 3 || got[0].At == 0 {
+		t.Fatalf("rx %+v", got[0])
+	}
+	if len(d.Poll()) != 0 {
+		t.Fatal("Poll did not drain")
+	}
+}
+
+func TestDriverReplenishesRxRing(t *testing.T) {
+	s, e, d := newHost(t)
+	// Push far more frames than the initial 256 descriptors; the driver
+	// re-posts in rxComplete so all must arrive.
+	for i := 0; i < 300; i++ {
+		f := hw.NewFrame(make([]byte, 60), 0)
+		f.Meta.DstPorts = hw.HostPortMask(0)
+		e.FromDevice().Push(f)
+		if i%64 == 0 {
+			s.RunFor(10 * sim.Microsecond)
+		}
+	}
+	s.Drain(0)
+	if n := len(d.Poll()); n != 300 {
+		t.Fatalf("received %d of 300", n)
+	}
+}
+
+func TestDriverRegisterAccess(t *testing.T) {
+	_, _, d := newHost(t)
+	if err := d.RegWriteName("core", "scratch", 0xABCD); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.RegReadName("core", "scratch")
+	if err != nil || v != 0xABCD {
+		t.Fatalf("v=%x err=%v", v, err)
+	}
+	if _, err := d.RegReadName("core", "bogus"); err == nil {
+		t.Fatal("read of unknown register succeeded")
+	}
+	if _, err := d.RegRead(0x9000); err == nil {
+		t.Fatal("read of unmapped address succeeded")
+	}
+	c, err := d.ReadCounter64("core", "pkts")
+	if err != nil || c != 77 {
+		t.Fatalf("counter=%d err=%v", c, err)
+	}
+}
+
+func TestDriverTxRingFull(t *testing.T) {
+	s := sim.New()
+	e := pcie.NewEngine(s, pcie.EngineConfig{Link: pcie.SUMELink(), TxRing: 2})
+	d := NewDriver("nf0", e, hw.NewAddressMap(), s.Now)
+	if err := d.Send(make([]byte, 60), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Send(make([]byte, 60), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Send(make([]byte, 60), 0); err != ErrTxRingFull {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,83 @@
+// Package mem models the NetFPGA boards' off-chip memory subsystems: the
+// QDRII+ SRAMs (flow tables, counters) and the DDR3 SoDIMMs (packet
+// buffers, soft-core RAM) described in the SUME paper. The models are
+// timing-first: they reproduce the bandwidth/latency envelope — fixed
+// pipelined latency and dual independent ports for QDR, bank/row dynamics
+// and refresh for DDR3 — over a sparse backing store, so multi-gigabyte
+// parts cost only what is touched.
+package mem
+
+import "fmt"
+
+// Memory is the interface both models implement. Operations complete
+// asynchronously in simulated time; callbacks run when the data is valid.
+type Memory interface {
+	// Name identifies the device instance.
+	Name() string
+	// Size returns the capacity in bytes.
+	Size() uint64
+	// Read fetches n bytes at addr; cb receives the data when the
+	// device returns it. The returned slice is owned by the callee only
+	// for the duration of the callback.
+	Read(addr uint64, n int, cb func([]byte))
+	// Write stores data at addr; cb (optional) runs at write completion.
+	Write(addr uint64, data []byte, cb func())
+	// Stats exports device counters.
+	Stats() map[string]uint64
+}
+
+const pageSize = 4096
+
+// store is a sparse page-granular backing store.
+type store struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+func newStore() *store { return &store{pages: make(map[uint64]*[pageSize]byte)} }
+
+func (s *store) page(n uint64, create bool) *[pageSize]byte {
+	p := s.pages[n]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		s.pages[n] = p
+	}
+	return p
+}
+
+func (s *store) read(addr uint64, buf []byte) {
+	for len(buf) > 0 {
+		pn, off := addr/pageSize, addr%pageSize
+		n := pageSize - off
+		if uint64(len(buf)) < n {
+			n = uint64(len(buf))
+		}
+		if p := s.page(pn, false); p != nil {
+			copy(buf[:n], p[off:off+n])
+		} else {
+			for i := uint64(0); i < n; i++ {
+				buf[i] = 0
+			}
+		}
+		buf = buf[n:]
+		addr += n
+	}
+}
+
+func (s *store) write(addr uint64, data []byte) {
+	for len(data) > 0 {
+		pn, off := addr/pageSize, addr%pageSize
+		n := pageSize - off
+		if uint64(len(data)) < n {
+			n = uint64(len(data))
+		}
+		copy(s.page(pn, true)[off:off+n], data[:n])
+		data = data[n:]
+		addr += n
+	}
+}
+
+func checkRange(name string, addr uint64, n int, size uint64) {
+	if n < 0 || addr+uint64(n) > size || addr+uint64(n) < addr {
+		panic(fmt.Sprintf("mem: %s access [0x%x, +%d) out of range (size 0x%x)", name, addr, n, size))
+	}
+}

@@ -1,0 +1,211 @@
+package serial
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/netfpga/hw"
+)
+
+func pair(t *testing.T, cfgA, cfgB Config, prop sim.Time) (*sim.Sim, *MAC, *MAC) {
+	t.Helper()
+	s := sim.New()
+	a, b := NewMAC(s, cfgA), NewMAC(s, cfgB)
+	if err := Connect(a, b, prop); err != nil {
+		t.Fatal(err)
+	}
+	return s, a, b
+}
+
+func TestFrameDelivery(t *testing.T) {
+	s, a, b := pair(t, Eth10G("a"), Eth10G("b"), 5*sim.Nanosecond)
+	var got *hw.Frame
+	var at sim.Time
+	b.SetReceiver(func(f *hw.Frame, ok bool) {
+		if !ok {
+			t.Fatal("unexpected FCS error")
+		}
+		got, at = f, s.Now()
+	})
+	f := hw.NewFrame(make([]byte, 60), 0)
+	if !a.Send(f) {
+		t.Fatal("send failed")
+	}
+	s.Drain(0)
+	if got != f {
+		t.Fatal("frame not delivered")
+	}
+	// 60B + 24B overhead = 84B = 672 bits at 10G = 67.2ns, +5ns prop.
+	want := sim.BitTime(672, 10) + 5*sim.Nanosecond
+	if at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestLineRateExact(t *testing.T) {
+	// 10GbE at minimum frame size: one 60B+FCS frame per 67.2ns →
+	// 14.88 Mpps, the canonical 10G line-rate figure.
+	cfg := Eth10G("a")
+	cfg.TxBufBytes = 1 << 20 // hold the whole burst
+	s, a, b := pair(t, cfg, Eth10G("b"), 0)
+	n := 0
+	b.SetReceiver(func(*hw.Frame, bool) { n++ })
+	for i := 0; i < 2000; i++ {
+		a.Send(hw.NewFrame(make([]byte, 60), 0))
+	}
+	s.RunFor(100 * sim.Microsecond)
+	// 100us / 67.2ns = 1488 frames.
+	if n < 1486 || n > 1489 {
+		t.Fatalf("received %d frames in 100us, want ~1488", n)
+	}
+}
+
+func TestRateMismatchRejected(t *testing.T) {
+	s := sim.New()
+	a, b := NewMAC(s, Eth10G("a")), NewMAC(s, Eth40G("b"))
+	if err := Connect(a, b, 0); err == nil {
+		t.Fatal("connecting 10G to 40G should fail")
+	}
+}
+
+func TestBondedLanesScaleRate(t *testing.T) {
+	r10 := NewMAC(sim.New(), Eth10G("x")).DataRateGbps()
+	r40 := NewMAC(sim.New(), Eth40G("x")).DataRateGbps()
+	r100 := NewMAC(sim.New(), Eth100G("x")).DataRateGbps()
+	if r10 < 9.99 || r10 > 10.01 {
+		t.Fatalf("10G MAC rate = %v", r10)
+	}
+	if r40 != 4*r10 || r100 != 10*r10 {
+		t.Fatalf("bonding wrong: %v %v %v", r10, r40, r100)
+	}
+}
+
+func TestTransmitterSerializes(t *testing.T) {
+	s, a, b := pair(t, Eth10G("a"), Eth10G("b"), 0)
+	var times []sim.Time
+	b.SetReceiver(func(*hw.Frame, bool) { times = append(times, s.Now()) })
+	for i := 0; i < 3; i++ {
+		a.Send(hw.NewFrame(make([]byte, 1514), 0))
+	}
+	s.Drain(0)
+	if len(times) != 3 {
+		t.Fatalf("got %d frames", len(times))
+	}
+	gap := sim.BitTime(int64(1514+OverheadBytes)*8, 10)
+	if times[1]-times[0] != gap || times[2]-times[1] != gap {
+		t.Fatalf("inter-arrival %v/%v, want %v", times[1]-times[0], times[2]-times[1], gap)
+	}
+}
+
+func TestTxOverflowDrops(t *testing.T) {
+	s := sim.New()
+	a := NewMAC(s, Config{Name: "a", Lanes: 1, LineGbps: 10.3125, TxBufBytes: 3000})
+	b := NewMAC(s, Eth10G("b"))
+	Connect(a, b, 0)
+	sent := 0
+	for i := 0; i < 10; i++ {
+		if a.Send(hw.NewFrame(make([]byte, 1514), 0)) {
+			sent++
+		}
+	}
+	if sent == 10 {
+		t.Fatal("expected drops with a 3000B buffer")
+	}
+	if a.Stats()["tx_drops"] == 0 {
+		t.Fatal("drops not counted")
+	}
+	s.Drain(0)
+	if b.Stats()["rx_frames"] != uint64(sent)+1 && b.Stats()["rx_frames"] != uint64(sent) {
+		// The in-flight frame plus the queued ones; tolerate fencepost.
+		t.Fatalf("rx %d, sent %d", b.Stats()["rx_frames"], sent)
+	}
+}
+
+func TestBERInjection(t *testing.T) {
+	s := sim.New()
+	// BER chosen so ~half of 1514B frames are corrupted:
+	// p = 1-(1-ber)^bits ≈ 0.5 at ber = 5.7e-5 for 12144 bits.
+	a := NewMAC(s, Config{Name: "a", Lanes: 1, LineGbps: 10.3125, BER: 5.7e-5, Seed: 9})
+	b := NewMAC(s, Eth10G("b"))
+	Connect(a, b, 0)
+	bad := 0
+	b.SetReceiver(func(_ *hw.Frame, ok bool) {
+		if !ok {
+			bad++
+		}
+	})
+	const total = 2000
+	go func() {}() // no goroutines needed; keep deterministic
+	for i := 0; i < total; i++ {
+		a.Send(hw.NewFrame(make([]byte, 1514), 0))
+		s.RunFor(2 * sim.Microsecond)
+	}
+	s.Drain(0)
+	if bad < total/4 || bad > 3*total/4 {
+		t.Fatalf("corrupted %d of %d frames, want ~half", bad, total)
+	}
+	if b.Stats()["fcs_errors"] != uint64(bad) {
+		t.Fatal("fcs_errors miscounted")
+	}
+}
+
+func TestZeroBERNoErrors(t *testing.T) {
+	s, a, b := pair(t, Eth10G("a"), Eth10G("b"), 0)
+	bad := 0
+	b.SetReceiver(func(_ *hw.Frame, ok bool) {
+		if !ok {
+			bad++
+		}
+	})
+	for i := 0; i < 100; i++ {
+		a.Send(hw.NewFrame(make([]byte, 100), 0))
+	}
+	s.Drain(0)
+	if bad != 0 {
+		t.Fatalf("%d spurious FCS errors", bad)
+	}
+}
+
+func TestFullDuplex(t *testing.T) {
+	s, a, b := pair(t, Eth10G("a"), Eth10G("b"), 0)
+	an, bn := 0, 0
+	a.SetReceiver(func(*hw.Frame, bool) { an++ })
+	b.SetReceiver(func(*hw.Frame, bool) { bn++ })
+	var at, bt sim.Time
+	a.SetReceiver(func(*hw.Frame, bool) { an++; at = s.Now() })
+	b.SetReceiver(func(*hw.Frame, bool) { bn++; bt = s.Now() })
+	a.Send(hw.NewFrame(make([]byte, 500), 0))
+	b.Send(hw.NewFrame(make([]byte, 500), 0))
+	s.Drain(0)
+	if an != 1 || bn != 1 {
+		t.Fatalf("an=%d bn=%d", an, bn)
+	}
+	if at != bt {
+		t.Fatalf("directions interfered: %v vs %v", at, bt)
+	}
+}
+
+func TestSendBeforeConnect(t *testing.T) {
+	s := sim.New()
+	a := NewMAC(s, Eth10G("a"))
+	a.Send(hw.NewFrame(make([]byte, 60), 0)) // queued, not transmitted
+	s.Drain(0)
+	if a.Stats()["tx_frames"] != 0 {
+		t.Fatal("transmitted without a link")
+	}
+	b := NewMAC(s, Eth10G("b"))
+	got := 0
+	b.SetReceiver(func(*hw.Frame, bool) { got++ })
+	Connect(a, b, 0) // link-up flushes the queue
+	s.Drain(0)
+	if got != 1 {
+		t.Fatal("queued frame not sent at link-up")
+	}
+}
+
+func TestEth1GRate(t *testing.T) {
+	r := NewMAC(sim.New(), Eth1G("g")).DataRateGbps()
+	if r < 0.999 || r > 1.001 {
+		t.Fatalf("1G rate = %v", r)
+	}
+}

@@ -1,0 +1,121 @@
+package sim
+
+// Component is a piece of synchronous logic stepped once per clock edge.
+//
+// Tick must return true while the component has work in flight — it did
+// something this cycle, or it holds queued input, buffered state, or any
+// other reason it may do something next cycle. When every component of a
+// clock returns false the clock gates itself off and stops consuming
+// simulation events until woken.
+type Component interface {
+	Tick() bool
+}
+
+// ComponentFunc adapts a function to the Component interface.
+type ComponentFunc func() bool
+
+// Tick implements Component.
+func (f ComponentFunc) Tick() bool { return f() }
+
+// Clock is a gateable clock domain. Edges fall on integer multiples of the
+// period, counted from the epoch, so independently woken domains stay
+// phase-aligned and deterministic.
+type Clock struct {
+	sim    *Sim
+	name   string
+	period Time
+	comps  []Component
+	cycle  uint64
+	active bool
+	timer  *Timer
+
+	// ticks counts edges actually executed (not gated away).
+	ticks uint64
+}
+
+// NewClock creates a clock domain named name with the given period and
+// registers it with the simulator. The clock starts gated (idle); it first
+// runs when Wake is called or a component is registered with Register.
+func (s *Sim) NewClock(name string, period Time) *Clock {
+	if period <= 0 {
+		panic("sim: non-positive clock period")
+	}
+	c := &Clock{sim: s, name: name, period: period}
+	c.timer = s.NewTimer(c.edge)
+	s.clocks = append(s.clocks, c)
+	return c
+}
+
+// NewClockMHz creates a clock domain running at freqMHz megahertz.
+func (s *Sim) NewClockMHz(name string, freqMHz float64) *Clock {
+	return s.NewClock(name, PeriodOfMHz(freqMHz))
+}
+
+// Name returns the clock's name.
+func (c *Clock) Name() string { return c.name }
+
+// Now returns the simulator's current time; inside a Tick it is the edge
+// time.
+func (c *Clock) Now() Time { return c.sim.now }
+
+// Sim returns the simulator this clock belongs to.
+func (c *Clock) Sim() *Sim { return c.sim }
+
+// Period returns the clock period.
+func (c *Clock) Period() Time { return c.period }
+
+// FreqMHz returns the clock frequency in megahertz.
+func (c *Clock) FreqMHz() float64 { return 1e6 / float64(c.period) }
+
+// Cycle returns the number of the next edge to execute. Because gated
+// cycles are skipped wholesale, Cycle tracks elapsed time divided by the
+// period, not the number of executed edges.
+func (c *Clock) Cycle() uint64 { return c.cycle }
+
+// Ticks returns the number of edges actually executed.
+func (c *Clock) Ticks() uint64 { return c.ticks }
+
+// Register adds a component to the domain and wakes the clock. Components
+// tick in registration order within an edge.
+func (c *Clock) Register(comp Component) {
+	c.comps = append(c.comps, comp)
+	c.Wake()
+}
+
+// RegisterFunc adds a function component to the domain.
+func (c *Clock) RegisterFunc(fn func() bool) { c.Register(ComponentFunc(fn)) }
+
+// Wake ensures the clock executes its next edge. Calling Wake on an active
+// clock is a cheap no-op; producers call it whenever they hand data to a
+// component in this domain.
+func (c *Clock) Wake() {
+	if c.active {
+		return
+	}
+	c.active = true
+	// Next edge strictly after now: an edge exactly at Now may already
+	// have run this instant, and conservatively skipping it keeps wakeups
+	// race-free and deterministic.
+	next := (c.sim.now/c.period + 1) * c.period
+	c.cycle = uint64(next / c.period)
+	c.timer.ScheduleAt(next)
+}
+
+// edge executes one clock edge: every component ticks once. If any
+// component reports activity the next edge is scheduled; otherwise the
+// clock gates off.
+func (c *Clock) edge() {
+	c.ticks++
+	busy := false
+	for _, comp := range c.comps {
+		if comp.Tick() {
+			busy = true
+		}
+	}
+	c.cycle++
+	if busy {
+		c.timer.ScheduleAfter(c.period)
+		return
+	}
+	c.active = false
+}

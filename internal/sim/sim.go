@@ -1,0 +1,213 @@
+package sim
+
+// Sim is a discrete-event simulator. It is not safe for concurrent use;
+// the entire simulation runs on the caller's goroutine.
+type Sim struct {
+	now    Time
+	seq    uint64
+	heap   []*Timer
+	clocks []*Clock
+
+	// Stopped reports how many events have executed; useful in tests and
+	// for detecting runaway simulations.
+	executed uint64
+}
+
+// New returns an empty simulator positioned at the epoch.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current simulated time. Inside an event callback it is
+// the event's scheduled time.
+func (s *Sim) Now() Time { return s.now }
+
+// Executed returns the number of events executed so far.
+func (s *Sim) Executed() uint64 { return s.executed }
+
+// Timer is a schedulable one-shot event. A Timer may be re-armed from its
+// own callback, which makes it suitable for persistent periodic work
+// without per-event allocation.
+type Timer struct {
+	sim *Sim
+	at  Time
+	seq uint64
+	idx int // index in sim.heap, or -1 when not scheduled
+	fn  func()
+}
+
+// NewTimer returns an unscheduled timer that runs fn when it fires.
+func (s *Sim) NewTimer(fn func()) *Timer {
+	return &Timer{sim: s, idx: -1, fn: fn}
+}
+
+// ScheduleAt arms the timer at absolute time at, rescheduling it if it is
+// already pending. Scheduling in the past (before Now) panics: that would
+// silently reorder causality.
+func (t *Timer) ScheduleAt(at Time) {
+	s := t.sim
+	if at < s.now {
+		panic("sim: event scheduled in the past")
+	}
+	t.at = at
+	s.seq++
+	t.seq = s.seq
+	if t.idx >= 0 {
+		s.fix(t.idx)
+		return
+	}
+	s.push(t)
+}
+
+// ScheduleAfter arms the timer d picoseconds from now.
+func (t *Timer) ScheduleAfter(d Time) { t.ScheduleAt(t.sim.now + d) }
+
+// Stop disarms the timer if pending. It reports whether the timer was
+// pending.
+func (t *Timer) Stop() bool {
+	if t.idx < 0 {
+		return false
+	}
+	t.sim.remove(t.idx)
+	return true
+}
+
+// Pending reports whether the timer is currently scheduled.
+func (t *Timer) Pending() bool { return t.idx >= 0 }
+
+// When returns the time the timer is scheduled for; meaningful only while
+// Pending.
+func (t *Timer) When() Time { return t.at }
+
+// At schedules fn to run at absolute time at and returns its timer.
+func (s *Sim) At(at Time, fn func()) *Timer {
+	t := s.NewTimer(fn)
+	t.ScheduleAt(at)
+	return t
+}
+
+// After schedules fn to run d picoseconds from now and returns its timer.
+func (s *Sim) After(d Time, fn func()) *Timer { return s.At(s.now+d, fn) }
+
+// Step executes the single earliest pending event. It reports whether an
+// event was executed (false means the queue is empty).
+func (s *Sim) Step() bool {
+	if len(s.heap) == 0 {
+		return false
+	}
+	t := s.heap[0]
+	s.remove(0)
+	s.now = t.at
+	s.executed++
+	t.fn()
+	return true
+}
+
+// Peek returns the time of the earliest pending event. It reports false if
+// no event is pending.
+func (s *Sim) Peek() (Time, bool) {
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.heap[0].at, true
+}
+
+// RunUntil executes events with scheduled time <= deadline, then advances
+// Now to deadline. Events scheduled by executed events are honoured if
+// they fall within the deadline.
+func (s *Sim) RunUntil(deadline Time) {
+	for len(s.heap) > 0 && s.heap[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor runs the simulation for d picoseconds of simulated time.
+func (s *Sim) RunFor(d Time) { s.RunUntil(s.now + d) }
+
+// Drain executes events until the queue is empty or limit events have run.
+// It reports whether the queue was drained. A limit of 0 means no limit.
+func (s *Sim) Drain(limit uint64) bool {
+	n := uint64(0)
+	for len(s.heap) > 0 {
+		if limit != 0 && n >= limit {
+			return false
+		}
+		s.Step()
+		n++
+	}
+	return true
+}
+
+// heap management: a binary min-heap ordered by (at, seq). seq breaks ties
+// in scheduling order so same-timestamp events run FIFO, which keeps the
+// simulation deterministic.
+
+func (s *Sim) less(i, j int) bool {
+	a, b := s.heap[i], s.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Sim) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.heap[i].idx = i
+	s.heap[j].idx = j
+}
+
+func (s *Sim) push(t *Timer) {
+	t.idx = len(s.heap)
+	s.heap = append(s.heap, t)
+	s.up(t.idx)
+}
+
+func (s *Sim) remove(i int) {
+	t := s.heap[i]
+	last := len(s.heap) - 1
+	if i != last {
+		s.swap(i, last)
+	}
+	s.heap[last] = nil
+	s.heap = s.heap[:last]
+	if i != last && i < len(s.heap) {
+		s.fix(i)
+	}
+	t.idx = -1
+}
+
+func (s *Sim) fix(i int) {
+	s.down(i)
+	s.up(i)
+}
+
+func (s *Sim) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Sim) down(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && s.less(l, small) {
+			small = l
+		}
+		if r < n && s.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		s.swap(i, small)
+		i = small
+	}
+}

@@ -1,0 +1,164 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestBlockRoundTrip(t *testing.T) {
+	s := sim.New()
+	d := New(s, MicroSD("sd0"))
+	data := bytes.Repeat([]byte{0xCC}, 1024) // 2 blocks
+	var werr error
+	d.Write(100, data, func(err error) { werr = err })
+	var got []byte
+	d.Read(100, 2, func(b []byte, err error) { got = b })
+	s.Drain(0)
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round-trip failed")
+	}
+}
+
+func TestUnalignedWriteRejected(t *testing.T) {
+	s := sim.New()
+	d := New(s, MicroSD("sd0"))
+	called := false
+	d.Write(0, make([]byte, 100), func(err error) {
+		called = true
+		if err == nil {
+			t.Fatal("unaligned write accepted")
+		}
+	})
+	if !called {
+		t.Fatal("callback not invoked")
+	}
+}
+
+func TestOutOfRangeRead(t *testing.T) {
+	s := sim.New()
+	d := New(s, Config{Name: "t", BlockSize: 512, Blocks: 10, AccessLat: 1, RateMBps: 1})
+	var gotErr error
+	d.Read(8, 4, func(_ []byte, err error) { gotErr = err })
+	if gotErr == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	_ = s
+}
+
+func TestSSDFasterThanSD(t *testing.T) {
+	read := func(cfg Config) sim.Time {
+		s := sim.New()
+		d := New(s, cfg)
+		var at sim.Time
+		d.Read(0, 2048, func([]byte, error) { at = s.Now() }) // 1 MB
+		s.Drain(0)
+		return at
+	}
+	sd, ssd := read(MicroSD("sd")), read(SATASSD("ssd"))
+	if ssd >= sd {
+		t.Fatalf("SSD (%v) not faster than SD (%v)", ssd, sd)
+	}
+}
+
+func TestCommandsSerialize(t *testing.T) {
+	s := sim.New()
+	d := New(s, MicroSD("sd"))
+	var t1, t2 sim.Time
+	d.Read(0, 1, func([]byte, error) { t1 = s.Now() })
+	d.Read(1, 1, func([]byte, error) { t2 = s.Now() })
+	s.Drain(0)
+	if t2 <= t1 {
+		t.Fatal("commands did not serialise")
+	}
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	s := sim.New()
+	d := New(s, SATASSD("ssd"))
+	payload := bytes.Repeat([]byte{1, 2, 3}, 1000)
+	WriteImage(d, 0, payload, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	var got []byte
+	LoadImage(d, 0, len(payload), func(b []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = b
+	})
+	s.Drain(0)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("image round-trip failed")
+	}
+}
+
+func TestImageCorruptionDetected(t *testing.T) {
+	s := sim.New()
+	d := New(s, SATASSD("ssd"))
+	payload := make([]byte, 5000)
+	for i := range payload {
+		payload[i] = byte(i*7 + 1)
+	}
+	WriteImage(d, 0, payload, nil)
+	s.Drain(0)
+	// Corrupt one block in the middle of the image.
+	evil := make([]byte, 512)
+	d.Write(4, evil, func(error) {})
+	s.Drain(0)
+	errSeen := false
+	LoadImage(d, 0, len(payload), func(_ []byte, err error) {
+		errSeen = err == ErrBadImage
+	})
+	s.Drain(0)
+	if !errSeen {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestMissingImage(t *testing.T) {
+	s := sim.New()
+	d := New(s, MicroSD("sd"))
+	errSeen := false
+	LoadImage(d, 0, 100, func(_ []byte, err error) { errSeen = err == ErrBadImage })
+	s.Drain(0)
+	if !errSeen {
+		t.Fatal("missing image not reported")
+	}
+}
+
+func TestImageProperty(t *testing.T) {
+	f := func(payload []byte, lbaRaw uint16) bool {
+		if len(payload) == 0 {
+			payload = []byte{1}
+		}
+		if len(payload) > 8000 {
+			payload = payload[:8000]
+		}
+		s := sim.New()
+		d := New(s, SATASSD("ssd"))
+		lba := uint64(lbaRaw)
+		ok := true
+		WriteImage(d, lba, payload, func(err error) { ok = ok && err == nil })
+		var got []byte
+		LoadImage(d, lba, len(payload), func(b []byte, err error) {
+			if err != nil {
+				ok = false
+				return
+			}
+			got = b
+		})
+		s.Drain(0)
+		return ok && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

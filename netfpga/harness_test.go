@@ -1,0 +1,139 @@
+package netfpga_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/netfpga"
+	"repro/netfpga/projects/nic"
+	"repro/netfpga/projects/switchp"
+)
+
+func TestHostPortEncoding(t *testing.T) {
+	p := netfpga.HostPort(3)
+	q, ok := netfpga.FromHostPort(p)
+	if !ok || q != 3 {
+		t.Fatalf("round-trip failed: %d %v", q, ok)
+	}
+	if _, ok := netfpga.FromHostPort(2); ok {
+		t.Fatal("physical port decoded as host port")
+	}
+}
+
+func TestDiffEquivalent(t *testing.T) {
+	a := netfpga.PortOutput{0: {[]byte{1}, []byte{2}}, 1: {[]byte{3}}}
+	b := netfpga.PortOutput{0: {[]byte{2}, []byte{1}}, 1: {[]byte{3}}}
+	if d := netfpga.Diff(a, b); len(d) != 0 {
+		t.Fatalf("reordered multiset should be equivalent: %v", d)
+	}
+}
+
+func TestDiffDetectsMissing(t *testing.T) {
+	a := netfpga.PortOutput{0: {[]byte{1}, []byte{2}}}
+	b := netfpga.PortOutput{0: {[]byte{1}}}
+	d := netfpga.Diff(a, b)
+	if len(d) != 1 || !strings.Contains(d[0], "port 0") {
+		t.Fatalf("diff = %v", d)
+	}
+}
+
+func TestDiffDetectsWrongPort(t *testing.T) {
+	a := netfpga.PortOutput{0: {[]byte{1}}}
+	b := netfpga.PortOutput{1: {[]byte{1}}}
+	if d := netfpga.Diff(a, b); len(d) != 2 {
+		t.Fatalf("want two port discrepancies, got %v", d)
+	}
+}
+
+func TestRunSimCollectsHostOutput(t *testing.T) {
+	dev := netfpga.NewDevice(netfpga.SUME(), netfpga.Options{})
+	p := nic.New()
+	if err := p.Build(dev); err != nil {
+		t.Fatal(err)
+	}
+	out := netfpga.RunSim(dev, []netfpga.TestVector{
+		{Port: 2, Data: make([]byte, 80)},
+		{Port: netfpga.HostPort(1), Data: make([]byte, 90)},
+	}, netfpga.Millisecond)
+	if len(out[netfpga.HostPort(2)]) != 1 {
+		t.Fatalf("host queue 2 got %d", len(out[netfpga.HostPort(2)]))
+	}
+	if len(out[1]) != 1 {
+		t.Fatalf("port 1 got %d", len(out[1]))
+	}
+}
+
+func TestRunSimHonoursVectorTiming(t *testing.T) {
+	dev := netfpga.NewDevice(netfpga.SUME(), netfpga.Options{})
+	p := nic.New()
+	if err := p.Build(dev); err != nil {
+		t.Fatal(err)
+	}
+	// Two frames to the same host queue at different times must both
+	// arrive (ordering inside a port is preserved by the pipeline).
+	out := netfpga.RunSim(dev, []netfpga.TestVector{
+		{Port: 0, Data: []byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 0}, At: 100 * netfpga.Microsecond},
+		{Port: 0, Data: []byte{2, 0, 0, 0, 0, 0, 0, 0, 0, 0}, At: 200 * netfpga.Microsecond},
+	}, netfpga.Millisecond)
+	host := out[netfpga.HostPort(0)]
+	if len(host) != 2 || host[0][0] != 1 || host[1][0] != 2 {
+		t.Fatalf("host outputs wrong: %v", host)
+	}
+}
+
+func TestRunBehavioralOrdersByTime(t *testing.T) {
+	p := switchp.New(switchp.Config{})
+	b := p.NewBehavioral()
+	// Learning depends on order: vector times force "learn then
+	// unicast" even though the slice is shuffled.
+	macA := []byte{2, 0, 0, 0, 0, 0xA}
+	macB := []byte{2, 0, 0, 0, 0, 0xB}
+	mk := func(dst, src []byte) []byte {
+		f := make([]byte, 60)
+		copy(f[0:6], dst)
+		copy(f[6:12], src)
+		f[12], f[13] = 0x88, 0xB5
+		return f
+	}
+	vectors := []netfpga.TestVector{
+		{Port: 1, Data: mk(macA, macB), At: 2 * netfpga.Millisecond}, // after learn: unicast
+		{Port: 0, Data: mk(macB, macA), At: 1 * netfpga.Millisecond}, // learn A first
+	}
+	out := netfpga.RunBehavioral(b, vectors)
+	// First processed: A->B floods (3 copies); second: B->A unicast to
+	// port 0 only.
+	if len(out[0]) != 1 {
+		t.Fatalf("port 0 got %d (unicast after learn expected)", len(out[0]))
+	}
+}
+
+func TestRunUnifiedCatchesDivergence(t *testing.T) {
+	// A deliberately broken behavioral model must fail equivalence.
+	p := &brokenProject{inner: nic.New()}
+	_, _, err := netfpga.RunUnified(p, func() *netfpga.Device {
+		return netfpga.NewDevice(netfpga.SUME(), netfpga.Options{})
+	}, netfpga.TestCase{
+		Name:    "broken",
+		Vectors: []netfpga.TestVector{{Port: 0, Data: make([]byte, 70)}},
+	})
+	if err == nil {
+		t.Fatal("divergence not detected")
+	}
+	if !strings.Contains(err.Error(), "divergence") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// brokenProject wraps the NIC but lies in its behavioral model.
+type brokenProject struct {
+	inner *nic.Project
+}
+
+func (b *brokenProject) Name() string                      { return "broken" }
+func (b *brokenProject) Description() string               { return "" }
+func (b *brokenProject) Build(d *netfpga.Device) error     { return b.inner.Build(d) }
+func (b *brokenProject) NewBehavioral() netfpga.Behavioral { return silent{} }
+
+type silent struct{}
+
+func (silent) Process(port int, data []byte) []netfpga.Emit { return nil }

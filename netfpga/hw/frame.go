@@ -1,0 +1,155 @@
+// Package hw is gonetfpga's hardware-description substrate: the framework
+// in which datapath designs are expressed as graphs of cycle-stepped
+// modules exchanging bus-width beats over backpressured streams, mirroring
+// the AXI4-Stream interconnect of the physical NetFPGA platforms.
+//
+// A design is built from Modules connected by Streams, registered on a
+// datapath clock, and "synthesized" against a target FPGA: connectivity is
+// validated and per-module resource estimates are summed into a
+// utilization report — the software analogue of the Xilinx toolchain
+// reports NetFPGA users compare across projects.
+//
+// Real NetFPGA SUME reference designs run a 256-bit AXI4-Stream datapath
+// at 200 MHz; those are the defaults here, and both are parameterisable.
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Time re-exports the simulator's picosecond time type so public API users
+// never need to import an internal package.
+type Time = sim.Time
+
+// Re-exported duration units.
+const (
+	Picosecond  = sim.Picosecond
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Port numbering: a design addresses destinations with a one-hot mask.
+// Physical ports occupy bits [0, 8); host (DMA) queues occupy bits [8, 16).
+// This mirrors the NetFPGA TUSER convention of interleaved physical/DMA
+// destination bits, flattened into two contiguous byte-sized groups.
+const (
+	MaxPorts     = 8 // physical ports per design
+	HostPortBase = 8 // first host (DMA) queue bit
+	MaxHostPorts = 8
+)
+
+// PortMask returns the one-hot destination mask for physical port i.
+func PortMask(i int) uint32 {
+	if i < 0 || i >= MaxPorts {
+		panic(fmt.Sprintf("hw: physical port %d out of range", i))
+	}
+	return 1 << uint(i)
+}
+
+// HostPortMask returns the one-hot destination mask for host queue i.
+func HostPortMask(i int) uint32 {
+	if i < 0 || i >= MaxHostPorts {
+		panic(fmt.Sprintf("hw: host port %d out of range", i))
+	}
+	return 1 << uint(HostPortBase+i)
+}
+
+// AllPortsMask returns a mask of physical ports [0, n) — the flood mask.
+func AllPortsMask(n int) uint32 {
+	if n < 0 || n > MaxPorts {
+		panic(fmt.Sprintf("hw: port count %d out of range", n))
+	}
+	return (1 << uint(n)) - 1
+}
+
+// Meta flags.
+const (
+	// FlagFromHost marks frames injected by the host through DMA.
+	FlagFromHost uint16 = 1 << iota
+	// FlagToCPU marks frames punted to the software slow path.
+	FlagToCPU
+	// FlagBadFCS marks frames whose frame check sequence failed at the MAC.
+	FlagBadFCS
+	// FlagTimestamped marks frames carrying a valid ingress timestamp.
+	FlagTimestamped
+	// FlagFromCPU marks frames injected by a device agent (the slow
+	// path); lookup stages forward them without re-deciding, which
+	// prevents punt loops.
+	FlagFromCPU
+)
+
+// Meta is the sideband metadata accompanying a frame through the datapath,
+// the analogue of the 128-bit TUSER word on NetFPGA's AXI4-Stream buses.
+type Meta struct {
+	// SrcPort is the ingress port index (physical port or HostPortBase+i
+	// for host-injected frames).
+	SrcPort uint8
+	// DstPorts is the one-hot destination mask; zero means "drop".
+	DstPorts uint32
+	// Len is the frame length in bytes, set at ingress.
+	Len uint16
+	// Ingress is the frame's ingress timestamp.
+	Ingress Time
+	// Flags carries Flag* bits.
+	Flags uint16
+	// User is a free-form metadata word for project-specific sideband
+	// state (tags, versions), as real designs stash in spare TUSER bits.
+	User uint32
+	// TraceID identifies the frame in workloads and tests (not a hardware
+	// field; zero in normal operation).
+	TraceID uint64
+}
+
+// Frame is a packet traversing the datapath: its wire bytes (without FCS)
+// plus metadata. A Frame is shared by reference between beats, so module
+// code must treat Data as immutable once the frame has been handed to a
+// stream; modules that rewrite headers do so while the frame is private to
+// them (between popping the last beat and pushing the first).
+type Frame struct {
+	Data []byte
+	Meta Meta
+}
+
+// NewFrame builds a frame over data arriving on srcPort.
+func NewFrame(data []byte, srcPort uint8) *Frame {
+	return &Frame{Data: data, Meta: Meta{SrcPort: srcPort, Len: uint16(len(data))}}
+}
+
+// Len returns the frame length in bytes.
+func (f *Frame) Len() int { return len(f.Data) }
+
+// Beats returns how many busBytes-wide beats the frame occupies.
+func (f *Frame) Beats(busBytes int) int {
+	if len(f.Data) == 0 {
+		return 1
+	}
+	return (len(f.Data) + busBytes - 1) / busBytes
+}
+
+// Clone returns a deep copy of the frame. Multicast replication clones so
+// per-copy metadata (destination masks, rewrites) stays independent.
+func (f *Frame) Clone() *Frame {
+	g := &Frame{Data: make([]byte, len(f.Data)), Meta: f.Meta}
+	copy(g.Data, f.Data)
+	return g
+}
+
+// Beat is one bus-width transfer of a frame: the half-open byte window
+// [Off, End) of Frame.Data. Last marks the final beat (TLAST).
+type Beat struct {
+	Frame *Frame
+	Off   int
+	End   int
+	Last  bool
+}
+
+// Bytes returns the data window carried by this beat.
+func (b Beat) Bytes() []byte { return b.Frame.Data[b.Off:b.End] }
+
+// First reports whether this is the frame's first beat, where metadata and
+// headers are inspected.
+func (b Beat) First() bool { return b.Off == 0 }

@@ -1,0 +1,199 @@
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Module is one building block of a datapath design. Modules are stepped
+// once per datapath clock cycle and exchange beats via Streams handed to
+// them at construction time.
+//
+// Tick must return true while the module has work in flight (see
+// sim.Component); returning false from every module lets the datapath
+// clock gate off.
+type Module interface {
+	// Name identifies the module instance within its design.
+	Name() string
+	// Tick advances the module by one clock cycle.
+	Tick() bool
+	// Resources estimates the fabric this module consumes.
+	Resources() Resources
+}
+
+// StatsProvider is implemented by modules that export counters.
+type StatsProvider interface {
+	Stats() map[string]uint64
+}
+
+// TimingConstrained is implemented by modules whose logic limits the
+// achievable clock frequency. Synthesize fails if the design clock exceeds
+// the slowest module's Fmax.
+type TimingConstrained interface {
+	MaxFreqMHz() float64
+}
+
+// Resetter is implemented by modules with soft-resettable state.
+type Resetter interface {
+	Reset()
+}
+
+// DefaultBusBytes is the reference datapath width: 256-bit AXI4-Stream, as
+// in the NetFPGA SUME reference designs.
+const DefaultBusBytes = 32
+
+// DefaultClockMHz is the reference datapath clock.
+const DefaultClockMHz = 200.0
+
+// Design is a module graph bound to a datapath clock. It implements
+// sim.Component: one design tick steps every module in registration order,
+// which should follow dataflow (sources first) for lowest latency.
+type Design struct {
+	name     string
+	clock    *sim.Clock
+	busBytes int
+	modules  []Module
+	streams  []*Stream
+	queues   []*FrameQueue
+	overhead Resources
+	synth    bool
+}
+
+// NewDesign creates a design named name on the given datapath clock with a
+// busBytes-wide datapath, and registers it as a component of that clock.
+func NewDesign(name string, clk *sim.Clock, busBytes int) *Design {
+	if busBytes <= 0 {
+		busBytes = DefaultBusBytes
+	}
+	d := &Design{name: name, clock: clk, busBytes: busBytes}
+	// Infrastructure overhead: clocking, reset trees, AXI interconnect.
+	d.overhead = Resources{LUTs: 9000, FFs: 14000, BRAM36: 8}
+	clk.Register(d)
+	return d
+}
+
+// Name returns the design's name.
+func (d *Design) Name() string { return d.name }
+
+// BusBytes returns the datapath width in bytes.
+func (d *Design) BusBytes() int { return d.busBytes }
+
+// Clock returns the datapath clock.
+func (d *Design) Clock() *sim.Clock { return d.clock }
+
+// Now returns the current simulated time, for timestamping modules.
+func (d *Design) Now() Time { return d.clock.Now() }
+
+// Wake re-arms the datapath clock; stream pushes call it automatically.
+func (d *Design) Wake() { d.clock.Wake() }
+
+// AddModule appends a module to the design's tick order.
+func (d *Design) AddModule(m Module) {
+	d.modules = append(d.modules, m)
+	d.clock.Wake()
+}
+
+// Modules returns the design's modules in tick order.
+func (d *Design) Modules() []Module { return d.modules }
+
+// NewStream creates a stream owned by the design, wired to wake the
+// datapath clock on push.
+func (d *Design) NewStream(name string, capBeats int) *Stream {
+	s := NewStream(name, capBeats)
+	s.OnPush(d.Wake)
+	d.streams = append(d.streams, s)
+	return s
+}
+
+// NewFrameQueue creates a frame queue owned by the design, wired to wake
+// the datapath clock on push. Edge adapters (MAC/DMA attach) use these.
+func (d *Design) NewFrameQueue(name string, capFrames, capBytes int) *FrameQueue {
+	q := NewFrameQueue(name, capFrames, capBytes)
+	q.OnPush(d.Wake)
+	d.queues = append(d.queues, q)
+	return q
+}
+
+// Streams returns the design's streams.
+func (d *Design) Streams() []*Stream { return d.streams }
+
+// Tick implements sim.Component by stepping every module once.
+func (d *Design) Tick() bool {
+	busy := false
+	for _, m := range d.modules {
+		if m.Tick() {
+			busy = true
+		}
+	}
+	return busy
+}
+
+// Reset soft-resets every module that supports it.
+func (d *Design) Reset() {
+	for _, m := range d.modules {
+		if r, ok := m.(Resetter); ok {
+			r.Reset()
+		}
+	}
+}
+
+// Stats aggregates counters from all modules, prefixed by module name, and
+// adds stream drop/occupancy gauges.
+func (d *Design) Stats() map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, m := range d.modules {
+		if sp, ok := m.(StatsProvider); ok {
+			for k, v := range sp.Stats() {
+				out[m.Name()+"."+k] = v
+			}
+		}
+	}
+	for _, q := range d.queues {
+		if q.Drops() > 0 {
+			out[q.Name()+".drops"] = q.Drops()
+		}
+	}
+	return out
+}
+
+// Synthesize validates the design against a target device and produces a
+// utilization report. It fails if the design exceeds the device's
+// capacity, needs more serial links than the device offers, or declares a
+// module Fmax below the datapath clock.
+func (d *Design) Synthesize(dev FPGA) (*Report, error) {
+	rep := &Report{
+		Design:   d.name,
+		Device:   dev,
+		ClockMHz: d.clock.FreqMHz(),
+	}
+	total := d.overhead
+	rep.PerModule = append(rep.PerModule, ModuleUsage{Module: "infrastructure", Res: d.overhead})
+	fmax := 0.0
+	for _, m := range d.modules {
+		r := m.Resources()
+		total = total.Add(r)
+		rep.PerModule = append(rep.PerModule, ModuleUsage{Module: m.Name(), Res: r})
+		if tc, ok := m.(TimingConstrained); ok {
+			if f := tc.MaxFreqMHz(); f > 0 && (fmax == 0 || f < fmax) {
+				fmax = f
+			}
+		}
+	}
+	// Streams are skid buffers: FFs proportional to width and depth.
+	for _, s := range d.streams {
+		total = total.Add(Resources{LUTs: 8 * d.busBytes, FFs: s.Cap() * d.busBytes / 4, BRAM36: BRAMForBytes(s.Cap() * d.busBytes / 8)})
+	}
+	rep.Total = total
+	rep.FmaxMHz = fmax
+	if !total.FitsIn(dev.Capacity) {
+		return rep, fmt.Errorf("hw: design %s does not fit %s: need %+v, have %+v",
+			d.name, dev.Name, total, dev.Capacity)
+	}
+	if fmax > 0 && rep.ClockMHz > fmax {
+		return rep, fmt.Errorf("hw: design %s fails timing on %s: clock %.1f MHz > Fmax %.1f MHz",
+			d.name, dev.Name, rep.ClockMHz, fmax)
+	}
+	d.synth = true
+	return rep, nil
+}

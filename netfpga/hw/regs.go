@@ -1,0 +1,230 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The register model is the software analogue of NetFPGA's AXI4-Lite
+// control plane: every module exposes a RegisterFile of 32-bit registers,
+// register files are mounted at offsets in a device-level AddressMap, and
+// the host driver performs all control-plane interaction through 32-bit
+// reads and writes — exactly the interface a kernel driver would have.
+
+// Register access errors.
+type RegError struct {
+	Addr uint32
+	Op   string // "read" or "write"
+	Why  string
+}
+
+func (e *RegError) Error() string {
+	return fmt.Sprintf("hw: register %s at 0x%08x: %s", e.Op, e.Addr, e.Why)
+}
+
+// reg is a single 32-bit register with read/write callbacks.
+type reg struct {
+	addr  uint32
+	name  string
+	read  func() uint32
+	write func(uint32)
+}
+
+// RegisterFile is a block of 32-bit registers, word-addressed at 4-byte
+// granularity relative to the block's base.
+type RegisterFile struct {
+	name string
+	regs map[uint32]*reg
+	byNm map[string]*reg
+}
+
+// NewRegisterFile returns an empty register file named name.
+func NewRegisterFile(name string) *RegisterFile {
+	return &RegisterFile{name: name, regs: make(map[uint32]*reg), byNm: make(map[string]*reg)}
+}
+
+// Name returns the block name.
+func (rf *RegisterFile) Name() string { return rf.name }
+
+func (rf *RegisterFile) add(offset uint32, name string, rd func() uint32, wr func(uint32)) {
+	if offset%4 != 0 {
+		panic(fmt.Sprintf("hw: register %s.%s at unaligned offset 0x%x", rf.name, name, offset))
+	}
+	if _, dup := rf.regs[offset]; dup {
+		panic(fmt.Sprintf("hw: duplicate register offset 0x%x in %s", offset, rf.name))
+	}
+	if _, dup := rf.byNm[name]; dup {
+		panic(fmt.Sprintf("hw: duplicate register name %s in %s", name, rf.name))
+	}
+	r := &reg{addr: offset, name: name, read: rd, write: wr}
+	rf.regs[offset] = r
+	rf.byNm[name] = r
+}
+
+// AddRO adds a read-only register backed by rd. Writes are rejected.
+func (rf *RegisterFile) AddRO(offset uint32, name string, rd func() uint32) {
+	rf.add(offset, name, rd, nil)
+}
+
+// AddRW adds a register with explicit read and write callbacks.
+func (rf *RegisterFile) AddRW(offset uint32, name string, rd func() uint32, wr func(uint32)) {
+	rf.add(offset, name, rd, wr)
+}
+
+// AddVar adds a plain read/write register backed by *v.
+func (rf *RegisterFile) AddVar(offset uint32, name string, v *uint32) {
+	rf.add(offset, name, func() uint32 { return *v }, func(x uint32) { *v = x })
+}
+
+// AddCounter64 maps a 64-bit counter into two consecutive registers
+// (low word at offset, high word at offset+4). The counter is read-only.
+func (rf *RegisterFile) AddCounter64(offset uint32, name string, v *uint64) {
+	rf.add(offset, name+"_lo", func() uint32 { return uint32(*v) }, nil)
+	rf.add(offset+4, name+"_hi", func() uint32 { return uint32(*v >> 32) }, nil)
+}
+
+// Read reads the register at the given word offset.
+func (rf *RegisterFile) Read(offset uint32) (uint32, error) {
+	r, ok := rf.regs[offset]
+	if !ok {
+		return 0, &RegError{Addr: offset, Op: "read", Why: "unmapped in block " + rf.name}
+	}
+	return r.read(), nil
+}
+
+// Write writes the register at the given word offset.
+func (rf *RegisterFile) Write(offset uint32, v uint32) error {
+	r, ok := rf.regs[offset]
+	if !ok {
+		return &RegError{Addr: offset, Op: "write", Why: "unmapped in block " + rf.name}
+	}
+	if r.write == nil {
+		return &RegError{Addr: offset, Op: "write", Why: "read-only register " + rf.name + "." + r.name}
+	}
+	r.write(v)
+	return nil
+}
+
+// Names returns the register names in offset order, for CLI listings.
+func (rf *RegisterFile) Names() []string {
+	offs := make([]uint32, 0, len(rf.regs))
+	for o := range rf.regs {
+		offs = append(offs, o)
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	names := make([]string, len(offs))
+	for i, o := range offs {
+		names[i] = rf.regs[o].name
+	}
+	return names
+}
+
+// OffsetOf returns the word offset of a named register.
+func (rf *RegisterFile) OffsetOf(name string) (uint32, bool) {
+	r, ok := rf.byNm[name]
+	if !ok {
+		return 0, false
+	}
+	return r.addr, true
+}
+
+// mount is one register file placed in an address map.
+type mount struct {
+	base uint32
+	size uint32
+	rf   *RegisterFile
+}
+
+// AddressMap composes register files into a single device address space,
+// as the AXI interconnect does on the physical boards.
+type AddressMap struct {
+	mounts []mount
+}
+
+// NewAddressMap returns an empty address map.
+func NewAddressMap() *AddressMap { return &AddressMap{} }
+
+// Mount places rf at [base, base+size). Overlapping mounts panic: address
+// map construction is a design-time activity where a conflict is a bug.
+func (am *AddressMap) Mount(base, size uint32, rf *RegisterFile) {
+	if base%4 != 0 || size%4 != 0 {
+		panic("hw: unaligned register mount")
+	}
+	for _, m := range am.mounts {
+		if base < m.base+m.size && m.base < base+size {
+			panic(fmt.Sprintf("hw: register mount %s [0x%x,0x%x) overlaps %s [0x%x,0x%x)",
+				rf.name, base, base+size, m.rf.name, m.base, m.base+m.size))
+		}
+	}
+	am.mounts = append(am.mounts, mount{base: base, size: size, rf: rf})
+	sort.Slice(am.mounts, func(i, j int) bool { return am.mounts[i].base < am.mounts[j].base })
+}
+
+func (am *AddressMap) find(addr uint32) (*RegisterFile, uint32, bool) {
+	for _, m := range am.mounts {
+		if addr >= m.base && addr < m.base+m.size {
+			return m.rf, addr - m.base, true
+		}
+	}
+	return nil, 0, false
+}
+
+// Read performs a 32-bit read at a device-absolute address.
+func (am *AddressMap) Read(addr uint32) (uint32, error) {
+	rf, off, ok := am.find(addr)
+	if !ok {
+		return 0, &RegError{Addr: addr, Op: "read", Why: "no block mounted"}
+	}
+	v, err := rf.Read(off)
+	if err != nil {
+		if re, isRE := err.(*RegError); isRE {
+			re.Addr = addr // report absolute address
+		}
+		return 0, err
+	}
+	return v, nil
+}
+
+// Write performs a 32-bit write at a device-absolute address.
+func (am *AddressMap) Write(addr uint32, v uint32) error {
+	rf, off, ok := am.find(addr)
+	if !ok {
+		return &RegError{Addr: addr, Op: "write", Why: "no block mounted"}
+	}
+	err := rf.Write(off, v)
+	if re, isRE := err.(*RegError); isRE {
+		re.Addr = addr
+	}
+	return err
+}
+
+// Blocks returns the mounted register files and their bases in address
+// order.
+func (am *AddressMap) Blocks() []struct {
+	Base uint32
+	RF   *RegisterFile
+} {
+	out := make([]struct {
+		Base uint32
+		RF   *RegisterFile
+	}, len(am.mounts))
+	for i, m := range am.mounts {
+		out[i].Base = m.base
+		out[i].RF = m.rf
+	}
+	return out
+}
+
+// Lookup resolves "block.register" to an absolute address, for CLI use.
+func (am *AddressMap) Lookup(block, regName string) (uint32, bool) {
+	for _, m := range am.mounts {
+		if m.rf.name == block {
+			off, ok := m.rf.OffsetOf(regName)
+			if !ok {
+				return 0, false
+			}
+			return m.base + off, true
+		}
+	}
+	return 0, false
+}

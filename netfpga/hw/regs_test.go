@@ -1,0 +1,109 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterFileReadWrite(t *testing.T) {
+	rf := NewRegisterFile("ctrl")
+	var mode uint32
+	rf.AddVar(0x0, "mode", &mode)
+	rf.AddRO(0x4, "id", func() uint32 { return 0xDA7A }) //nolint
+
+	if err := rf.Write(0x0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if mode != 7 {
+		t.Fatalf("mode = %d", mode)
+	}
+	v, err := rf.Read(0x4)
+	if err != nil || v != 0xDA7A {
+		t.Fatalf("id read = %x, %v", v, err)
+	}
+	if err := rf.Write(0x4, 1); err == nil {
+		t.Fatal("write to RO register succeeded")
+	}
+	if _, err := rf.Read(0x100); err == nil {
+		t.Fatal("read of unmapped offset succeeded")
+	}
+}
+
+func TestRegisterCounter64(t *testing.T) {
+	rf := NewRegisterFile("stats")
+	var pkts uint64 = 0x1_0000_0002
+	rf.AddCounter64(0x0, "pkts", &pkts)
+	lo, _ := rf.Read(0x0)
+	hi, _ := rf.Read(0x4)
+	if lo != 2 || hi != 1 {
+		t.Fatalf("counter split = lo %d hi %d", lo, hi)
+	}
+}
+
+func TestRegisterDuplicatesPanic(t *testing.T) {
+	rf := NewRegisterFile("x")
+	rf.AddRO(0, "a", func() uint32 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate offset should panic")
+		}
+	}()
+	rf.AddRO(0, "b", func() uint32 { return 0 })
+}
+
+func TestAddressMapRouting(t *testing.T) {
+	am := NewAddressMap()
+	a, b := NewRegisterFile("blockA"), NewRegisterFile("blockB")
+	var va, vb uint32
+	a.AddVar(0, "v", &va)
+	b.AddVar(0, "v", &vb)
+	am.Mount(0x1000, 0x100, a)
+	am.Mount(0x2000, 0x100, b)
+
+	if err := am.Write(0x1000, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := am.Write(0x2000, 22); err != nil {
+		t.Fatal(err)
+	}
+	if va != 11 || vb != 22 {
+		t.Fatalf("routing wrong: va=%d vb=%d", va, vb)
+	}
+	if _, err := am.Read(0x3000); err == nil {
+		t.Fatal("read from unmounted region succeeded")
+	}
+	if _, err := am.Read(0x1004); err == nil {
+		t.Fatal("read of unmapped reg inside mount succeeded")
+	} else if !strings.Contains(err.Error(), "0x00001004") {
+		t.Fatalf("error should carry absolute address: %v", err)
+	}
+}
+
+func TestAddressMapOverlapPanics(t *testing.T) {
+	am := NewAddressMap()
+	am.Mount(0x1000, 0x100, NewRegisterFile("a"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping mount should panic")
+		}
+	}()
+	am.Mount(0x10F0, 0x100, NewRegisterFile("b"))
+}
+
+func TestAddressMapLookup(t *testing.T) {
+	am := NewAddressMap()
+	rf := NewRegisterFile("mac0")
+	var v uint32
+	rf.AddVar(0x8, "speed", &v)
+	am.Mount(0x4000, 0x1000, rf)
+	addr, ok := am.Lookup("mac0", "speed")
+	if !ok || addr != 0x4008 {
+		t.Fatalf("Lookup = %x, %v", addr, ok)
+	}
+	if _, ok := am.Lookup("mac0", "nope"); ok {
+		t.Fatal("lookup of unknown register succeeded")
+	}
+	if _, ok := am.Lookup("nope", "speed"); ok {
+		t.Fatal("lookup of unknown block succeeded")
+	}
+}

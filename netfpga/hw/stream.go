@@ -1,0 +1,237 @@
+package hw
+
+// Stream is a bounded FIFO of beats connecting two modules — the software
+// model of an AXI4-Stream link with a skid buffer: non-full is TREADY,
+// non-empty is TVALID. Capacity is in beats.
+//
+// Streams are not safe for concurrent use; all access happens from the
+// single simulation goroutine.
+type Stream struct {
+	name string
+	buf  []Beat
+	head int
+	n    int
+	wake func()
+
+	pushed  uint64
+	popped  uint64
+	highWtr int
+}
+
+// NewStream returns a stream with capacity capBeats. Prefer
+// Design.NewStream, which also wires the wake hook to the design's clock.
+func NewStream(name string, capBeats int) *Stream {
+	if capBeats <= 0 {
+		panic("hw: stream capacity must be positive")
+	}
+	return &Stream{name: name, buf: make([]Beat, capBeats)}
+}
+
+// Name returns the stream's name.
+func (s *Stream) Name() string { return s.name }
+
+// Cap returns the stream's capacity in beats.
+func (s *Stream) Cap() int { return len(s.buf) }
+
+// Len returns the number of queued beats.
+func (s *Stream) Len() int { return s.n }
+
+// CanPush reports whether at least one beat of space is available (TREADY).
+func (s *Stream) CanPush() bool { return s.n < len(s.buf) }
+
+// Space returns the number of free beat slots.
+func (s *Stream) Space() int { return len(s.buf) - s.n }
+
+// Push enqueues a beat. Pushing to a full stream panics: modules must
+// check CanPush first, exactly as hardware must honour TREADY.
+func (s *Stream) Push(b Beat) {
+	if s.n == len(s.buf) {
+		panic("hw: push to full stream " + s.name)
+	}
+	s.buf[(s.head+s.n)%len(s.buf)] = b
+	s.n++
+	s.pushed++
+	if s.n > s.highWtr {
+		s.highWtr = s.n
+	}
+	if s.wake != nil {
+		s.wake()
+	}
+}
+
+// CanPop reports whether a beat is available (TVALID).
+func (s *Stream) CanPop() bool { return s.n > 0 }
+
+// Peek returns the head beat without consuming it. It panics when empty.
+func (s *Stream) Peek() Beat {
+	if s.n == 0 {
+		panic("hw: peek on empty stream " + s.name)
+	}
+	return s.buf[s.head]
+}
+
+// Pop dequeues and returns the head beat. It panics when empty.
+func (s *Stream) Pop() Beat {
+	if s.n == 0 {
+		panic("hw: pop on empty stream " + s.name)
+	}
+	b := s.buf[s.head]
+	s.buf[s.head] = Beat{}
+	s.head = (s.head + 1) % len(s.buf)
+	s.n--
+	s.popped++
+	return b
+}
+
+// OnPush installs a callback invoked after every Push; designs use it to
+// wake the consuming clock domain.
+func (s *Stream) OnPush(fn func()) { s.wake = fn }
+
+// Pushed returns the total number of beats ever pushed.
+func (s *Stream) Pushed() uint64 { return s.pushed }
+
+// HighWater returns the maximum occupancy observed.
+func (s *Stream) HighWater() int { return s.highWtr }
+
+// PushFrame enqueues an entire frame as busBytes-wide beats. It reports
+// false without side effects if the stream lacks space for all beats.
+// Edge adapters use it where a whole frame materialises at once.
+func (s *Stream) PushFrame(f *Frame, busBytes int) bool {
+	nb := f.Beats(busBytes)
+	if s.Space() < nb {
+		return false
+	}
+	for off := 0; ; off += busBytes {
+		end := off + busBytes
+		if end >= len(f.Data) {
+			s.Push(Beat{Frame: f, Off: off, End: len(f.Data), Last: true})
+			return true
+		}
+		s.Push(Beat{Frame: f, Off: off, End: end})
+	}
+}
+
+// FrameQueue is a bounded frame-granularity queue used at datapath edges:
+// MAC rx/tx buffers, DMA rings and output queues. Bounds are expressed in
+// both frames and bytes (either may be 0, meaning unlimited) so it can
+// model BRAM-backed buffers (byte-bound) and descriptor rings
+// (frame-bound).
+type FrameQueue struct {
+	name      string
+	capFrames int
+	capBytes  int
+	frames    []*Frame
+	head      int
+	n         int
+	bytes     int
+	wake      func()
+
+	pushed uint64
+	popped uint64
+	drops  uint64
+	// dropBytes counts bytes of dropped frames.
+	dropBytes uint64
+	highWtr   int
+}
+
+// NewFrameQueue returns a queue bounded by capFrames frames and capBytes
+// bytes; a zero bound is unlimited (but at least one must be set).
+func NewFrameQueue(name string, capFrames, capBytes int) *FrameQueue {
+	if capFrames <= 0 && capBytes <= 0 {
+		panic("hw: frame queue needs at least one bound")
+	}
+	ring := capFrames
+	if ring <= 0 {
+		ring = 64 // grown on demand when byte-bound only
+	}
+	return &FrameQueue{name: name, capFrames: capFrames, capBytes: capBytes,
+		frames: make([]*Frame, ring)}
+}
+
+// Name returns the queue's name.
+func (q *FrameQueue) Name() string { return q.name }
+
+// Len returns the number of queued frames.
+func (q *FrameQueue) Len() int { return q.n }
+
+// Bytes returns the number of queued bytes.
+func (q *FrameQueue) Bytes() int { return q.bytes }
+
+// CanAccept reports whether a frame of n bytes fits.
+func (q *FrameQueue) CanAccept(n int) bool {
+	if q.capFrames > 0 && q.n >= q.capFrames {
+		return false
+	}
+	if q.capBytes > 0 && q.bytes+n > q.capBytes {
+		return false
+	}
+	return true
+}
+
+// Push enqueues the frame, or counts a drop and reports false if it does
+// not fit — tail-drop, as in the reference output queues.
+func (q *FrameQueue) Push(f *Frame) bool {
+	if !q.CanAccept(len(f.Data)) {
+		q.drops++
+		q.dropBytes += uint64(len(f.Data))
+		return false
+	}
+	if q.n == len(q.frames) { // grow ring (byte-bound queues only)
+		bigger := make([]*Frame, 2*len(q.frames))
+		for i := 0; i < q.n; i++ {
+			bigger[i] = q.frames[(q.head+i)%len(q.frames)]
+		}
+		q.frames, q.head = bigger, 0
+	}
+	q.frames[(q.head+q.n)%len(q.frames)] = f
+	q.n++
+	q.bytes += len(f.Data)
+	q.pushed++
+	if q.n > q.highWtr {
+		q.highWtr = q.n
+	}
+	if q.wake != nil {
+		q.wake()
+	}
+	return true
+}
+
+// Pop dequeues the head frame, or nil if empty.
+func (q *FrameQueue) Pop() *Frame {
+	if q.n == 0 {
+		return nil
+	}
+	f := q.frames[q.head]
+	q.frames[q.head] = nil
+	q.head = (q.head + 1) % len(q.frames)
+	q.n--
+	q.bytes -= len(f.Data)
+	q.popped++
+	return f
+}
+
+// Peek returns the head frame without consuming it, or nil if empty.
+func (q *FrameQueue) Peek() *Frame {
+	if q.n == 0 {
+		return nil
+	}
+	return q.frames[q.head]
+}
+
+// OnPush installs a callback invoked after every successful Push.
+func (q *FrameQueue) OnPush(fn func()) { q.wake = fn }
+
+// Drops returns the number of frames rejected for lack of space.
+func (q *FrameQueue) Drops() uint64 { return q.drops }
+
+// DropBytes returns the bytes of frames rejected for lack of space.
+func (q *FrameQueue) DropBytes() uint64 { return q.dropBytes }
+
+// Pushed returns the number of frames ever accepted.
+func (q *FrameQueue) Pushed() uint64 { return q.pushed }
+
+// Popped returns the number of frames ever dequeued.
+func (q *FrameQueue) Popped() uint64 { return q.popped }
+
+// HighWater returns the maximum frame occupancy observed.
+func (q *FrameQueue) HighWater() int { return q.highWtr }

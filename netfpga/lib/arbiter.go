@@ -1,0 +1,99 @@
+package lib
+
+import (
+	"fmt"
+
+	"repro/netfpga/hw"
+)
+
+// InputArbiter merges N input streams into one, packet-atomically, with
+// round-robin fairness — the input_arbiter of every reference pipeline.
+// Once a frame's first beat is granted, the arbiter locks onto that input
+// until the Last beat, moving one beat per cycle.
+type InputArbiter struct {
+	name string
+	ins  []*hw.Stream
+	out  *hw.Stream
+
+	next   int // round-robin pointer
+	locked int // input currently locked, -1 if none
+
+	grants  []uint64
+	packets uint64
+}
+
+// NewInputArbiter creates the arbiter and registers it with the design.
+func NewInputArbiter(d *hw.Design, ins []*hw.Stream, out *hw.Stream) *InputArbiter {
+	if len(ins) == 0 {
+		panic("lib: arbiter needs at least one input")
+	}
+	a := &InputArbiter{name: "input_arbiter", ins: ins, out: out,
+		locked: -1, grants: make([]uint64, len(ins))}
+	d.AddModule(a)
+	return a
+}
+
+// Name implements hw.Module.
+func (a *InputArbiter) Name() string { return a.name }
+
+// Resources implements hw.Module: scales with input count.
+func (a *InputArbiter) Resources() hw.Resources {
+	n := len(a.ins)
+	return hw.Resources{LUTs: 1800 + 450*n, FFs: 2400 + 600*n, BRAM36: 2 * n}
+}
+
+// Tick implements hw.Module.
+func (a *InputArbiter) Tick() bool {
+	if !a.out.CanPush() {
+		// Output blocked; still busy if anything waits.
+		return a.pending()
+	}
+	if a.locked < 0 {
+		// Grant: scan round-robin from next.
+		for i := 0; i < len(a.ins); i++ {
+			c := (a.next + i) % len(a.ins)
+			if a.ins[c].CanPop() {
+				a.locked = c
+				a.grants[c]++
+				a.packets++
+				a.next = (c + 1) % len(a.ins)
+				break
+			}
+		}
+		if a.locked < 0 {
+			return false // all inputs idle
+		}
+	}
+	in := a.ins[a.locked]
+	if !in.CanPop() {
+		return true // mid-packet bubble upstream; hold the lock
+	}
+	b := in.Pop()
+	a.out.Push(b)
+	if b.Last {
+		a.locked = -1
+	}
+	return true
+}
+
+func (a *InputArbiter) pending() bool {
+	if a.locked >= 0 {
+		return true
+	}
+	for _, in := range a.ins {
+		if in.CanPop() {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats implements hw.StatsProvider: per-input grant counts expose
+// fairness.
+func (a *InputArbiter) Stats() map[string]uint64 {
+	out := map[string]uint64{"packets": a.packets}
+	for i, g := range a.grants {
+		out[fmt.Sprintf("grants_in%d", i)] = g
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package lib
+
+import (
+	"repro/internal/pcie"
+	"repro/netfpga/hw"
+)
+
+// DMAAttach bridges the PCIe DMA engine into the datapath, mirroring the
+// reference designs' DMA block: frames that completed host→device DMA
+// stream into the pipeline, and pipeline frames destined for host queues
+// are handed to the engine for device→host DMA.
+type DMAAttach struct {
+	name string
+	d    *hw.Design
+	eng  *pcie.Engine
+
+	toPipe   *hw.Stream // into the datapath
+	fromPipe *hw.Stream // out of the datapath
+
+	emit   streamFrame
+	txHold *hw.Frame
+
+	h2dPkts, d2hPkts uint64
+}
+
+// NewDMAAttach creates the adapter. toPipe carries host frames into the
+// pipeline; fromPipe receives pipeline frames bound for the host.
+func NewDMAAttach(d *hw.Design, eng *pcie.Engine, toPipe, fromPipe *hw.Stream) *DMAAttach {
+	a := &DMAAttach{name: "dma.attach", d: d, eng: eng, toPipe: toPipe, fromPipe: fromPipe}
+	// Waking the datapath when DMA completes lands a frame in ToDevice.
+	eng.ToDevice().OnPush(d.Wake)
+	d.AddModule(a)
+	return a
+}
+
+// Name implements hw.Module.
+func (a *DMAAttach) Name() string { return a.name }
+
+// Resources implements hw.Module: the DMA engine is one of the larger
+// blocks in the reference designs.
+func (a *DMAAttach) Resources() hw.Resources {
+	return hw.Resources{LUTs: 14000, FFs: 18000, BRAM36: 28}
+}
+
+// Tick implements hw.Module.
+func (a *DMAAttach) Tick() bool {
+	busy := false
+
+	// Host → pipeline.
+	if !a.emit.active() {
+		if f := a.eng.ToDevice().Pop(); f != nil {
+			f.Meta.Len = uint16(len(f.Data))
+			f.Meta.Ingress = a.d.Now()
+			a.emit.start(f)
+			a.h2dPkts++
+		}
+	}
+	if pushed, _ := a.emit.emit(a.toPipe, a.d.BusBytes()); pushed {
+		busy = true
+	}
+
+	// Pipeline → host.
+	if a.txHold == nil {
+		if f, done := (collectFrame{}).collect(a.fromPipe); done {
+			a.txHold = f
+		}
+	}
+	if a.txHold != nil {
+		if a.eng.FromDevice().CanAccept(len(a.txHold.Data)) {
+			a.eng.FromDevice().Push(a.txHold)
+			a.d2hPkts++
+			a.txHold = nil
+		}
+		busy = true
+	}
+
+	return busy || a.emit.active() || a.eng.ToDevice().Len() > 0 || a.fromPipe.CanPop()
+}
+
+// Stats implements hw.StatsProvider.
+func (a *DMAAttach) Stats() map[string]uint64 {
+	out := map[string]uint64{
+		"h2d_pkts": a.h2dPkts,
+		"d2h_pkts": a.d2hPkts,
+	}
+	addStats(out, "engine_", a.eng.Stats())
+	return out
+}
+
+// Registers exposes DMA counters.
+func (a *DMAAttach) Registers() *hw.RegisterFile {
+	rf := hw.NewRegisterFile("dma")
+	rf.AddCounter64(0x00, "h2d_pkts", &a.h2dPkts)
+	rf.AddCounter64(0x08, "d2h_pkts", &a.d2hPkts)
+	return rf
+}

@@ -1,0 +1,71 @@
+// Package lib is the gonetfpga standard module library: the reusable
+// building blocks every NetFPGA reference project composes — MAC and DMA
+// attach adapters, the input arbiter, the output-port-lookup slot, the
+// output queues — plus the contributed-project staples (rate limiter,
+// delay, timestamper, statistics).
+//
+// Modules follow the conventions of netfpga/hw: one Tick per datapath
+// clock cycle, at most one beat moved per stream per cycle, backpressure
+// through bounded streams, and analytic Resources estimates calibrated
+// to published NetFPGA synthesis reports.
+package lib
+
+import "repro/netfpga/hw"
+
+// bump increments a counter map entry; helper for Stats methods.
+func addStats(dst map[string]uint64, prefix string, src map[string]uint64) {
+	for k, v := range src {
+		dst[prefix+k] = v
+	}
+}
+
+// streamFrame is the shared helper for modules that emit a stored frame
+// as a sequence of beats, one per Tick. Zero value means "no frame in
+// progress".
+type streamFrame struct {
+	frame *hw.Frame
+	off   int
+}
+
+func (s *streamFrame) active() bool { return s.frame != nil }
+
+func (s *streamFrame) start(f *hw.Frame) { s.frame, s.off = f, 0 }
+
+// emit pushes the next beat into out if possible; it reports whether the
+// frame completed with this beat.
+func (s *streamFrame) emit(out *hw.Stream, busBytes int) (pushed, done bool) {
+	if s.frame == nil || !out.CanPush() {
+		return false, false
+	}
+	end := s.off + busBytes
+	last := false
+	if end >= len(s.frame.Data) {
+		end = len(s.frame.Data)
+		last = true
+	}
+	out.Push(hw.Beat{Frame: s.frame, Off: s.off, End: end, Last: last})
+	s.off = end
+	if last {
+		s.frame = nil
+		return true, true
+	}
+	return true, false
+}
+
+// collectFrame is the inverse helper: it consumes beats from a stream and
+// reports the completed frame when the Last beat arrives.
+type collectFrame struct{}
+
+// collect pops at most one beat from in; when that beat is the frame's
+// last, the whole frame is returned (beats are windows over one shared
+// frame, so nothing is copied).
+func (collectFrame) collect(in *hw.Stream) (*hw.Frame, bool) {
+	if !in.CanPop() {
+		return nil, false
+	}
+	b := in.Pop()
+	if b.Last {
+		return b.Frame, true
+	}
+	return nil, false
+}

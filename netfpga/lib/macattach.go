@@ -1,0 +1,146 @@
+package lib
+
+import (
+	"repro/internal/serial"
+	"repro/netfpga/hw"
+)
+
+// MACAttach is the nf_10g_interface analogue: it bridges one serial MAC
+// into the datapath. The receive side buffers wire arrivals in a frame
+// queue (the RX FIFO), stamps metadata (source port, length, ingress
+// timestamp) and streams beats into the pipeline; the transmit side
+// collects pipeline beats into frames and hands them to the MAC,
+// stalling (backpressure) while the MAC FIFO is full.
+type MACAttach struct {
+	name string
+	d    *hw.Design
+	mac  *serial.MAC
+	port uint8
+
+	rxq   *hw.FrameQueue
+	rxOut *hw.Stream
+	txIn  *hw.Stream
+
+	rxEmit  streamFrame
+	txHold  *hw.Frame // frame awaiting MAC tx space
+	badFCS  uint64
+	rxPkts  uint64
+	txPkts  uint64
+	rxBytes uint64
+	txBytes uint64
+}
+
+// NewMACAttach creates the adapter. rxOut carries received frames into
+// the pipeline; txIn receives pipeline frames destined for the wire.
+// rxFIFOBytes bounds the receive FIFO (0 means 32 KB), the drop point
+// when the pipeline cannot absorb line rate.
+func NewMACAttach(d *hw.Design, mac *serial.MAC, port int, rxOut, txIn *hw.Stream, rxFIFOBytes int) *MACAttach {
+	if rxFIFOBytes == 0 {
+		rxFIFOBytes = 32 << 10
+	}
+	m := &MACAttach{
+		name:  mac.Name() + ".attach",
+		d:     d,
+		mac:   mac,
+		port:  uint8(port),
+		rxOut: rxOut,
+		txIn:  txIn,
+	}
+	m.rxq = d.NewFrameQueue(mac.Name()+".rxfifo", 0, rxFIFOBytes)
+	mac.SetReceiver(m.onRx)
+	d.AddModule(m)
+	return m
+}
+
+// Name implements hw.Module.
+func (m *MACAttach) Name() string { return m.name }
+
+// Resources implements hw.Module: one 10G MAC + AXIS adapter.
+func (m *MACAttach) Resources() hw.Resources {
+	return hw.Resources{LUTs: 3500, FFs: 5200, BRAM36: 6}
+}
+
+// onRx runs in simulated time as frames arrive from the wire.
+func (m *MACAttach) onRx(f *hw.Frame, fcsOK bool) {
+	if !fcsOK {
+		m.badFCS++
+		return // bad frames are dropped at the MAC, as configured in hw
+	}
+	f.Meta.SrcPort = m.port
+	f.Meta.Len = uint16(len(f.Data))
+	f.Meta.Ingress = m.d.Now()
+	f.Meta.Flags |= hw.FlagTimestamped
+	m.rxq.Push(f) // overflow counted by the queue (tail drop)
+}
+
+// Tick implements hw.Module.
+func (m *MACAttach) Tick() bool {
+	busy := false
+
+	// RX: stream the current frame, else start the next one.
+	if !m.rxEmit.active() {
+		if f := m.rxq.Pop(); f != nil {
+			m.rxEmit.start(f)
+			m.rxPkts++
+			m.rxBytes += uint64(len(f.Data))
+		}
+	}
+	if pushed, _ := m.rxEmit.emit(m.rxOut, m.d.BusBytes()); pushed {
+		busy = true
+	}
+
+	// TX: hand a completed frame to the MAC, honouring its FIFO bound.
+	if m.txHold == nil {
+		if f, done := (collectFrame{}).collect(m.txIn); done {
+			m.txHold = f
+		}
+		if m.txIn.CanPop() || m.txHold != nil {
+			busy = true
+		}
+	}
+	if m.txHold != nil {
+		if m.mac.TxQueue().CanAccept(len(m.txHold.Data)) {
+			m.mac.Send(m.txHold)
+			m.txPkts++
+			m.txBytes += uint64(len(m.txHold.Data))
+			m.txHold = nil
+			busy = true
+		} else {
+			busy = true // waiting on MAC FIFO space
+		}
+	}
+
+	return busy || m.rxEmit.active() || m.rxq.Len() > 0 || m.txIn.CanPop()
+}
+
+// Stats implements hw.StatsProvider.
+func (m *MACAttach) Stats() map[string]uint64 {
+	out := map[string]uint64{
+		"rx_pkts":  m.rxPkts,
+		"tx_pkts":  m.txPkts,
+		"rx_bytes": m.rxBytes,
+		"tx_bytes": m.txBytes,
+		"bad_fcs":  m.badFCS,
+		"rx_drops": m.rxq.Drops(),
+	}
+	addStats(out, "mac_", m.mac.Stats())
+	return out
+}
+
+// Registers exposes the interface counters as an AXI-Lite block, as the
+// physical interface cores do.
+func (m *MACAttach) Registers() *hw.RegisterFile {
+	rf := hw.NewRegisterFile(m.mac.Name())
+	rf.AddCounter64(0x00, "rx_pkts", &m.rxPkts)
+	rf.AddCounter64(0x08, "tx_pkts", &m.txPkts)
+	rf.AddCounter64(0x10, "rx_bytes", &m.rxBytes)
+	rf.AddCounter64(0x18, "tx_bytes", &m.txBytes)
+	rf.AddCounter64(0x20, "bad_fcs", &m.badFCS)
+	rf.AddRO(0x28, "link_up", func() uint32 {
+		if m.mac.LinkUp() {
+			return 1
+		}
+		return 0
+	})
+	return rf
+}

@@ -1,0 +1,157 @@
+package lib
+
+import (
+	"fmt"
+
+	"repro/netfpga/hw"
+)
+
+// OutputQueues is the reference designs' BRAM output-queue stage: it
+// collects frames from the lookup stage, replicates multicast frames, and
+// queues each copy on its destination port's store-and-forward queue.
+// Every destination drains independently at one beat per cycle; a full
+// queue tail-drops, which is where line-rate overload becomes loss.
+type OutputQueues struct {
+	name string
+	d    *hw.Design
+	in   *hw.Stream
+
+	ports []oqPort
+	bits  []int // configured destination bit positions
+
+	inPkts uint64
+}
+
+type oqPort struct {
+	bit  int
+	q    *hw.FrameQueue
+	out  *hw.Stream
+	emit *streamFrame
+	pkts uint64
+}
+
+// PortQueueBytes is the default per-port buffer (matching the reference
+// designs' BRAM allocation of ~16 maximum frames per port).
+const PortQueueBytes = 24 << 10
+
+// NewOutputQueues creates the stage. outs maps destination bit positions
+// (hw.PortMask / hw.HostPortMask bit indices) to output streams;
+// queueBytes bounds each per-port queue (0 means PortQueueBytes).
+func NewOutputQueues(d *hw.Design, in *hw.Stream, outs map[int]*hw.Stream, queueBytes int) *OutputQueues {
+	if queueBytes == 0 {
+		queueBytes = PortQueueBytes
+	}
+	oq := &OutputQueues{name: "output_queues", d: d, in: in}
+	// Deterministic port order: ascending bit position.
+	for bit := 0; bit < 32; bit++ {
+		out, ok := outs[bit]
+		if !ok {
+			continue
+		}
+		oq.ports = append(oq.ports, oqPort{
+			bit:  bit,
+			q:    d.NewFrameQueue(fmt.Sprintf("oq%d", bit), 0, queueBytes),
+			out:  out,
+			emit: &streamFrame{},
+		})
+		oq.bits = append(oq.bits, bit)
+	}
+	if len(oq.ports) == 0 {
+		panic("lib: output queues need at least one port")
+	}
+	d.AddModule(oq)
+	return oq
+}
+
+// Name implements hw.Module.
+func (o *OutputQueues) Name() string { return o.name }
+
+// Resources implements hw.Module: BRAM dominated by the queue memories.
+func (o *OutputQueues) Resources() hw.Resources {
+	bram := 0
+	for _, p := range o.ports {
+		bram += hw.BRAMForBytes(24 << 10)
+		_ = p
+	}
+	return hw.Resources{LUTs: 2600 + 700*len(o.ports), FFs: 3200 + 900*len(o.ports), BRAM36: bram}
+}
+
+// Tick implements hw.Module.
+func (o *OutputQueues) Tick() bool {
+	busy := false
+
+	// Enqueue stage: one beat per cycle from the shared input.
+	if f, done := (collectFrame{}).collect(o.in); done {
+		o.inPkts++
+		o.route(f)
+		busy = true
+	}
+	if o.in.CanPop() {
+		busy = true
+	}
+
+	// Drain stage: every port moves one beat per cycle.
+	for i := range o.ports {
+		p := &o.ports[i]
+		if !p.emit.active() {
+			if f := p.q.Pop(); f != nil {
+				p.emit.start(f)
+				p.pkts++
+			}
+		}
+		if pushed, _ := p.emit.emit(p.out, o.d.BusBytes()); pushed {
+			busy = true
+		}
+		if p.emit.active() || p.q.Len() > 0 {
+			busy = true
+		}
+	}
+	return busy
+}
+
+// route replicates f to every configured destination in its mask.
+// The last matching destination receives the original frame; earlier ones
+// receive clones, so per-copy metadata stays independent.
+func (o *OutputQueues) route(f *hw.Frame) {
+	var targets []*oqPort
+	for i := range o.ports {
+		if f.Meta.DstPorts&(1<<uint(o.ports[i].bit)) != 0 {
+			targets = append(targets, &o.ports[i])
+		}
+	}
+	for i, p := range targets {
+		copyF := f
+		if i < len(targets)-1 {
+			copyF = f.Clone()
+		}
+		copyF.Meta.DstPorts = 1 << uint(p.bit)
+		p.q.Push(copyF) // tail drop accounted by the queue
+	}
+}
+
+// Stats implements hw.StatsProvider: per-port depth, drops and packets.
+func (o *OutputQueues) Stats() map[string]uint64 {
+	out := map[string]uint64{"in_pkts": o.inPkts}
+	for i := range o.ports {
+		p := &o.ports[i]
+		out[fmt.Sprintf("port%d_pkts", p.bit)] = p.pkts
+		out[fmt.Sprintf("port%d_drops", p.bit)] = p.q.Drops()
+		out[fmt.Sprintf("port%d_highwater", p.bit)] = uint64(p.q.HighWater())
+	}
+	return out
+}
+
+// Registers exposes per-port queue counters.
+func (o *OutputQueues) Registers() *hw.RegisterFile {
+	rf := hw.NewRegisterFile("output_queues")
+	rf.AddCounter64(0x00, "in_pkts", &o.inPkts)
+	for i := range o.ports {
+		p := &o.ports[i]
+		base := uint32(0x10 + i*0x10)
+		rf.AddCounter64(base, fmt.Sprintf("port%d_pkts", p.bit), &p.pkts)
+		q := p.q
+		rf.AddRO(base+8, fmt.Sprintf("port%d_drops", p.bit), func() uint32 { return uint32(q.Drops()) })
+		rf.AddRO(base+12, fmt.Sprintf("port%d_depth", p.bit), func() uint32 { return uint32(q.Bytes()) })
+	}
+	return rf
+}

@@ -1,0 +1,255 @@
+package lib
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/netfpga/hw"
+)
+
+func buildRefDevice(t *testing.T, cfg PipelineConfig) (*core.Device, *Pipeline) {
+	t.Helper()
+	dev := core.NewDevice(core.SUME(), core.Options{})
+	p, err := BuildReference(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < dev.Board.Ports; i++ {
+		dev.Tap(i)
+	}
+	return dev, p
+}
+
+func echoLookup(f *hw.Frame) Verdict {
+	if f.Meta.Flags&hw.FlagFromCPU != 0 && f.Meta.DstPorts != 0 {
+		return Forward
+	}
+	f.Meta.DstPorts = hw.PortMask(int(f.Meta.SrcPort))
+	return Forward
+}
+
+func TestBuildReferenceBasic(t *testing.T) {
+	dev, p := buildRefDevice(t, PipelineConfig{
+		LookupName: "echo", Lookup: echoLookup, LookupLatency: 1,
+	})
+	if len(p.Attach) != 4 || p.Arbiter == nil || p.OPL == nil || p.OQ == nil {
+		t.Fatal("pipeline incomplete")
+	}
+	if p.DMA != nil || p.CPUPunt != nil {
+		t.Fatal("unrequested stages present")
+	}
+	dev.Tap(1).Send(make([]byte, 100))
+	dev.RunFor(sim.Millisecond)
+	if dev.Tap(1).Pending() != 1 {
+		t.Fatal("echo through reference pipeline failed")
+	}
+}
+
+func TestBuildReferenceWithDMA(t *testing.T) {
+	dev, p := buildRefDevice(t, PipelineConfig{
+		LookupName: "to_host",
+		Lookup: func(f *hw.Frame) Verdict {
+			f.Meta.DstPorts = hw.HostPortMask(0)
+			return Forward
+		},
+		WithDMA: true,
+	})
+	if p.DMA == nil {
+		t.Fatal("DMA stage missing")
+	}
+	dev.Tap(0).Send(make([]byte, 64))
+	dev.RunFor(sim.Millisecond)
+	if got := len(dev.Driver.Poll()); got != 1 {
+		t.Fatalf("host got %d frames", got)
+	}
+}
+
+func TestBuildReferenceDMARequiresHost(t *testing.T) {
+	dev := core.NewDevice(core.SUME(), core.Options{NoHost: true})
+	if _, err := BuildReference(dev, PipelineConfig{
+		LookupName: "x", Lookup: echoLookup, WithDMA: true,
+	}); err == nil {
+		t.Fatal("DMA without a host interface accepted")
+	}
+}
+
+func TestCPUInjectPath(t *testing.T) {
+	dev, p := buildRefDevice(t, PipelineConfig{
+		LookupName: "punt",
+		Lookup: func(f *hw.Frame) Verdict {
+			if f.Meta.Flags&hw.FlagFromCPU != 0 && f.Meta.DstPorts != 0 {
+				return Forward
+			}
+			return ToCPU
+		},
+		WithCPU: true,
+	})
+	// Wire frame is punted; agent answers out port 3.
+	dev.Tap(0).Send(make([]byte, 80))
+	dev.RunFor(sim.Millisecond)
+	punted := p.CPUPunt.Pop()
+	if punted == nil {
+		t.Fatal("nothing punted")
+	}
+	reply := hw.NewFrame(make([]byte, 70), 0)
+	reply.Meta.DstPorts = hw.PortMask(3)
+	if !p.InjectFromCPU(reply) {
+		t.Fatal("inject failed")
+	}
+	dev.RunFor(sim.Millisecond)
+	if dev.Tap(3).Pending() != 1 {
+		t.Fatal("injected frame did not reach port 3")
+	}
+	// The injected frame must carry the CPU flag so the lookup passed
+	// it verbatim rather than re-punting.
+	rx := dev.Tap(3).Received()
+	if len(rx[0].Data) != 70 {
+		t.Fatal("wrong frame delivered")
+	}
+}
+
+func TestInjectWithoutCPUPanics(t *testing.T) {
+	_, p := buildRefDevice(t, PipelineConfig{LookupName: "x", Lookup: echoLookup})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.InjectFromCPU(hw.NewFrame(make([]byte, 60), 0))
+}
+
+func TestQueueSourceDrains(t *testing.T) {
+	s := sim.New()
+	clk := s.NewClockMHz("dp", 200)
+	d := hw.NewDesign("t", clk, 32)
+	q := d.NewFrameQueue("q", 8, 0)
+	out := d.NewStream("out", 8)
+	src := NewQueueSource(d, "src", q, out)
+	got := 0
+	d.AddModule(&drainMod{out: out, onPop: func() { got++ }})
+	for i := 0; i < 3; i++ {
+		q.Push(hw.NewFrame(make([]byte, 100), 0))
+	}
+	s.RunFor(sim.Millisecond)
+	if got != 3 {
+		t.Fatalf("drained %d frames", got)
+	}
+	if src.Stats()["pkts"] != 3 {
+		t.Fatal("source stats wrong")
+	}
+}
+
+func TestTimestamperMetaMode(t *testing.T) {
+	s := sim.New()
+	clk := s.NewClockMHz("dp", 200)
+	d := hw.NewDesign("t", clk, 32)
+	in := d.NewStream("in", 8)
+	out := d.NewStream("out", 8)
+	ts := NewTimestamper(d, "ts", in, out, StampMeta, 0)
+	var got *hw.Frame
+	d.AddModule(&captureMod{out: out, cb: func(f *hw.Frame) { got = f }})
+	f := hw.NewFrame(make([]byte, 64), 0)
+	s.After(100*sim.Microsecond, func() { in.PushFrame(f, 32) })
+	s.RunFor(sim.Millisecond)
+	if got == nil {
+		t.Fatal("frame lost")
+	}
+	if got.Meta.Flags&hw.FlagTimestamped == 0 {
+		t.Fatal("meta not stamped")
+	}
+	if got.Meta.Ingress < 100*sim.Microsecond {
+		t.Fatalf("timestamp %v before injection", got.Meta.Ingress)
+	}
+	// Payload untouched in meta mode.
+	for _, b := range got.Data {
+		if b != 0 {
+			t.Fatal("payload modified in meta mode")
+		}
+	}
+	if ts.Stats()["pkts"] != 1 {
+		t.Fatal("stats wrong")
+	}
+}
+
+func TestRateLimiterRegisters(t *testing.T) {
+	s := sim.New()
+	clk := s.NewClockMHz("dp", 200)
+	d := hw.NewDesign("t", clk, 32)
+	in := d.NewStream("in", 64)
+	out := d.NewStream("out", 64)
+	rl := NewRateLimiter(d, "rl", in, out, 500, 4000)
+	rf := rl.Registers()
+	v, err := rf.Read(0x0)
+	if err != nil || v != 500 {
+		t.Fatalf("rate reg = %d, %v", v, err)
+	}
+	if err := rf.Write(0x0, 9000); err != nil {
+		t.Fatal(err)
+	}
+	// A 9 Gb/s limit should pass traffic nearly unshaped.
+	d.AddModule(&drainMod{out: out})
+	for i := 0; i < 10; i++ {
+		in.PushFrame(hw.NewFrame(make([]byte, 500), 0), 32)
+		s.RunFor(10 * sim.Microsecond)
+	}
+	if rl.Stats()["pkts"] != 10 {
+		t.Fatalf("passed %d", rl.Stats()["pkts"])
+	}
+}
+
+func TestMACAttachRegisters(t *testing.T) {
+	dev, p := buildRefDevice(t, PipelineConfig{
+		LookupName: "echo", Lookup: echoLookup,
+	})
+	dev.Tap(2).Send(make([]byte, 200))
+	dev.RunFor(sim.Millisecond)
+	rf := p.Attach[2].Registers()
+	// Registers() builds a fresh file each call with live callbacks;
+	// check through the device map mounted at build time instead.
+	rx, err := dev.Driver.ReadCounter64("nf2", "rx_pkts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rx != 1 {
+		t.Fatalf("rx_pkts = %d", rx)
+	}
+	up, err := dev.Driver.RegReadName("nf2", "link_up")
+	if err != nil || up != 1 {
+		t.Fatalf("link_up = %d, %v", up, err)
+	}
+	_ = rf
+}
+
+func TestOutputQueueRegisters(t *testing.T) {
+	dev, _ := buildRefDevice(t, PipelineConfig{
+		LookupName: "echo", Lookup: echoLookup,
+	})
+	dev.Tap(0).Send(make([]byte, 100))
+	dev.RunFor(sim.Millisecond)
+	in, err := dev.Driver.ReadCounter64("output_queues", "in_pkts")
+	if err != nil || in != 1 {
+		t.Fatalf("in_pkts = %d, %v", in, err)
+	}
+	p0, err := dev.Driver.ReadCounter64("output_queues", "port0_pkts")
+	if err != nil || p0 != 1 {
+		t.Fatalf("port0_pkts = %d, %v", p0, err)
+	}
+}
+
+func TestDelaySetDelay(t *testing.T) {
+	s := sim.New()
+	clk := s.NewClockMHz("dp", 200)
+	d := hw.NewDesign("t", clk, 32)
+	in := d.NewStream("in", 8)
+	out := d.NewStream("out", 8)
+	dm := NewDelay(d, "dl", in, out, sim.Microsecond)
+	dm.SetDelay(5 * sim.Microsecond)
+	var at sim.Time
+	d.AddModule(&drainMod{out: out, onPop: func() { at = s.Now() }})
+	in.PushFrame(hw.NewFrame(make([]byte, 64), 0), 32)
+	s.RunFor(sim.Millisecond)
+	if at < 5*sim.Microsecond {
+		t.Fatalf("released at %v despite SetDelay(5us)", at)
+	}
+}

@@ -1,0 +1,157 @@
+package lib
+
+import "repro/netfpga/hw"
+
+// RateLimiter shapes a beat stream with a byte-granular token bucket —
+// the building block OSNT's generator and QoS experiments insert into a
+// pipeline. Rate and burst are run-time register-controllable, a
+// deliberately software-visible knob as in the contributed NetFPGA rate
+// limiter module.
+type RateLimiter struct {
+	name string
+	d    *hw.Design
+	in   *hw.Stream
+	out  *hw.Stream
+
+	// Register-backed configuration.
+	rateMbps uint32 // 0 disables shaping
+	burstB   uint32
+
+	tokens     float64
+	lastCycle  uint64
+	inPacket   bool // frames pass atomically once started
+	pkts, held uint64
+}
+
+// NewRateLimiter creates a limiter initially configured to rateMbps.
+func NewRateLimiter(d *hw.Design, name string, in, out *hw.Stream, rateMbps, burstBytes uint32) *RateLimiter {
+	if burstBytes == 0 {
+		burstBytes = 3000
+	}
+	r := &RateLimiter{name: name, d: d, in: in, out: out,
+		rateMbps: rateMbps, burstB: burstBytes, tokens: float64(burstBytes)}
+	d.AddModule(r)
+	return r
+}
+
+// Name implements hw.Module.
+func (r *RateLimiter) Name() string { return r.name }
+
+// Resources implements hw.Module.
+func (r *RateLimiter) Resources() hw.Resources {
+	return hw.Resources{LUTs: 900, FFs: 1100, DSPs: 2}
+}
+
+// Tick implements hw.Module.
+func (r *RateLimiter) Tick() bool {
+	// Accrue tokens for elapsed cycles (handles gated stretches).
+	cyc := r.d.Clock().Cycle()
+	if r.rateMbps > 0 && cyc > r.lastCycle {
+		elapsed := float64(cyc-r.lastCycle) * float64(r.d.Clock().Period()) // ps
+		r.tokens += elapsed * float64(r.rateMbps) / 8e6                     // bytes
+		if r.tokens > float64(r.burstB) {
+			r.tokens = float64(r.burstB)
+		}
+	}
+	r.lastCycle = cyc
+
+	if !r.in.CanPop() || !r.out.CanPush() {
+		return r.in.CanPop()
+	}
+	b := r.in.Peek()
+	if b.First() && !r.inPacket && r.rateMbps > 0 {
+		need := float64(b.Frame.Len())
+		if r.tokens < need {
+			r.held++
+			return true // wait for tokens; clock keeps running
+		}
+		r.tokens -= need
+	}
+	if b.First() {
+		r.pkts++
+		r.inPacket = true
+	}
+	r.out.Push(r.in.Pop())
+	if b.Last {
+		r.inPacket = false
+	}
+	return true
+}
+
+// Registers exposes run-time control.
+func (r *RateLimiter) Registers() *hw.RegisterFile {
+	rf := hw.NewRegisterFile(r.name)
+	rf.AddVar(0x0, "rate_mbps", &r.rateMbps)
+	rf.AddVar(0x4, "burst_bytes", &r.burstB)
+	rf.AddCounter64(0x8, "pkts", &r.pkts)
+	return rf
+}
+
+// Stats implements hw.StatsProvider.
+func (r *RateLimiter) Stats() map[string]uint64 {
+	return map[string]uint64{"pkts": r.pkts, "held_cycles": r.held}
+}
+
+// Delay releases each frame a fixed time after its first beat arrived —
+// OSNT's inter-packet delay module, also useful for emulating long links
+// inside a design.
+type Delay struct {
+	name  string
+	d     *hw.Design
+	in    *hw.Stream
+	out   *hw.Stream
+	delay hw.Time
+
+	heldFrame *hw.Frame
+	readyAt   hw.Time
+	emit      streamFrame
+	pkts      uint64
+}
+
+// NewDelay creates a fixed-delay module.
+func NewDelay(d *hw.Design, name string, in, out *hw.Stream, delay hw.Time) *Delay {
+	dm := &Delay{name: name, d: d, in: in, out: out, delay: delay}
+	d.AddModule(dm)
+	return dm
+}
+
+// Name implements hw.Module.
+func (dm *Delay) Name() string { return dm.name }
+
+// Resources implements hw.Module: the delay BRAM buffers a window of
+// packets.
+func (dm *Delay) Resources() hw.Resources {
+	return hw.Resources{LUTs: 1200, FFs: 1500, BRAM36: 16}
+}
+
+// SetDelay changes the delay (takes effect for subsequent frames).
+func (dm *Delay) SetDelay(d hw.Time) { dm.delay = d }
+
+// Tick implements hw.Module.
+func (dm *Delay) Tick() bool {
+	busy := false
+	if pushed, _ := dm.emit.emit(dm.out, dm.d.BusBytes()); pushed {
+		busy = true
+	}
+	if dm.heldFrame == nil {
+		if f, done := (collectFrame{}).collect(dm.in); done {
+			dm.heldFrame = f
+			dm.readyAt = dm.d.Now() + dm.delay
+			busy = true
+		}
+	}
+	if dm.heldFrame != nil {
+		busy = true
+		if dm.d.Now() >= dm.readyAt && !dm.emit.active() {
+			dm.emit.start(dm.heldFrame)
+			dm.heldFrame = nil
+			dm.pkts++
+		}
+	}
+	return busy || dm.in.CanPop() || dm.emit.active()
+}
+
+// Stats implements hw.StatsProvider.
+func (dm *Delay) Stats() map[string]uint64 {
+	return map[string]uint64{"pkts": dm.pkts}
+}

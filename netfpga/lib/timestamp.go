@@ -1,0 +1,118 @@
+package lib
+
+import (
+	"encoding/binary"
+
+	"repro/netfpga/hw"
+)
+
+// TimestampMode selects where the Timestamper records time.
+type TimestampMode int
+
+// Modes.
+const (
+	// StampMeta records the time in Meta.Ingress only.
+	StampMeta TimestampMode = iota
+	// StampPayload writes a 64-bit picosecond timestamp into the packet
+	// at a configurable byte offset — OSNT's mechanism for measuring
+	// one-way latency: the generator stamps on TX, the monitor extracts
+	// on RX.
+	StampPayload
+)
+
+// Timestamper stamps frames as they pass. Its clock resolution is the
+// datapath clock (5 ns at 200 MHz), which bounds the measurement error of
+// the OSNT latency experiments exactly as the hardware's does.
+type Timestamper struct {
+	name   string
+	d      *hw.Design
+	in     *hw.Stream
+	out    *hw.Stream
+	mode   TimestampMode
+	offset uint32 // payload byte offset for StampPayload
+
+	hold *hw.Frame
+	emit streamFrame
+	pkts uint64
+}
+
+// NewTimestamper creates the module. For StampPayload, offset is where
+// the 8-byte big-endian timestamp lands (frames too short pass
+// unstamped).
+func NewTimestamper(d *hw.Design, name string, in, out *hw.Stream, mode TimestampMode, offset uint32) *Timestamper {
+	t := &Timestamper{name: name, d: d, in: in, out: out, mode: mode, offset: offset}
+	d.AddModule(t)
+	return t
+}
+
+// Name implements hw.Module.
+func (t *Timestamper) Name() string { return t.name }
+
+// Resources implements hw.Module.
+func (t *Timestamper) Resources() hw.Resources {
+	return hw.Resources{LUTs: 800, FFs: 1400}
+}
+
+// quantize rounds down to the datapath clock period, the hardware
+// counter's resolution.
+func (t *Timestamper) quantize(at hw.Time) hw.Time {
+	p := t.d.Clock().Period()
+	return at / p * p
+}
+
+// Tick implements hw.Module. StampMeta is cut-through (metadata-only);
+// StampPayload buffers the frame because it mutates bytes.
+func (t *Timestamper) Tick() bool {
+	busy := false
+	switch t.mode {
+	case StampMeta:
+		if t.in.CanPop() && t.out.CanPush() {
+			b := t.in.Pop()
+			if b.First() {
+				b.Frame.Meta.Ingress = t.quantize(t.d.Now())
+				b.Frame.Meta.Flags |= hw.FlagTimestamped
+				t.pkts++
+			}
+			t.out.Push(b)
+			busy = true
+		}
+		return busy || t.in.CanPop()
+
+	case StampPayload:
+		if pushed, _ := t.emit.emit(t.out, t.d.BusBytes()); pushed {
+			busy = true
+		}
+		if t.hold == nil {
+			if f, done := (collectFrame{}).collect(t.in); done {
+				t.hold = f
+				busy = true
+			}
+		}
+		if t.hold != nil && !t.emit.active() {
+			f := t.hold
+			t.hold = nil
+			if int(t.offset)+8 <= len(f.Data) {
+				binary.BigEndian.PutUint64(f.Data[t.offset:], uint64(t.quantize(t.d.Now())))
+				f.Meta.Flags |= hw.FlagTimestamped
+				t.pkts++
+			}
+			t.emit.start(f)
+			busy = true
+		}
+		return busy || t.in.CanPop() || t.hold != nil || t.emit.active()
+	}
+	return false
+}
+
+// ExtractPayloadTimestamp reads a timestamp written by StampPayload mode.
+func ExtractPayloadTimestamp(data []byte, offset uint32) (hw.Time, bool) {
+	if int(offset)+8 > len(data) {
+		return 0, false
+	}
+	return hw.Time(binary.BigEndian.Uint64(data[offset:])), true
+}
+
+// Stats implements hw.StatsProvider.
+func (t *Timestamper) Stats() map[string]uint64 {
+	return map[string]uint64{"pkts": t.pkts}
+}

@@ -1,0 +1,192 @@
+package pkt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MAC is an Ethernet hardware address. It is a comparable value type so it
+// can key maps (MAC learning tables) without allocation.
+type MAC [6]byte
+
+// BroadcastMAC is ff:ff:ff:ff:ff:ff.
+var BroadcastMAC = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// String renders the address in colon-hex form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsBroadcast reports whether m is the broadcast address.
+func (m MAC) IsBroadcast() bool { return m == BroadcastMAC }
+
+// IsMulticast reports whether the group bit is set (includes broadcast).
+func (m MAC) IsMulticast() bool { return m[0]&1 == 1 }
+
+// IsZero reports whether m is all zeros.
+func (m MAC) IsZero() bool { return m == MAC{} }
+
+// ParseMAC parses colon-hex notation ("aa:bb:cc:dd:ee:ff").
+func ParseMAC(s string) (MAC, error) {
+	var m MAC
+	if len(s) != 17 {
+		return m, errors.New("pkt: malformed MAC " + s)
+	}
+	for i := 0; i < 6; i++ {
+		hi, ok1 := hexVal(s[i*3])
+		lo, ok2 := hexVal(s[i*3+1])
+		if !ok1 || !ok2 || (i < 5 && s[i*3+2] != ':') {
+			return MAC{}, errors.New("pkt: malformed MAC " + s)
+		}
+		m[i] = hi<<4 | lo
+	}
+	return m, nil
+}
+
+// MustMAC is ParseMAC that panics on error, for tests and tables.
+func MustMAC(s string) MAC {
+	m, err := ParseMAC(s)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// IP4 is an IPv4 address as a comparable value type.
+type IP4 [4]byte
+
+// String renders dotted-quad form.
+func (ip IP4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// Uint32 returns the address as a big-endian integer.
+func (ip IP4) Uint32() uint32 {
+	return uint32(ip[0])<<24 | uint32(ip[1])<<16 | uint32(ip[2])<<8 | uint32(ip[3])
+}
+
+// IP4FromUint32 builds an address from a big-endian integer.
+func IP4FromUint32(v uint32) IP4 {
+	return IP4{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+}
+
+// IsZero reports whether ip is 0.0.0.0.
+func (ip IP4) IsZero() bool { return ip == IP4{} }
+
+// IsBroadcast reports whether ip is 255.255.255.255.
+func (ip IP4) IsBroadcast() bool { return ip == IP4{255, 255, 255, 255} }
+
+// IsMulticast reports whether ip is in 224.0.0.0/4.
+func (ip IP4) IsMulticast() bool { return ip[0]&0xF0 == 0xE0 }
+
+// ParseIP4 parses dotted-quad notation.
+func ParseIP4(s string) (IP4, error) {
+	var ip IP4
+	octet, idx, digits := 0, 0, 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '.' {
+			if digits == 0 || idx > 3 {
+				return IP4{}, errors.New("pkt: malformed IPv4 " + s)
+			}
+			ip[idx] = byte(octet)
+			idx++
+			octet, digits = 0, 0
+			continue
+		}
+		c := s[i]
+		if c < '0' || c > '9' {
+			return IP4{}, errors.New("pkt: malformed IPv4 " + s)
+		}
+		octet = octet*10 + int(c-'0')
+		digits++
+		if octet > 255 || digits > 3 {
+			return IP4{}, errors.New("pkt: malformed IPv4 " + s)
+		}
+	}
+	if idx != 4 {
+		return IP4{}, errors.New("pkt: malformed IPv4 " + s)
+	}
+	return ip, nil
+}
+
+// MustIP4 is ParseIP4 that panics on error, for tests and tables.
+func MustIP4(s string) IP4 {
+	ip, err := ParseIP4(s)
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+// Prefix is an IPv4 CIDR prefix.
+type Prefix struct {
+	Addr IP4
+	Bits uint8 // 0..32
+}
+
+// ParsePrefix parses "a.b.c.d/len".
+func ParsePrefix(s string) (Prefix, error) {
+	slash := -1
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			slash = i
+			break
+		}
+	}
+	if slash < 0 {
+		return Prefix{}, errors.New("pkt: malformed prefix " + s)
+	}
+	addr, err := ParseIP4(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits := 0
+	for i := slash + 1; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return Prefix{}, errors.New("pkt: malformed prefix " + s)
+		}
+		bits = bits*10 + int(c-'0')
+	}
+	if slash+1 == len(s) || bits > 32 {
+		return Prefix{}, errors.New("pkt: malformed prefix " + s)
+	}
+	return Prefix{Addr: addr, Bits: uint8(bits)}, nil
+}
+
+// MustPrefix is ParsePrefix that panics on error.
+func MustPrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Mask returns the prefix's network mask as a big-endian integer.
+func (p Prefix) Mask() uint32 {
+	if p.Bits == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - p.Bits)
+}
+
+// Contains reports whether ip falls within the prefix.
+func (p Prefix) Contains(ip IP4) bool {
+	return ip.Uint32()&p.Mask() == p.Addr.Uint32()&p.Mask()
+}
+
+// String renders "a.b.c.d/len".
+func (p Prefix) String() string { return fmt.Sprintf("%s/%d", p.Addr, p.Bits) }

@@ -1,0 +1,116 @@
+package pkt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseMAC(t *testing.T) {
+	m, err := ParseMAC("00:1a:2b:3c:4d:5e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (MAC{0x00, 0x1a, 0x2b, 0x3c, 0x4d, 0x5e}) {
+		t.Fatalf("parsed %v", m)
+	}
+	if m.String() != "00:1a:2b:3c:4d:5e" {
+		t.Fatalf("String = %s", m.String())
+	}
+	for _, bad := range []string{"", "00:11:22:33:44", "00:11:22:33:44:GG", "001122334455ab"} {
+		if _, err := ParseMAC(bad); err == nil {
+			t.Errorf("ParseMAC(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestMACProperties(t *testing.T) {
+	if !BroadcastMAC.IsBroadcast() || !BroadcastMAC.IsMulticast() {
+		t.Fatal("broadcast classification wrong")
+	}
+	if MustMAC("01:00:5e:00:00:01").IsBroadcast() {
+		t.Fatal("multicast misclassified as broadcast")
+	}
+	if !MustMAC("01:00:5e:00:00:01").IsMulticast() {
+		t.Fatal("multicast bit not detected")
+	}
+	if MustMAC("02:00:00:00:00:01").IsMulticast() {
+		t.Fatal("unicast misclassified")
+	}
+	var zero MAC
+	if !zero.IsZero() {
+		t.Fatal("zero MAC not detected")
+	}
+}
+
+func TestMACRoundTripProperty(t *testing.T) {
+	f := func(m MAC) bool {
+		got, err := ParseMAC(m.String())
+		return err == nil && got == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseIP4(t *testing.T) {
+	ip, err := ParseIP4("192.168.1.254")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip != (IP4{192, 168, 1, 254}) {
+		t.Fatalf("parsed %v", ip)
+	}
+	for _, bad := range []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1..2.3", "a.b.c.d", "1.2.3.4."} {
+		if _, err := ParseIP4(bad); err == nil {
+			t.Errorf("ParseIP4(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestIP4RoundTripProperty(t *testing.T) {
+	f := func(ip IP4) bool {
+		got, err := ParseIP4(ip.String())
+		if err != nil || got != ip {
+			return false
+		}
+		return IP4FromUint32(ip.Uint32()) == ip
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIP4Classification(t *testing.T) {
+	if !MustIP4("224.0.0.5").IsMulticast() || MustIP4("223.255.255.255").IsMulticast() {
+		t.Fatal("multicast classification wrong")
+	}
+	if !MustIP4("255.255.255.255").IsBroadcast() {
+		t.Fatal("broadcast not detected")
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	p := MustPrefix("10.1.0.0/16")
+	if !p.Contains(MustIP4("10.1.2.3")) {
+		t.Fatal("prefix should contain 10.1.2.3")
+	}
+	if p.Contains(MustIP4("10.2.0.0")) {
+		t.Fatal("prefix should not contain 10.2.0.0")
+	}
+	if p.String() != "10.1.0.0/16" {
+		t.Fatalf("String = %s", p.String())
+	}
+	def := MustPrefix("0.0.0.0/0")
+	if !def.Contains(MustIP4("8.8.8.8")) {
+		t.Fatal("default route should contain everything")
+	}
+	host := MustPrefix("10.0.0.1/32")
+	if !host.Contains(MustIP4("10.0.0.1")) || host.Contains(MustIP4("10.0.0.2")) {
+		t.Fatal("/32 containment wrong")
+	}
+	for _, bad := range []string{"10.0.0.0", "10.0.0.0/33", "10.0.0.0/", "x/8"} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package pkt
+
+import "encoding/binary"
+
+// ARP operations.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ARP is an Ethernet/IPv4 ARP packet (RFC 826).
+type ARP struct {
+	Op                 uint16
+	SenderHW, TargetHW MAC
+	SenderIP, TargetIP IP4
+}
+
+const arpSize = 28
+
+// LayerType implements DecodingLayer.
+func (a *ARP) LayerType() LayerType { return LayerTypeARP }
+
+// DecodeFromBytes implements DecodingLayer. Only Ethernet/IPv4 ARP is
+// accepted (hardware type 1, protocol 0x0800, 6/4 address lengths).
+func (a *ARP) DecodeFromBytes(data []byte) error {
+	if len(data) < arpSize {
+		return ErrTooShort
+	}
+	if binary.BigEndian.Uint16(data[0:2]) != 1 ||
+		binary.BigEndian.Uint16(data[2:4]) != EtherTypeIPv4 ||
+		data[4] != 6 || data[5] != 4 {
+		return ErrVersion
+	}
+	a.Op = binary.BigEndian.Uint16(data[6:8])
+	copy(a.SenderHW[:], data[8:14])
+	copy(a.SenderIP[:], data[14:18])
+	copy(a.TargetHW[:], data[18:24])
+	copy(a.TargetIP[:], data[24:28])
+	return nil
+}
+
+// NextLayerType implements DecodingLayer.
+func (a *ARP) NextLayerType() LayerType { return LayerTypeNone }
+
+// LayerPayload implements DecodingLayer.
+func (a *ARP) LayerPayload() []byte { return nil }
+
+// SerializeTo implements SerializableLayer.
+func (a *ARP) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	h := b.PrependBytes(arpSize)
+	binary.BigEndian.PutUint16(h[0:2], 1)
+	binary.BigEndian.PutUint16(h[2:4], EtherTypeIPv4)
+	h[4], h[5] = 6, 4
+	binary.BigEndian.PutUint16(h[6:8], a.Op)
+	copy(h[8:14], a.SenderHW[:])
+	copy(h[14:18], a.SenderIP[:])
+	copy(h[18:24], a.TargetHW[:])
+	copy(h[24:28], a.TargetIP[:])
+	return nil
+}

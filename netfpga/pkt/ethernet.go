@@ -1,0 +1,104 @@
+package pkt
+
+import "encoding/binary"
+
+// Ethernet is an Ethernet II header.
+type Ethernet struct {
+	Dst, Src  MAC
+	EtherType uint16
+	payload   []byte
+}
+
+// LayerType implements DecodingLayer.
+func (e *Ethernet) LayerType() LayerType { return LayerTypeEthernet }
+
+// DecodeFromBytes implements DecodingLayer.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < EthernetHeaderSize {
+		return ErrTooShort
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	e.payload = data[14:]
+	return nil
+}
+
+// NextLayerType implements DecodingLayer.
+func (e *Ethernet) NextLayerType() LayerType {
+	switch e.EtherType {
+	case EtherTypeIPv4:
+		return LayerTypeIPv4
+	case EtherTypeARP:
+		return LayerTypeARP
+	case EtherTypeVLAN:
+		return LayerTypeVLAN
+	}
+	return LayerTypePayload
+}
+
+// LayerPayload implements DecodingLayer.
+func (e *Ethernet) LayerPayload() []byte { return e.payload }
+
+// SerializeTo implements SerializableLayer.
+func (e *Ethernet) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	h := b.PrependBytes(EthernetHeaderSize)
+	copy(h[0:6], e.Dst[:])
+	copy(h[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(h[12:14], e.EtherType)
+	return nil
+}
+
+// VLAN is an 802.1Q tag. On the wire it follows the Ethernet src address,
+// carrying the tag control information and the encapsulated EtherType.
+type VLAN struct {
+	Priority uint8 // PCP, 3 bits
+	DropOK   bool  // DEI
+	ID       uint16
+	// EtherType of the encapsulated payload.
+	EtherType uint16
+	payload   []byte
+}
+
+// LayerType implements DecodingLayer.
+func (v *VLAN) LayerType() LayerType { return LayerTypeVLAN }
+
+// DecodeFromBytes implements DecodingLayer.
+func (v *VLAN) DecodeFromBytes(data []byte) error {
+	if len(data) < 4 {
+		return ErrTooShort
+	}
+	tci := binary.BigEndian.Uint16(data[0:2])
+	v.Priority = uint8(tci >> 13)
+	v.DropOK = tci&0x1000 != 0
+	v.ID = tci & 0x0FFF
+	v.EtherType = binary.BigEndian.Uint16(data[2:4])
+	v.payload = data[4:]
+	return nil
+}
+
+// NextLayerType implements DecodingLayer.
+func (v *VLAN) NextLayerType() LayerType {
+	switch v.EtherType {
+	case EtherTypeIPv4:
+		return LayerTypeIPv4
+	case EtherTypeARP:
+		return LayerTypeARP
+	}
+	return LayerTypePayload
+}
+
+// LayerPayload implements DecodingLayer.
+func (v *VLAN) LayerPayload() []byte { return v.payload }
+
+// SerializeTo implements SerializableLayer.
+func (v *VLAN) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	h := b.PrependBytes(4)
+	tci := uint16(v.Priority&7)<<13 | v.ID&0x0FFF
+	if v.DropOK {
+		tci |= 0x1000
+	}
+	binary.BigEndian.PutUint16(h[0:2], tci)
+	binary.BigEndian.PutUint16(h[2:4], v.EtherType)
+	return nil
+}

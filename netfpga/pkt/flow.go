@@ -1,0 +1,111 @@
+package pkt
+
+// Endpoint is a hashable, comparable representation of one side of a
+// conversation at some layer, usable as a map key — the gopacket
+// Flow/Endpoint idiom.
+type Endpoint struct {
+	Type LayerType // layer the endpoint belongs to
+	// hi/lo pack the address bytes: MACs use lo's low 48 bits, IPv4 lo's
+	// low 32 bits, ports lo's low 16 bits.
+	lo uint64
+}
+
+// MACEndpoint returns m as an endpoint.
+func MACEndpoint(m MAC) Endpoint {
+	var v uint64
+	for _, b := range m {
+		v = v<<8 | uint64(b)
+	}
+	return Endpoint{Type: LayerTypeEthernet, lo: v}
+}
+
+// IPEndpoint returns ip as an endpoint.
+func IPEndpoint(ip IP4) Endpoint {
+	return Endpoint{Type: LayerTypeIPv4, lo: uint64(ip.Uint32())}
+}
+
+// PortEndpoint returns a transport port as an endpoint of the given layer
+// (LayerTypeUDP or LayerTypeTCP).
+func PortEndpoint(layer LayerType, port uint16) Endpoint {
+	return Endpoint{Type: layer, lo: uint64(port)}
+}
+
+// Flow is an ordered (src, dst) endpoint pair.
+type Flow struct {
+	Src, Dst Endpoint
+}
+
+// NewFlow builds a flow from src to dst.
+func NewFlow(src, dst Endpoint) Flow { return Flow{Src: src, Dst: dst} }
+
+// Reverse returns the flow in the opposite direction.
+func (f Flow) Reverse() Flow { return Flow{Src: f.Dst, Dst: f.Src} }
+
+// Endpoints returns the flow's endpoints.
+func (f Flow) Endpoints() (src, dst Endpoint) { return f.Src, f.Dst }
+
+// fastHash64 is a fixed-key SipHash-free mixer (xorshift-multiply) good
+// enough for load balancing; it is not cryptographic.
+func fastHash64(v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}
+
+// FastHash returns a non-cryptographic hash of the endpoint.
+func (e Endpoint) FastHash() uint64 {
+	return fastHash64(e.lo ^ uint64(e.Type)<<56)
+}
+
+// FastHash returns a symmetric hash: a flow and its reverse hash equal, so
+// hash-based load balancing keeps both directions of a conversation on
+// one worker — the property gopacket documents for its FastHash.
+func (f Flow) FastHash() uint64 {
+	a, b := f.Src.FastHash(), f.Dst.FastHash()
+	if a > b {
+		a, b = b, a
+	}
+	return fastHash64(a ^ (b << 1) ^ (b >> 63))
+}
+
+// FiveTuple is the classic connection identifier, comparable and usable as
+// a match key in flow tables.
+type FiveTuple struct {
+	Src, Dst         IP4
+	Proto            uint8
+	SrcPort, DstPort uint16
+}
+
+// Reverse returns the five-tuple of the opposite direction.
+func (ft FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{Src: ft.Dst, Dst: ft.Src, Proto: ft.Proto, SrcPort: ft.DstPort, DstPort: ft.SrcPort}
+}
+
+// FastHash returns a symmetric hash of the five-tuple.
+func (ft FiveTuple) FastHash() uint64 {
+	a := uint64(ft.Src.Uint32())<<16 | uint64(ft.SrcPort)
+	b := uint64(ft.Dst.Uint32())<<16 | uint64(ft.DstPort)
+	if a > b {
+		a, b = b, a
+	}
+	return fastHash64(a ^ fastHash64(b) ^ uint64(ft.Proto)<<56)
+}
+
+// ExtractFiveTuple pulls the five-tuple out of a decoded packet; ok is
+// false for non-IP or fragmented-beyond-first packets without ports.
+func ExtractFiveTuple(p *Packet) (FiveTuple, bool) {
+	if p.IPv4 == nil {
+		return FiveTuple{}, false
+	}
+	ft := FiveTuple{Src: p.IPv4.Src, Dst: p.IPv4.Dst, Proto: p.IPv4.Protocol}
+	switch {
+	case p.UDP != nil:
+		ft.SrcPort, ft.DstPort = p.UDP.SrcPort, p.UDP.DstPort
+	case p.TCP != nil:
+		ft.SrcPort, ft.DstPort = p.TCP.SrcPort, p.TCP.DstPort
+	}
+	return ft, true
+}

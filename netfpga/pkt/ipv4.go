@@ -1,0 +1,123 @@
+package pkt
+
+import "encoding/binary"
+
+// IPv4 flag bits (in the flags/fragment-offset word).
+const (
+	IPv4DontFragment  uint16 = 0x4000
+	IPv4MoreFragments uint16 = 0x2000
+	ipv4OffsetMask    uint16 = 0x1FFF
+)
+
+// IPv4 is an IPv4 header (RFC 791).
+type IPv4 struct {
+	TOS        uint8
+	Length     uint16 // total length including header
+	ID         uint16
+	Flags      uint16 // IPv4DontFragment / IPv4MoreFragments
+	FragOffset uint16 // in 8-byte units
+	TTL        uint8
+	Protocol   uint8
+	Checksum   uint16
+	Src, Dst   IP4
+	Options    []byte
+	payload    []byte
+}
+
+// LayerType implements DecodingLayer.
+func (ip *IPv4) LayerType() LayerType { return LayerTypeIPv4 }
+
+// DecodeFromBytes implements DecodingLayer.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < 20 {
+		return ErrTooShort
+	}
+	if data[0]>>4 != 4 {
+		return ErrVersion
+	}
+	ihl := int(data[0]&0x0F) * 4
+	if ihl < 20 || ihl > len(data) {
+		return ErrLength
+	}
+	ip.TOS = data[1]
+	ip.Length = binary.BigEndian.Uint16(data[2:4])
+	if int(ip.Length) < ihl || int(ip.Length) > len(data) {
+		return ErrLength
+	}
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	fo := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = fo &^ ipv4OffsetMask
+	ip.FragOffset = fo & ipv4OffsetMask
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	copy(ip.Src[:], data[12:16])
+	copy(ip.Dst[:], data[16:20])
+	ip.Options = data[20:ihl]
+	ip.payload = data[ihl:ip.Length]
+	return nil
+}
+
+// VerifyChecksum reports whether the decoded header's checksum is valid.
+// It must be called with the original header bytes.
+func (ip *IPv4) VerifyChecksum(header []byte) bool {
+	ihl := int(header[0]&0x0F) * 4
+	if ihl < 20 || ihl > len(header) {
+		return false
+	}
+	return Checksum(header[:ihl], 0) == 0
+}
+
+// NextLayerType implements DecodingLayer. Non-first fragments are opaque.
+func (ip *IPv4) NextLayerType() LayerType {
+	if ip.FragOffset != 0 {
+		return LayerTypePayload
+	}
+	switch ip.Protocol {
+	case IPProtoICMP:
+		return LayerTypeICMPv4
+	case IPProtoTCP:
+		return LayerTypeTCP
+	case IPProtoUDP:
+		return LayerTypeUDP
+	}
+	return LayerTypePayload
+}
+
+// LayerPayload implements DecodingLayer.
+func (ip *IPv4) LayerPayload() []byte { return ip.payload }
+
+// HeaderLen returns the header length in bytes for the current Options.
+func (ip *IPv4) HeaderLen() int { return 20 + (len(ip.Options)+3)&^3 }
+
+// SerializeTo implements SerializableLayer.
+func (ip *IPv4) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	hlen := ip.HeaderLen()
+	if hlen > 60 {
+		return ErrLength
+	}
+	payloadLen := b.Len()
+	h := b.PrependBytes(hlen)
+	h[0] = 4<<4 | uint8(hlen/4)
+	h[1] = ip.TOS
+	if opts.FixLengths {
+		ip.Length = uint16(hlen + payloadLen)
+	}
+	binary.BigEndian.PutUint16(h[2:4], ip.Length)
+	binary.BigEndian.PutUint16(h[4:6], ip.ID)
+	binary.BigEndian.PutUint16(h[6:8], ip.Flags&^ipv4OffsetMask|ip.FragOffset&ipv4OffsetMask)
+	h[8] = ip.TTL
+	h[9] = ip.Protocol
+	h[10], h[11] = 0, 0
+	copy(h[12:16], ip.Src[:])
+	copy(h[16:20], ip.Dst[:])
+	copy(h[20:], ip.Options)
+	for i := 20 + len(ip.Options); i < hlen; i++ {
+		h[i] = 0 // option padding
+	}
+	if opts.ComputeChecksums {
+		ip.Checksum = Checksum(h[:hlen], 0)
+	}
+	binary.BigEndian.PutUint16(h[10:12], ip.Checksum)
+	return nil
+}

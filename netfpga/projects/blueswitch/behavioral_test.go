@@ -1,0 +1,55 @@
+package blueswitch
+
+import (
+	"testing"
+
+	"repro/netfpga"
+)
+
+func TestBehavioralMatchesPolicy(t *testing.T) {
+	p := New(Config{Mode: Versioned})
+	b := p.NewBehavioral().(*Behavioral)
+	if err := b.InstallInitial(TagForwardPolicy(0x0800, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	out := b.Process(0, frame(0x0800, 0))
+	if len(out) != 1 || out[0].Port != 2 {
+		t.Fatalf("behavioral forwarded to %v", out)
+	}
+	if got := b.Process(0, frame(0x86DD, 0)); len(got) != 0 {
+		t.Fatalf("behavioral should drop unmatched: %v", got)
+	}
+}
+
+func TestBehavioralPolicySizeMismatch(t *testing.T) {
+	p := New(Config{})
+	b := p.NewBehavioral().(*Behavioral)
+	if err := b.InstallInitial(Policy{{}}); err == nil {
+		t.Fatal("short policy accepted")
+	}
+}
+
+func TestUnifiedSimVsBehavioral(t *testing.T) {
+	p := New(Config{Mode: Versioned})
+	pol := TagForwardPolicy(0x0800, 1, 1)
+	vectors := []netfpga.TestVector{
+		{Port: 0, Data: frame(0x0800, 0)},
+		{Port: 2, Data: frame(0x0800, 0), At: 200 * netfpga.Microsecond},
+		{Port: 1, Data: frame(0x86DD, 0), At: 400 * netfpga.Microsecond},
+	}
+	_, _, err := netfpga.RunUnified(p, func() *netfpga.Device {
+		return netfpga.NewDevice(netfpga.SUME(), netfpga.Options{})
+	}, netfpga.TestCase{
+		Name:    "blueswitch_match_action",
+		Vectors: vectors,
+		Configure: func(*netfpga.Device) error {
+			return p.InstallInitial(pol)
+		},
+		ConfigureBehavioral: func(b netfpga.Behavioral) error {
+			return b.(*Behavioral).InstallInitial(pol)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

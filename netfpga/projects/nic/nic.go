@@ -1,0 +1,83 @@
+// Package nic is the reference NIC project: the simplest reference
+// design, connecting each front-panel port to the corresponding host DMA
+// queue. It is the "hello world" of the platform and the basis of the
+// host-I/O experiments.
+package nic
+
+import (
+	"fmt"
+
+	"repro/netfpga"
+	"repro/netfpga/hw"
+	"repro/netfpga/lib"
+)
+
+// Project is the reference NIC.
+type Project struct {
+	ports int
+	pipe  *lib.Pipeline
+
+	rxToHost, txFromHost uint64
+}
+
+// New returns a reference NIC project.
+func New() *Project { return &Project{} }
+
+// Name implements netfpga.Project.
+func (p *Project) Name() string { return "reference_nic" }
+
+// Description implements netfpga.Project.
+func (p *Project) Description() string {
+	return "reference NIC: each port bridged to its host DMA queue"
+}
+
+// Build implements netfpga.Project.
+func (p *Project) Build(dev *netfpga.Device) error {
+	p.ports = dev.Board.Ports
+	pipe, err := lib.BuildReference(dev, lib.PipelineConfig{
+		LookupName:    "nic_output_port_lookup",
+		Lookup:        p.lookup,
+		LookupLatency: 1,
+		LookupRes:     hw.Resources{LUTs: 1900, FFs: 2300, BRAM36: 1},
+		WithDMA:       true,
+	})
+	if err != nil {
+		return fmt.Errorf("nic: %w", err)
+	}
+	p.pipe = pipe
+	rf := hw.NewRegisterFile("nic")
+	rf.AddCounter64(0x0, "rx_to_host", &p.rxToHost)
+	rf.AddCounter64(0x8, "tx_from_host", &p.txFromHost)
+	dev.MountRegs(rf)
+	return nil
+}
+
+// lookup bridges ports and host queues 1:1.
+func (p *Project) lookup(f *hw.Frame) lib.Verdict {
+	if f.Meta.Flags&hw.FlagFromHost != 0 {
+		q := int(f.Meta.SrcPort) - hw.HostPortBase
+		f.Meta.DstPorts = hw.PortMask(q % p.ports)
+		p.txFromHost++
+	} else {
+		f.Meta.DstPorts = hw.HostPortMask(int(f.Meta.SrcPort) % hw.MaxHostPorts)
+		p.rxToHost++
+	}
+	return lib.Forward
+}
+
+// Pipeline exposes the built pipeline (nil before Build).
+func (p *Project) Pipeline() *lib.Pipeline { return p.pipe }
+
+// NewBehavioral implements netfpga.BehavioralProject.
+func (p *Project) NewBehavioral() netfpga.Behavioral { return behavioral{} }
+
+type behavioral struct{}
+
+// Process implements netfpga.Behavioral: wire frames go to the host
+// queue of their ingress port; host frames go out the matching port.
+func (behavioral) Process(port int, data []byte) []netfpga.Emit {
+	if q, fromHost := netfpga.FromHostPort(port); fromHost {
+		return []netfpga.Emit{{Port: q, Data: data}}
+	}
+	return []netfpga.Emit{{Port: netfpga.HostPort(port), Data: data}}
+}

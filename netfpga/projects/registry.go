@@ -1,0 +1,45 @@
+// Package projects enumerates the reference and contributed projects
+// shipped with gonetfpga, for the CLI tools and the unified test runner.
+package projects
+
+import (
+	"repro/netfpga"
+	"repro/netfpga/projects/blueswitch"
+	"repro/netfpga/projects/iotest"
+	"repro/netfpga/projects/nic"
+	"repro/netfpga/projects/osnt"
+	"repro/netfpga/projects/router"
+	"repro/netfpga/projects/switchp"
+)
+
+// Entry describes one available project.
+type Entry struct {
+	// Name is the project's registry key.
+	Name string
+	// Kind is "reference" or "contributed".
+	Kind string
+	// New builds a fresh instance.
+	New func() netfpga.Project
+}
+
+// All returns every shipped project.
+func All() []Entry {
+	return []Entry{
+		{"reference_nic", "reference", func() netfpga.Project { return nic.New() }},
+		{"reference_switch", "reference", func() netfpga.Project { return switchp.New(switchp.Config{}) }},
+		{"reference_router", "reference", func() netfpga.Project { return router.New(router.Config{}) }},
+		{"reference_iotest", "reference", func() netfpga.Project { return iotest.New() }},
+		{"osnt", "contributed", func() netfpga.Project { return osnt.New() }},
+		{"blueswitch", "contributed", func() netfpga.Project { return blueswitch.New(blueswitch.Config{}) }},
+	}
+}
+
+// ByName returns the entry with the given name.
+func ByName(name string) (Entry, bool) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}

@@ -1,0 +1,84 @@
+package projects
+
+import (
+	"testing"
+
+	"repro/netfpga"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("registry has %d projects, want 6", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if seen[e.Name] {
+			t.Fatalf("duplicate project %s", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Kind != "reference" && e.Kind != "contributed" {
+			t.Fatalf("%s has kind %q", e.Name, e.Kind)
+		}
+		p := e.New()
+		if p.Name() != e.Name {
+			t.Fatalf("registry name %q != project name %q", e.Name, p.Name())
+		}
+		if p.Description() == "" {
+			t.Fatalf("%s has no description", e.Name)
+		}
+	}
+}
+
+func TestRegistryByName(t *testing.T) {
+	if _, ok := ByName("reference_router"); !ok {
+		t.Fatal("router missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("bogus name found")
+	}
+}
+
+func TestEveryProjectBuildsAndSynthesizesOnSUME(t *testing.T) {
+	for _, e := range All() {
+		dev := netfpga.NewDevice(netfpga.SUME(), netfpga.Options{})
+		p := e.New()
+		if err := p.Build(dev); err != nil {
+			t.Errorf("%s: build: %v", e.Name, err)
+			continue
+		}
+		if _, err := dev.Dsn.Synthesize(dev.Board.FPGA); err != nil {
+			t.Errorf("%s: synthesize: %v", e.Name, err)
+		}
+	}
+}
+
+func TestFreshInstancesAreIndependent(t *testing.T) {
+	e, _ := ByName("reference_switch")
+	a, b := e.New(), e.New()
+	devA := netfpga.NewDevice(netfpga.SUME(), netfpga.Options{})
+	devB := netfpga.NewDevice(netfpga.SUME(), netfpga.Options{})
+	if err := a.Build(devA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Build(devB); err != nil {
+		t.Fatal(err)
+	}
+	// Traffic on A must not affect B's state.
+	devA.Tap(0)
+	devA.Tap(1)
+	frame := make([]byte, 60)
+	frame[0], frame[6] = 0x02, 0x02
+	frame[5], frame[11] = 1, 2
+	frame[12], frame[13] = 0x88, 0xB5
+	devA.Tap(0).Send(frame)
+	devA.RunFor(netfpga.Millisecond)
+	stA := devA.Dsn.Stats()
+	stB := devB.Dsn.Stats()
+	if stA["input_arbiter.packets"] != 1 {
+		t.Fatalf("A saw %d packets", stA["input_arbiter.packets"])
+	}
+	if stB["input_arbiter.packets"] != 0 {
+		t.Fatal("instances share state")
+	}
+}

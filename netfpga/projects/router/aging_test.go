@@ -1,0 +1,108 @@
+package router
+
+import (
+	"testing"
+
+	"repro/netfpga"
+	"repro/netfpga/hw"
+	"repro/netfpga/pkt"
+)
+
+func TestARPAgingExpiresDynamicEntries(t *testing.T) {
+	dev := newDev()
+	p := New(Config{ARPTimeout: 5 * netfpga.Millisecond})
+	if err := p.Build(dev); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		dev.Tap(i)
+		p.AddRoute(Route{
+			Prefix: pkt.Prefix{Addr: pkt.IP4{10, 0, byte(i), 0}, Bits: 24},
+			Port:   uint8(i),
+		})
+	}
+	p.AddARP(hostXIP, hostXMAC) // static seed: never ages
+
+	// Dynamic learn through the slow path: host Y answers the router's
+	// ARP request.
+	tapY := dev.Tap(1)
+	tapY.OnRx = func(f *hw.Frame, _ netfpga.Time) {
+		d, err := pkt.Decode(f.Data)
+		if err != nil || d.ARP == nil || d.ARP.Op != pkt.ARPRequest {
+			return
+		}
+		reply, _ := pkt.BuildARPReply(hostYMAC, hostYIP, d.ARP.SenderHW, d.ARP.SenderIP)
+		tapY.Send(pkt.PadToMin(reply))
+	}
+	dev.Tap(0).Send(udpXtoY(t, 64, []byte("trigger-arp")))
+	dev.RunFor(2 * netfpga.Millisecond)
+	if _, ok := p.Engine().ARP[hostYIP]; !ok {
+		t.Fatal("dynamic entry not learned")
+	}
+
+	// Idle past the timeout: the dynamic entry ages out, the static one
+	// stays.
+	dev.RunFor(20 * netfpga.Millisecond)
+	if _, ok := p.Engine().ARP[hostYIP]; ok {
+		t.Fatal("dynamic ARP entry survived aging")
+	}
+	if _, ok := p.Engine().ARP[hostXIP]; !ok {
+		t.Fatal("static ARP entry aged out")
+	}
+}
+
+func TestARPAgingRefreshedByTraffic(t *testing.T) {
+	dev := newDev()
+	p := New(Config{ARPTimeout: 5 * netfpga.Millisecond})
+	if err := p.Build(dev); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		dev.Tap(i)
+		p.AddRoute(Route{
+			Prefix: pkt.Prefix{Addr: pkt.IP4{10, 0, byte(i), 0}, Bits: 24},
+			Port:   uint8(i),
+		})
+	}
+	p.AddARP(hostXIP, hostXMAC)
+	tapY := dev.Tap(1)
+	tapY.OnRx = func(f *hw.Frame, _ netfpga.Time) {
+		d, err := pkt.Decode(f.Data)
+		if err != nil || d.ARP == nil || d.ARP.Op != pkt.ARPRequest {
+			return
+		}
+		reply, _ := pkt.BuildARPReply(hostYMAC, hostYIP, d.ARP.SenderHW, d.ARP.SenderIP)
+		tapY.Send(pkt.PadToMin(reply))
+	}
+	dev.Tap(0).Send(udpXtoY(t, 64, nil))
+	dev.RunFor(2 * netfpga.Millisecond)
+
+	// Keep re-ARPing within the timeout window: gratuitous replies
+	// refresh the entry.
+	for i := 0; i < 6; i++ {
+		reply, _ := pkt.BuildARPReply(hostYMAC, hostYIP, DefaultInterfaces(4)[1].MAC, DefaultInterfaces(4)[1].IP)
+		tapY.Send(pkt.PadToMin(reply))
+		dev.RunFor(3 * netfpga.Millisecond)
+	}
+	if _, ok := p.Engine().ARP[hostYIP]; !ok {
+		t.Fatal("refreshed entry aged out")
+	}
+}
+
+func TestAgeARPDirect(t *testing.T) {
+	e := NewEngine(DefaultInterfaces(2))
+	now := int64(0)
+	e.SetClock(func() int64 { return now })
+	e.learnARP(hostYIP, hostYMAC)
+	now = 100
+	e.learnARP(hostXIP, hostXMAC)
+	if removed := e.AgeARP(50); removed != 1 {
+		t.Fatalf("aged %d entries, want 1", removed)
+	}
+	if _, ok := e.ARP[hostYIP]; ok {
+		t.Fatal("old entry survived")
+	}
+	if _, ok := e.ARP[hostXIP]; !ok {
+		t.Fatal("fresh entry removed")
+	}
+}

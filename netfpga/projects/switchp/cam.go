@@ -1,0 +1,100 @@
+package switchp
+
+import "repro/netfpga/pkt"
+
+// camEntry is one learned address.
+type camEntry struct {
+	port     uint8
+	lastSeen int64 // opaque timestamp (picoseconds in sim, 0 if unaged)
+}
+
+// CAM is the learning table of the reference switch — a bounded
+// MAC→port map with optional aging, shared verbatim between the
+// cycle-level lookup stage and the behavioral model so the unified tests
+// compare two pipelines, not two table implementations.
+type CAM struct {
+	entries  map[pkt.MAC]camEntry
+	capacity int
+	ageAfter int64 // 0 disables aging
+
+	lookups, hits, misses  uint64
+	learns, evicts, ageOut uint64
+}
+
+// NewCAM builds a table bounded to capacity entries. ageAfter (in the
+// same unit as the now argument of Lookup/Learn) expires idle entries;
+// 0 disables aging.
+func NewCAM(capacity int, ageAfter int64) *CAM {
+	if capacity <= 0 {
+		capacity = 16384
+	}
+	return &CAM{entries: make(map[pkt.MAC]camEntry), capacity: capacity, ageAfter: ageAfter}
+}
+
+// Learn records src on port. Re-learning refreshes the timestamp and
+// follows moves. A full table evicts nothing (new addresses are simply
+// not learned), matching the reference design's behaviour.
+func (c *CAM) Learn(src pkt.MAC, port uint8, now int64) {
+	if src.IsMulticast() || src.IsZero() {
+		return
+	}
+	if e, ok := c.entries[src]; ok {
+		e.port = port
+		e.lastSeen = now
+		c.entries[src] = e
+		return
+	}
+	if len(c.entries) >= c.capacity {
+		c.evicts++ // counted as a failed learn
+		return
+	}
+	c.entries[src] = camEntry{port: port, lastSeen: now}
+	c.learns++
+}
+
+// Lookup resolves dst to a port. Expired entries miss (and are removed).
+func (c *CAM) Lookup(dst pkt.MAC, now int64) (uint8, bool) {
+	c.lookups++
+	e, ok := c.entries[dst]
+	if !ok {
+		c.misses++
+		return 0, false
+	}
+	if c.ageAfter > 0 && now-e.lastSeen > c.ageAfter {
+		delete(c.entries, dst)
+		c.ageOut++
+		c.misses++
+		return 0, false
+	}
+	c.hits++
+	return e.port, true
+}
+
+// Sweep removes all entries idle longer than the age limit; the switch
+// agent calls it periodically.
+func (c *CAM) Sweep(now int64) int {
+	if c.ageAfter == 0 {
+		return 0
+	}
+	removed := 0
+	for m, e := range c.entries {
+		if now-e.lastSeen > c.ageAfter {
+			delete(c.entries, m)
+			removed++
+		}
+	}
+	c.ageOut += uint64(removed)
+	return removed
+}
+
+// Len returns the number of live entries.
+func (c *CAM) Len() int { return len(c.entries) }
+
+// Stats exports table counters.
+func (c *CAM) Stats() map[string]uint64 {
+	return map[string]uint64{
+		"lookups": c.lookups, "hits": c.hits, "misses": c.misses,
+		"learns": c.learns, "failed_learns": c.evicts, "aged_out": c.ageOut,
+		"entries": uint64(len(c.entries)),
+	}
+}

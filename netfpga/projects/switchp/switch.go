@@ -1,0 +1,178 @@
+// Package switchp is the reference switch project: a learning layer-2
+// switch with a bounded CAM, flooding on miss/broadcast, and optional
+// address aging — the design most NetFPGA teaching labs start from.
+package switchp
+
+import (
+	"fmt"
+
+	"repro/netfpga"
+	"repro/netfpga/hw"
+	"repro/netfpga/lib"
+	"repro/netfpga/pkt"
+)
+
+// Config tunes the switch.
+type Config struct {
+	// TableSize bounds the CAM (0 means 16384 entries).
+	TableSize int
+	// AgeAfter expires idle entries (0 disables aging).
+	AgeAfter netfpga.Time
+	// WithDMA bridges unknown-unicast/broadcast to the host as well.
+	WithDMA bool
+}
+
+// Project is the reference switch.
+type Project struct {
+	cfg   Config
+	ports int
+	cam   *CAM
+	pipe  *lib.Pipeline
+	dev   *netfpga.Device
+
+	floods uint64
+}
+
+// New returns a reference switch project.
+func New(cfg Config) *Project { return &Project{cfg: cfg} }
+
+// Name implements netfpga.Project.
+func (p *Project) Name() string { return "reference_switch" }
+
+// Description implements netfpga.Project.
+func (p *Project) Description() string {
+	return "reference learning L2 switch: CAM learning, flood on miss, aging"
+}
+
+// Build implements netfpga.Project.
+func (p *Project) Build(dev *netfpga.Device) error {
+	p.dev = dev
+	p.ports = dev.Board.Ports
+	p.cam = NewCAM(p.cfg.TableSize, int64(p.cfg.AgeAfter))
+	pipe, err := lib.BuildReference(dev, lib.PipelineConfig{
+		LookupName:    "switch_output_port_lookup",
+		Lookup:        p.lookup,
+		LookupLatency: 2, // CAM read + decision
+		LookupRes:     hw.Resources{LUTs: 4100, FFs: 4600, BRAM36: 13},
+		WithDMA:       p.cfg.WithDMA,
+	})
+	if err != nil {
+		return fmt.Errorf("switchp: %w", err)
+	}
+	p.pipe = pipe
+
+	rf := hw.NewRegisterFile("switch")
+	rf.AddCounter64(0x0, "floods", &p.floods)
+	rf.AddRO(0x8, "cam_entries", func() uint32 { return uint32(p.cam.Len()) })
+	rf.AddRO(0xC, "cam_size", func() uint32 { return uint32(p.cfg.TableSize) })
+	dev.MountRegs(rf)
+
+	if p.cfg.AgeAfter > 0 {
+		dev.AddAgent(&sweeper{p: p})
+	}
+	return nil
+}
+
+// lookup is the switch decision, shared in structure with the behavioral
+// model through the CAM.
+func (p *Project) lookup(f *hw.Frame) lib.Verdict {
+	if f.Meta.Flags&hw.FlagFromCPU != 0 && f.Meta.DstPorts != 0 {
+		return lib.Forward
+	}
+	var eth pkt.Ethernet
+	if err := eth.DecodeFromBytes(f.Data); err != nil {
+		return lib.Drop
+	}
+	now := int64(p.dev.Now())
+	ingress := f.Meta.SrcPort
+	fromHost := f.Meta.Flags&hw.FlagFromHost != 0
+	if !fromHost {
+		p.cam.Learn(eth.Src, ingress, now)
+	}
+
+	if !eth.Dst.IsMulticast() {
+		if port, ok := p.cam.Lookup(eth.Dst, now); ok {
+			if !fromHost && port == ingress {
+				return lib.Drop // destination is on the source segment
+			}
+			f.Meta.DstPorts = hw.PortMask(int(port))
+			return lib.Forward
+		}
+	}
+	// Broadcast, multicast or unknown unicast: flood.
+	p.floods++
+	mask := hw.AllPortsMask(p.ports)
+	if !fromHost {
+		mask &^= hw.PortMask(int(ingress))
+	}
+	f.Meta.DstPorts = mask
+	return lib.Forward
+}
+
+// CAMTable exposes the table for tests and the CLI.
+func (p *Project) CAMTable() *CAM { return p.cam }
+
+// Pipeline exposes the built pipeline (nil before Build).
+func (p *Project) Pipeline() *lib.Pipeline { return p.pipe }
+
+// sweeper is the switch agent: periodic CAM aging.
+type sweeper struct {
+	p *Project
+}
+
+// Name implements netfpga.Agent.
+func (s *sweeper) Name() string { return "cam_sweeper" }
+
+// Start implements netfpga.Agent.
+func (s *sweeper) Start(dev *netfpga.Device) {
+	interval := s.p.cfg.AgeAfter / 4
+	if interval <= 0 {
+		return
+	}
+	dev.Every(interval, func() { s.p.cam.Sweep(int64(dev.Now())) })
+}
+
+// Behavioral is the packet-level model of the switch.
+type Behavioral struct {
+	ports int
+	cam   *CAM
+	seq   int64 // logical time: one tick per processed frame
+}
+
+// NewBehavioral implements netfpga.BehavioralProject. The model has its
+// own CAM instance (aging disabled: behavioral runs are timeless).
+func (p *Project) NewBehavioral() netfpga.Behavioral {
+	ports := p.ports
+	if ports == 0 {
+		ports = 4
+	}
+	return &Behavioral{ports: ports, cam: NewCAM(p.cfg.TableSize, 0)}
+}
+
+// Process implements netfpga.Behavioral.
+func (b *Behavioral) Process(port int, data []byte) []netfpga.Emit {
+	b.seq++
+	var eth pkt.Ethernet
+	if err := eth.DecodeFromBytes(data); err != nil {
+		return nil
+	}
+	if _, fromHost := netfpga.FromHostPort(port); !fromHost {
+		b.cam.Learn(eth.Src, uint8(port), b.seq)
+	}
+	if !eth.Dst.IsMulticast() {
+		if out, ok := b.cam.Lookup(eth.Dst, b.seq); ok {
+			if int(out) == port {
+				return nil
+			}
+			return []netfpga.Emit{{Port: int(out), Data: data}}
+		}
+	}
+	var out []netfpga.Emit
+	for i := 0; i < b.ports; i++ {
+		if i == port {
+			continue
+		}
+		out = append(out, netfpga.Emit{Port: i, Data: data})
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+// Package workload synthesises realistic test traffic for benchmarks,
+// examples and OSNT replay: weighted frame-size mixes (including the
+// classic IMIX), multi-flow UDP conversations over configurable
+// prefixes, and pcap emission so any generated workload can be replayed
+// through the OSNT generator or external tools.
+package workload
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+	"repro/netfpga/hw"
+	"repro/netfpga/pcap"
+	"repro/netfpga/pkt"
+)
+
+// SizeWeight is one frame size with its relative weight.
+type SizeWeight struct {
+	Bytes  int // frame size without FCS
+	Weight int
+}
+
+// IMIX returns the classic simple-IMIX distribution (7:4:1 of
+// 64/576/1518-byte wire frames, expressed without FCS).
+func IMIX() []SizeWeight {
+	return []SizeWeight{{60, 7}, {572, 4}, {1514, 1}}
+}
+
+// FixedSize returns a single-size distribution.
+func FixedSize(bytes int) []SizeWeight { return []SizeWeight{{bytes, 1}} }
+
+// MeanSize returns the distribution's expected frame size.
+func MeanSize(sizes []SizeWeight) float64 {
+	var sum, w float64
+	for _, s := range sizes {
+		sum += float64(s.Bytes * s.Weight)
+		w += float64(s.Weight)
+	}
+	if w == 0 {
+		return 0
+	}
+	return sum / w
+}
+
+// Config parameterises a generator.
+type Config struct {
+	// Seed makes the workload reproducible.
+	Seed uint64
+	// Sizes is the frame-size mix; nil means IMIX.
+	Sizes []SizeWeight
+	// Flows is the number of distinct UDP 5-tuples (0 means 64).
+	Flows int
+	// SrcNet/DstNet are the address pools; zero values mean
+	// 10.1.0.0/16 and 10.2.0.0/16.
+	SrcNet, DstNet pkt.Prefix
+	// SrcMAC/DstMAC fix the L2 addresses; zero values use locally
+	// administered defaults (switch workloads usually override per
+	// frame after generation).
+	SrcMAC, DstMAC pkt.MAC
+}
+
+// flow is one synthetic conversation.
+type flow struct {
+	src, dst       pkt.IP4
+	sport, dport   uint16
+	srcMAC, dstMAC pkt.MAC
+}
+
+// Generator produces frames from a fixed flow set with a weighted size
+// mix. It is deterministic for a given Config.
+type Generator struct {
+	cfg    Config
+	rng    *sim.Rand
+	flows  []flow
+	wheel  []int // size index wheel for weighted sampling
+	frames uint64
+	bytes  uint64
+}
+
+// New builds a generator.
+func New(cfg Config) (*Generator, error) {
+	if cfg.Sizes == nil {
+		cfg.Sizes = IMIX()
+	}
+	if cfg.Flows == 0 {
+		cfg.Flows = 64
+	}
+	if cfg.SrcNet == (pkt.Prefix{}) {
+		cfg.SrcNet = pkt.MustPrefix("10.1.0.0/16")
+	}
+	if cfg.DstNet == (pkt.Prefix{}) {
+		cfg.DstNet = pkt.MustPrefix("10.2.0.0/16")
+	}
+	if cfg.SrcMAC.IsZero() {
+		cfg.SrcMAC = pkt.MustMAC("02:77:00:00:00:01")
+	}
+	if cfg.DstMAC.IsZero() {
+		cfg.DstMAC = pkt.MustMAC("02:77:00:00:00:02")
+	}
+	for _, s := range cfg.Sizes {
+		if s.Bytes < 60 || s.Bytes > 9000 {
+			return nil, fmt.Errorf("workload: frame size %d out of range", s.Bytes)
+		}
+		if s.Weight <= 0 {
+			return nil, fmt.Errorf("workload: non-positive weight")
+		}
+	}
+	g := &Generator{cfg: cfg, rng: sim.NewRand(cfg.Seed ^ 0x3017c10ad)}
+	// Build the flow set deterministically.
+	srcBase, dstBase := cfg.SrcNet.Addr.Uint32(), cfg.DstNet.Addr.Uint32()
+	srcSpace := ^cfg.SrcNet.Mask()
+	dstSpace := ^cfg.DstNet.Mask()
+	for i := 0; i < cfg.Flows; i++ {
+		f := flow{
+			src:    pkt.IP4FromUint32(srcBase | (g.rng.Uint32() & srcSpace)),
+			dst:    pkt.IP4FromUint32(dstBase | (g.rng.Uint32() & dstSpace)),
+			sport:  uint16(1024 + g.rng.Intn(60000)),
+			dport:  uint16(1024 + g.rng.Intn(60000)),
+			srcMAC: cfg.SrcMAC,
+			dstMAC: cfg.DstMAC,
+		}
+		g.flows = append(g.flows, f)
+	}
+	// Weighted wheel for size sampling.
+	for i, s := range cfg.Sizes {
+		for w := 0; w < s.Weight; w++ {
+			g.wheel = append(g.wheel, i)
+		}
+	}
+	return g, nil
+}
+
+// Next produces the next frame: a UDP packet from a uniformly chosen
+// flow with a size drawn from the weighted mix.
+func (g *Generator) Next() []byte {
+	f := g.flows[g.rng.Intn(len(g.flows))]
+	size := g.cfg.Sizes[g.wheel[g.rng.Intn(len(g.wheel))]].Bytes
+	payload := size - 42 // Eth(14)+IPv4(20)+UDP(8)
+	if payload < 0 {
+		payload = 0
+	}
+	frame, err := pkt.BuildUDP(pkt.UDPSpec{
+		SrcMAC: f.srcMAC, DstMAC: f.dstMAC,
+		SrcIP: f.src, DstIP: f.dst,
+		SrcPort: f.sport, DstPort: f.dport,
+		Payload: make([]byte, payload),
+	})
+	if err != nil {
+		panic(err) // sizes validated at New
+	}
+	frame = pkt.PadToMin(frame)
+	g.frames++
+	g.bytes += uint64(len(frame))
+	return frame
+}
+
+// Frames returns the count of frames generated so far.
+func (g *Generator) Frames() uint64 { return g.frames }
+
+// Bytes returns the bytes generated so far.
+func (g *Generator) Bytes() uint64 { return g.bytes }
+
+// Flows returns the distinct five-tuples of the flow set.
+func (g *Generator) Flows() []pkt.FiveTuple {
+	out := make([]pkt.FiveTuple, len(g.flows))
+	for i, f := range g.flows {
+		out[i] = pkt.FiveTuple{Src: f.src, Dst: f.dst, Proto: pkt.IPProtoUDP,
+			SrcPort: f.sport, DstPort: f.dport}
+	}
+	return out
+}
+
+// WritePcap emits n frames as a nanosecond pcap stream with CBR
+// timestamps at rateMbps (wire-time spacing including the 24B per-frame
+// overhead). The result can feed osnt.TraceFromPcap for replay.
+func (g *Generator) WritePcap(w io.Writer, n int, rateMbps float64) error {
+	if rateMbps <= 0 {
+		return fmt.Errorf("workload: non-positive rate")
+	}
+	pw, err := pcap.NewWriter(w, 0, true)
+	if err != nil {
+		return err
+	}
+	ts := hw.Time(0)
+	for i := 0; i < n; i++ {
+		frame := g.Next()
+		if err := pw.WritePacket(ts, frame); err != nil {
+			return err
+		}
+		ts += sim.BitTime(int64(len(frame)+24)*8, rateMbps/1000)
+	}
+	return nil
+}
