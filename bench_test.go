@@ -7,12 +7,14 @@
 package repro
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"repro/internal/experiments"
 	"repro/internal/sim"
 	"repro/netfpga"
+	"repro/netfpga/fleet"
 	"repro/netfpga/hw"
 	"repro/netfpga/pkt"
 	"repro/netfpga/projects/router"
@@ -20,16 +22,19 @@ import (
 	"repro/netfpga/workload"
 )
 
-// benchExperiment runs one experiment per iteration and reports its
-// metrics through the benchmark interface.
+// benchExperiment runs one experiment per iteration — through a
+// sequential fleet runner, so per-iteration cost stays comparable with
+// historic numbers — and reports its metrics through the benchmark
+// interface.
 func benchExperiment(b *testing.B, id string) {
 	e, ok := experiments.ByID(id)
 	if !ok {
 		b.Fatalf("unknown experiment %s", id)
 	}
+	runner := fleet.Sequential()
 	var tables []*experiments.Table
 	for i := 0; i < b.N; i++ {
-		tables = e.Run()
+		tables = e.Run(runner)
 	}
 	for _, t := range tables {
 		for k, v := range t.Metrics {
@@ -51,6 +56,26 @@ func BenchmarkT7_BlueSwitch(b *testing.B)     { benchExperiment(b, "T7") }
 func BenchmarkT8_Utilization(b *testing.B)    { benchExperiment(b, "T8") }
 func BenchmarkF2_CustomModule(b *testing.B)   { benchExperiment(b, "F2") }
 func BenchmarkT9_Standalone(b *testing.B)     { benchExperiment(b, "T9") }
+
+// ---- fleet executor scaling ----
+
+// benchFleet runs the canonical 8-device switch suite on the given
+// worker count; comparing the Sequential and Parallel variants gives
+// the fleet's wall-clock speedup on this machine.
+func benchFleet(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		res := (&fleet.Runner{Workers: workers, BaseSeed: 42}).RunAll(
+			context.Background(), experiments.SwitchFleetJobs(8, 100*hw.Microsecond))
+		for _, r := range res {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkFleet8SwitchesSequential(b *testing.B) { benchFleet(b, 1) }
+func BenchmarkFleet8SwitchesParallel(b *testing.B)   { benchFleet(b, 0) }
 
 // ---- micro-benchmarks of the substrate hot paths ----
 

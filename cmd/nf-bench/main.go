@@ -1,24 +1,41 @@
 // nf-bench regenerates the reproduction's experiment tables (DESIGN.md
-// §3, recorded in EXPERIMENTS.md). With no arguments it runs everything;
-// -exp selects one experiment by ID.
+// §3, recorded in EXPERIMENTS.md). With no arguments it runs everything
+// sequentially; -exp selects one experiment by ID; -parallel executes
+// the same device batches through the fleet worker pool and reports the
+// wall-clock speedup over sequential execution, then runs the 8-device
+// fleet suite both ways as a direct scaling demonstration.
 //
-//	nf-bench            # all experiments
-//	nf-bench -exp T4    # just the switch line-rate table
-//	nf-bench -list      # list experiment IDs
+//	nf-bench                 # all experiments, one device at a time
+//	nf-bench -exp T4         # just the switch line-rate table
+//	nf-bench -parallel       # fleet execution + speedup report
+//	nf-bench -parallel -workers 4
+//	nf-bench -list           # list experiment IDs
+//
+// Determinism contract: -parallel produces byte-identical tables to the
+// sequential run — devices are independent and per-device seeds are
+// derived from (-seed, job index), never from scheduling.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/netfpga"
+	"repro/netfpga/fleet"
 )
 
 func main() {
 	exp := flag.String("exp", "", "run a single experiment by ID (e.g. T4)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	parallel := flag.Bool("parallel", false, "run device batches through the fleet worker pool and report speedup vs sequential")
+	workers := flag.Int("workers", 0, "fleet worker count for -parallel (0 = GOMAXPROCS)")
+	seed := flag.Uint64("seed", 0, "base seed for per-device RNG derivation")
 	flag.Parse()
 
 	if *list {
@@ -38,13 +55,109 @@ func main() {
 		todo = []experiments.Experiment{e}
 	}
 
-	for _, e := range todo {
+	if !*parallel {
+		runSuite(todo, &fleet.Runner{Workers: 1, BaseSeed: *seed}, os.Stdout)
+		return
+	}
+
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	// Sequential reference pass first (tables discarded — they are
+	// byte-identical to the parallel pass by the fleet's determinism
+	// contract), then the parallel pass that prints.
+	seqWalls := runSuite(todo, &fleet.Runner{Workers: 1, BaseSeed: *seed}, io.Discard)
+	parWalls := runSuite(todo, &fleet.Runner{Workers: w, BaseSeed: *seed}, os.Stdout)
+
+	fmt.Printf("==== fleet speedup (%d workers, GOMAXPROCS=%d) ====\n\n", w, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-4s %12s %12s %8s\n", "exp", "sequential", "parallel", "speedup")
+	var seqTotal, parTotal time.Duration
+	for i, e := range todo {
+		seqTotal += seqWalls[i]
+		parTotal += parWalls[i]
+		fmt.Printf("%-4s %12v %12v %7.2fx\n", e.ID,
+			seqWalls[i].Round(time.Millisecond), parWalls[i].Round(time.Millisecond),
+			speedup(seqWalls[i], parWalls[i]))
+	}
+	fmt.Printf("%-4s %12v %12v %7.2fx\n\n", "all",
+		seqTotal.Round(time.Millisecond), parTotal.Round(time.Millisecond),
+		speedup(seqTotal, parTotal))
+
+	fleetDemo(w, *seed)
+}
+
+// runSuite executes the experiments on the given runner, rendering
+// tables to out, and returns each experiment's wall-clock time.
+func runSuite(todo []experiments.Experiment, r *fleet.Runner, out io.Writer) []time.Duration {
+	walls := make([]time.Duration, len(todo))
+	for i, e := range todo {
 		start := time.Now()
-		tables := e.Run()
-		elapsed := time.Since(start)
-		fmt.Printf("==== %s: %s (wall %v) ====\n\n", e.ID, e.Title, elapsed.Round(time.Millisecond))
+		tables := e.Run(r)
+		walls[i] = time.Since(start)
+		fmt.Fprintf(out, "==== %s: %s (wall %v) ====\n\n", e.ID, e.Title, walls[i].Round(time.Millisecond))
 		for _, t := range tables {
-			fmt.Println(t)
+			fmt.Fprintln(out, t)
 		}
+	}
+	return walls
+}
+
+func speedup(seq, par time.Duration) float64 {
+	if par <= 0 {
+		return 0
+	}
+	return float64(seq) / float64(par)
+}
+
+// fleetDemo runs the canonical 8-device suite — eight independent
+// reference-switch devices under seeded IMIX load for a fixed simulated
+// window — once on one worker and once on the pool, verifying the
+// results match and printing the wall-clock comparison.
+func fleetDemo(workers int, seed uint64) {
+	const devices = 8
+	mkJobs := func() []fleet.Job {
+		return experiments.SwitchFleetJobs(devices, 200*netfpga.Microsecond)
+	}
+	run := func(w int) ([]fleet.Result, time.Duration) {
+		start := time.Now()
+		res := (&fleet.Runner{Workers: w, BaseSeed: seed}).RunAll(context.Background(), mkJobs())
+		return res, time.Since(start)
+	}
+	seqRes, seqWall := run(1)
+	parRes, parWall := run(workers)
+
+	fmt.Printf("==== fleet demo: %d reference-switch devices, IMIX at line rate ====\n\n", devices)
+	fmt.Printf("%-9s %-18s %12s %10s\n", "device", "result", "sim events", "status")
+	identical, failed := true, false
+	for i := range seqRes {
+		status := "ok"
+		if err := seqRes[i].Err; err != nil {
+			failed = true
+			status = "ERR(seq) " + err.Error()
+		}
+		if err := parRes[i].Err; err != nil {
+			failed = true
+			status = "ERR(par) " + err.Error()
+		}
+		if fmt.Sprint(seqRes[i].Value) != fmt.Sprint(parRes[i].Value) ||
+			seqRes[i].Events != parRes[i].Events {
+			identical = false
+			status = "DIVERGED"
+		}
+		fmt.Printf("%-9s %-18v %12d %10s\n", seqRes[i].Name, parRes[i].Value, parRes[i].Events, status)
+	}
+	match := "byte-identical"
+	if !identical {
+		match = "MISMATCH (determinism bug)"
+	}
+	if failed {
+		match += "; DEVICE ERRORS"
+	}
+	fmt.Printf("\nsequential %v, parallel (%d workers) %v, speedup %.2fx; results %s\n",
+		seqWall.Round(time.Millisecond), workers, parWall.Round(time.Millisecond),
+		speedup(seqWall, parWall), match)
+	if !identical || failed {
+		os.Exit(1)
 	}
 }

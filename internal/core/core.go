@@ -150,6 +150,35 @@ func (d *Device) MountRegs(rf *hw.RegisterFile) uint32 {
 // Now returns the device's current simulated time.
 func (d *Device) Now() hw.Time { return d.Sim.Now() }
 
+// Snapshot aggregates every counter the device exposes — design modules,
+// port MACs, the PCIe engine and the host driver — into one flat map,
+// keyed by subsystem prefix. The map is freshly allocated, so a snapshot
+// taken when a device stops is immutable even if the device keeps
+// running; fleet results are built from these.
+func (d *Device) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64)
+	for k, v := range d.Dsn.Stats() {
+		out["design."+k] = v
+	}
+	for i, m := range d.MACs {
+		for k, v := range m.Stats() {
+			out[fmt.Sprintf("port%d.%s", i, k)] = v
+		}
+	}
+	if d.Engine != nil {
+		for k, v := range d.Engine.Stats() {
+			out["pcie."+k] = v
+		}
+	}
+	if d.Driver != nil {
+		for k, v := range d.Driver.Stats() {
+			out["host."+k] = v
+		}
+	}
+	out["sim.events"] = d.Sim.Executed()
+	return out
+}
+
 // RunFor advances the simulation by dur.
 func (d *Device) RunFor(dur hw.Time) { d.Sim.RunFor(dur) }
 

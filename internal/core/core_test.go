@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/sim"
@@ -189,6 +190,44 @@ func TestAddAgentStarts(t *testing.T) {
 	dev.AddAgent(testAgent{started: &started})
 	if !started {
 		t.Fatal("agent not started")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	dev := NewDevice(SUME(), Options{})
+	tap := dev.Tap(0)
+	dev.MACs[0].SetReceiver(func(f *hw.Frame, ok bool) {
+		if ok {
+			dev.MACs[0].Send(f)
+		}
+	})
+	for i := 0; i < 10; i++ {
+		tap.Send(make([]byte, 400))
+	}
+	dev.RunFor(sim.Millisecond)
+
+	snap := dev.Snapshot()
+	if snap["port0.rx_frames"] != 10 {
+		t.Errorf("port0.rx_frames = %d, want 10", snap["port0.rx_frames"])
+	}
+	if snap["sim.events"] == 0 || snap["sim.events"] != dev.Sim.Executed() {
+		t.Errorf("sim.events = %d, want %d", snap["sim.events"], dev.Sim.Executed())
+	}
+	// The snapshot must be immutable: more traffic must not mutate it.
+	before := snap["port0.rx_frames"]
+	tap.Send(make([]byte, 400))
+	dev.RunFor(sim.Millisecond)
+	if snap["port0.rx_frames"] != before {
+		t.Error("snapshot aliased live counters")
+	}
+	if dev.Snapshot()["port0.rx_frames"] != before+1 {
+		t.Error("fresh snapshot missed new traffic")
+	}
+	// Host-less devices omit the pcie/host sections entirely.
+	for k := range NewDevice(SUME(), Options{NoHost: true}).Snapshot() {
+		if strings.HasPrefix(k, "pcie.") || strings.HasPrefix(k, "host.") {
+			t.Errorf("NoHost snapshot has %s", k)
+		}
 	}
 }
 

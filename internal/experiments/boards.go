@@ -4,12 +4,14 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/netfpga/fleet"
 )
 
 // F1BoardInventory reproduces Figure 1 and §1-2 of the paper as data:
 // the SUME board's subsystem inventory and the three-platform
-// comparison.
-func F1BoardInventory() []*Table {
+// comparison. It tabulates static board specs, so it needs no devices
+// and ignores the runner.
+func F1BoardInventory(_ *fleet.Runner) []*Table {
 	cmp := &Table{
 		ID:    "F1a",
 		Title: "the three NetFPGA platforms (paper §1)",

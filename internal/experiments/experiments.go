@@ -7,6 +7,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"repro/netfpga/fleet"
 )
 
 // Table is one rendered experiment result.
@@ -73,11 +75,15 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// Experiment is one runnable experiment.
+// Experiment is one runnable experiment. Run receives the fleet runner
+// that executes the experiment's devices: a sequential runner reproduces
+// the classic one-device-at-a-time behaviour, a parallel runner shards
+// the same jobs across workers with identical results (each device is
+// seeded and stepped independently).
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func() []*Table
+	Run   func(r *fleet.Runner) []*Table
 }
 
 // All returns every experiment in index order.

@@ -3,18 +3,24 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"repro/netfpga/fleet"
 )
 
-// TestAllExperimentsRun executes every experiment once and asserts the
-// headline invariants that define each claim's "shape" — this is the
-// regression net over the whole reproduction.
+// TestAllExperimentsRun executes every experiment once — through a
+// parallel fleet runner, exercising the sharded path the tools use —
+// and asserts the headline invariants that define each claim's "shape".
+// This is the regression net over the whole reproduction; the fleet's
+// own determinism tests guarantee a sequential runner would produce
+// identical numbers.
 func TestAllExperimentsRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments are slow")
 	}
+	runner := fleet.New(0) // GOMAXPROCS workers
 	results := map[string]map[string]float64{}
 	for _, e := range All() {
-		tables := e.Run()
+		tables := e.Run(runner)
 		if len(tables) == 0 {
 			t.Fatalf("%s produced no tables", e.ID)
 		}

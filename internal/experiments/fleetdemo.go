@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/netfpga"
+	"repro/netfpga/fleet"
+	"repro/netfpga/projects/switchp"
+	"repro/netfpga/workload"
+)
+
+// SwitchFleetJobs returns n independent reference-switch devices, each
+// spraying seeded IMIX traffic across its four ports for the given
+// simulated window — the canonical fleet scaling workload used by
+// nf-bench -parallel and the top-level fleet benchmarks. Every device's
+// traffic derives from its own fleet seed, so a batch is reproducible
+// from the runner's base seed alone.
+func SwitchFleetJobs(n int, window netfpga.Time) []fleet.Job {
+	jobs := make([]fleet.Job, n)
+	for i := range jobs {
+		jobs[i] = fleet.Job{
+			Name:  fmt.Sprintf("switch%d", i),
+			Board: netfpga.SUME(),
+			Build: func(dev *netfpga.Device) error {
+				return switchp.New(switchp.Config{}).Build(dev)
+			},
+			Drive: func(c *fleet.Ctx) (any, error) {
+				gen, err := workload.New(workload.Config{Seed: c.Seed})
+				if err != nil {
+					return nil, err
+				}
+				taps := make([]*netfpga.PortTap, 4)
+				for i := range taps {
+					taps[i] = c.Dev.Tap(i)
+				}
+				var sent, rx int
+				for c.RunFor(10 * netfpga.Microsecond) {
+					for i := 0; i < 16; i++ {
+						if taps[c.Rand.Intn(4)].Send(gen.Next()) {
+							sent++
+						}
+					}
+				}
+				c.Dev.RunUntilIdle(0)
+				for _, t := range taps {
+					rx += len(t.Received())
+				}
+				return fmt.Sprintf("sent=%d rx=%d", sent, rx), nil
+			},
+			Stop: fleet.Stop{SimTime: window},
+		}
+	}
+	return jobs
+}

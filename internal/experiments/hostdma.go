@@ -7,14 +7,16 @@ import (
 	"repro/internal/pcie"
 	"repro/internal/serial"
 	"repro/netfpga"
+	"repro/netfpga/fleet"
 	"repro/netfpga/projects/nic"
 )
 
 // T3HostDMA measures reference-NIC host I/O: host->wire throughput
 // across frame sizes on PCIe Gen3 x8 versus Gen2 x8. The shape to
 // reproduce: small frames are per-descriptor limited, large frames
-// approach the link's effective data rate, Gen3 ~2x Gen2.
-func T3HostDMA() []*Table {
+// approach the link's effective data rate, Gen3 ~2x Gen2. Each
+// (generation, frame size) point is one fleet device.
+func T3HostDMA(r *fleet.Runner) []*Table {
 	t := &Table{
 		ID:    "T3",
 		Title: "reference NIC host transmit throughput (single queue)",
@@ -31,6 +33,11 @@ func T3HostDMA() []*Table {
 	}
 	const window = 300 * netfpga.Microsecond
 
+	type cell struct {
+		achieved float64
+		mpps     float64
+	}
+	var jobs []fleet.Job
 	for _, g := range gens {
 		for _, fs := range frames {
 			board := core.SUME()
@@ -38,42 +45,56 @@ func T3HostDMA() []*Table {
 			// Keep the wire out of the equation: a 100G port so PCIe is
 			// the bottleneck.
 			board = withFatPorts(board)
-			dev := netfpga.NewDevice(board, netfpga.Options{})
-			p := nic.New()
-			if err := p.Build(dev); err != nil {
-				panic(err)
-			}
-			tap := dev.Tap(0)
-			data := make([]byte, fs)
-			pump := func(dur netfpga.Time) {
-				end := dev.Now() + dur
-				for dev.Now() < end {
-					for dev.Driver.Send(data, 0) == nil {
+			jobs = append(jobs, fleet.Job{
+				Name:  fmt.Sprintf("T3/%s/%dB", g.name, fs),
+				Board: board,
+				Build: func(dev *netfpga.Device) error { return nic.New().Build(dev) },
+				Drive: func(c *fleet.Ctx) (any, error) {
+					dev := c.Dev
+					tap := dev.Tap(0)
+					data := make([]byte, fs)
+					pump := func(dur netfpga.Time) {
+						end := dev.Now() + dur
+						for dev.Now() < end {
+							for dev.Driver.Send(data, 0) == nil {
+							}
+							dev.RunFor(2 * netfpga.Microsecond)
+						}
 					}
-					dev.RunFor(2 * netfpga.Microsecond)
-				}
-			}
-			pump(50 * netfpga.Microsecond) // warmup
-			tap.Received()                 // discard
-			pump(window)
-			var rxBytes uint64
-			rx := tap.Received() // collected exactly at window end
-			for _, f := range rx {
-				rxBytes += uint64(len(f.Data))
-			}
-			achieved := float64(rxBytes) * 8 / window.Seconds() / 1e9
+					pump(50 * netfpga.Microsecond) // warmup
+					tap.Received()                 // discard
+					pump(window)
+					var rxBytes uint64
+					rx := tap.Received() // collected exactly at window end
+					for _, f := range rx {
+						rxBytes += uint64(len(f.Data))
+					}
+					return cell{
+						achieved: float64(rxBytes) * 8 / window.Seconds() / 1e9,
+						mpps:     float64(len(rx)) / window.Seconds() / 1e6,
+					}, nil
+				},
+			})
+		}
+	}
+	results := runJobs(r, jobs)
+
+	i := 0
+	for _, g := range gens {
+		for _, fs := range frames {
+			res := results[i].MustValue().(cell)
+			i++
 			eff := 5.0 * 0.8 * 8 // Gen2 x8 effective Gb/s
 			if g.gen == pcie.Gen3 {
 				eff = 8.0 * 128 / 130 * 8
 			}
-			mpps := float64(len(rx)) / window.Seconds() / 1e6
-			t.AddRow(g.name, fmt.Sprintf("%dB", fs), gbps(achieved), gbps(eff),
-				pct(100*achieved/eff), fmt.Sprintf("%.2f", mpps))
+			t.AddRow(g.name, fmt.Sprintf("%dB", fs), gbps(res.achieved), gbps(eff),
+				pct(100*res.achieved/eff), fmt.Sprintf("%.2f", res.mpps))
 			if fs == 1518 {
-				t.Metric(fmt.Sprintf("%s_1518_gbps", g.name), achieved)
+				t.Metric(fmt.Sprintf("%s_1518_gbps", g.name), res.achieved)
 			}
 			if fs == 64 {
-				t.Metric(fmt.Sprintf("%s_64_mpps", g.name), mpps)
+				t.Metric(fmt.Sprintf("%s_64_mpps", g.name), res.mpps)
 			}
 		}
 	}

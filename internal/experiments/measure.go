@@ -1,10 +1,24 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 
 	"repro/netfpga"
+	"repro/netfpga/fleet"
 )
+
+// runJobs executes an experiment's device batch on the runner and
+// returns the results in job order. Experiment devices are expected to
+// be healthy, so any per-device failure panics (matching the historic
+// sequential behaviour where setup errors panicked inline).
+func runJobs(r *fleet.Runner, jobs []fleet.Job) []fleet.Result {
+	results := r.RunAll(context.Background(), jobs)
+	for _, res := range results {
+		res.MustValue()
+	}
+	return results
+}
 
 // measureGoodput saturates the given taps (tap i repeatedly sends
 // streams[i]; nil entries stay silent) through a warmup and a timed

@@ -5,13 +5,16 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/netfpga/fleet"
 )
 
 // T2Memory characterises the board memories the way the SUME paper
 // positions them: QDRII+ for fine-grained random state (flow tables) and
 // DDR3 for bulk sequential buffering. Both devices run sequential and
-// random access patterns at table-entry and packet granularity.
-func T2Memory() []*Table {
+// random access patterns at table-entry and packet granularity. Each
+// (device, pattern) cell is one fleet job building its own simulator —
+// no board device is needed, so the jobs run NoDevice.
+func T2Memory(r *fleet.Runner) []*Table {
 	t := &Table{
 		ID:    "T2",
 		Title: "memory subsystem bandwidth by access pattern",
@@ -30,43 +33,63 @@ func T2Memory() []*Table {
 		{"sequential 512B", false, 512},
 		{"random 512B", true, 512},
 	}
+	devices := []string{"QDRII+", "DDR3"}
 
-	run := func(dev string, random bool, size int) (achieved, peak float64) {
-		s := sim.New()
-		var m mem.Memory
-		var peakGbps float64
-		switch dev {
-		case "QDRII+":
-			sr := mem.NewSRAM(s, mem.DefaultSUMESRAM("qdr"))
-			m, peakGbps = sr, sr.PeakBandwidthGbps()
-		case "DDR3":
-			dr := mem.NewDRAM(s, mem.DefaultSUMEDRAM("ddr"))
-			m, peakGbps = dr, dr.PeakBandwidthGbps()
-		}
-		rng := sim.NewRand(7)
-		const total = 4 << 20 // 4 MB moved per pattern
-		n := total / size
-		var last sim.Time
-		addrSpace := m.Size() / 2 // stay well inside the device
-		for i := 0; i < n; i++ {
-			addr := uint64(i*size) % addrSpace
-			if random {
-				addr = (uint64(rng.Intn(int(addrSpace / 64)))) * 64
-			}
-			m.Read(addr, size, func([]byte) { last = s.Now() })
-		}
-		s.Drain(0)
-		return float64(total) / last.Seconds() / 1e9, peakGbps / 8
-	}
-
-	for _, dev := range []string{"QDRII+", "DDR3"} {
+	type cell struct{ achieved, peak float64 }
+	var jobs []fleet.Job
+	for _, devName := range devices {
 		for _, p := range patterns {
-			achieved, peak := run(dev, p.random, p.size)
-			t.AddRow(dev, p.name, map[bool]string{false: "stream", true: "uniform"}[p.random],
-				fmt.Sprintf("%.2f", achieved), fmt.Sprintf("%.2f", peak),
-				pct(100*achieved/peak))
-			key := fmt.Sprintf("%s_%s_gbs", dev, p.name)
-			t.Metric(key, achieved)
+			jobs = append(jobs, fleet.Job{
+				Name:     fmt.Sprintf("T2/%s/%s", devName, p.name),
+				NoDevice: true,
+				Drive: func(c *fleet.Ctx) (any, error) {
+					s := sim.New()
+					var m mem.Memory
+					var peakGbps float64
+					switch devName {
+					case "QDRII+":
+						sr := mem.NewSRAM(s, mem.DefaultSUMESRAM("qdr"))
+						m, peakGbps = sr, sr.PeakBandwidthGbps()
+					case "DDR3":
+						dr := mem.NewDRAM(s, mem.DefaultSUMEDRAM("ddr"))
+						m, peakGbps = dr, dr.PeakBandwidthGbps()
+					}
+					// Fixed seed (not the per-job seed): the access
+					// pattern is part of the experiment definition, and
+					// must not drift with batch composition.
+					rng := sim.NewRand(7)
+					const total = 4 << 20 // 4 MB moved per pattern
+					n := total / p.size
+					var last sim.Time
+					addrSpace := m.Size() / 2 // stay well inside the device
+					for i := 0; i < n; i++ {
+						addr := uint64(i*p.size) % addrSpace
+						if p.random {
+							addr = (uint64(rng.Intn(int(addrSpace / 64)))) * 64
+						}
+						m.Read(addr, p.size, func([]byte) { last = s.Now() })
+					}
+					s.Drain(0)
+					return cell{
+						achieved: float64(total) / last.Seconds() / 1e9,
+						peak:     peakGbps / 8,
+					}, nil
+				},
+			})
+		}
+	}
+	results := runJobs(r, jobs)
+
+	i := 0
+	for _, devName := range devices {
+		for _, p := range patterns {
+			res := results[i].MustValue().(cell)
+			i++
+			t.AddRow(devName, p.name, map[bool]string{false: "stream", true: "uniform"}[p.random],
+				fmt.Sprintf("%.2f", res.achieved), fmt.Sprintf("%.2f", res.peak),
+				pct(100*res.achieved/res.peak))
+			key := fmt.Sprintf("%s_%s_gbs", devName, p.name)
+			t.Metric(key, res.achieved)
 		}
 	}
 

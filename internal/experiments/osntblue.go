@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/netfpga"
+	"repro/netfpga/fleet"
 	"repro/netfpga/hw"
 	"repro/netfpga/pkt"
 	"repro/netfpga/projects/blueswitch"
@@ -12,8 +13,9 @@ import (
 
 // T6OSNT quantifies the tester itself: CBR rate precision across target
 // rates, and latency measurement accuracy against a device-under-test
-// with a known, configurable delay.
-func T6OSNT() []*Table {
+// with a known, configurable delay. Every rate point and every DUT
+// delay is one independent fleet device.
+func T6OSNT(r *fleet.Runner) []*Table {
 	prec := &Table{
 		ID:      "T6a",
 		Title:   "OSNT generator CBR precision (512B frames, port0 -> DUT -> port1)",
@@ -26,23 +28,74 @@ func T6OSNT() []*Table {
 	})
 	wire := len(template) + 24
 
-	for _, rate := range []float64{1000, 2000, 5000, 9000} {
-		dev, tester := osntLoop(0)
-		const count = 2000
-		if err := tester.Configure(0, osnt.TrafficSpec{
-			Template: template, Count: count, Mode: osnt.CBR, RateMbps: rate, Stamp: true,
-		}); err != nil {
-			panic(err)
-		}
-		tester.Start(0)
-		dev.RunFor(20 * netfpga.Millisecond)
-		st := tester.Stats(1)
-		// Achieved rate from the capture's first/last arrival spacing:
-		// (count-1) inter-departure gaps of wire-time each.
-		achieved := achievedRate(tester, wire)
-		errPct := 100 * (achieved - rate) / rate
-		prec.AddRow(fmt.Sprintf("%.1f", rate/1000), fmt.Sprintf("%.3f", achieved/1000),
-			fmt.Sprintf("%+.3f%%", errPct), fmt.Sprintf("%d", st.Pkts))
+	rates := []float64{1000, 2000, 5000, 9000}
+	duts := []netfpga.Time{0, 1 * netfpga.Microsecond, 5 * netfpga.Microsecond, 20 * netfpga.Microsecond}
+
+	type precCell struct {
+		achieved float64
+		pkts     uint64
+	}
+	type latCell struct {
+		mean, min, max netfpga.Time
+		samples        uint64
+	}
+	var jobs []fleet.Job
+	for _, rate := range rates {
+		jobs = append(jobs, fleet.Job{
+			Name:  fmt.Sprintf("T6a/%.0fMbps", rate),
+			Board: netfpga.SUME(),
+			Drive: func(c *fleet.Ctx) (any, error) {
+				dev := c.Dev
+				tester, err := osntLoop(dev, 0)
+				if err != nil {
+					return nil, err
+				}
+				const count = 2000
+				if err := tester.Configure(0, osnt.TrafficSpec{
+					Template: template, Count: count, Mode: osnt.CBR, RateMbps: rate, Stamp: true,
+				}); err != nil {
+					return nil, err
+				}
+				tester.Start(0)
+				dev.RunFor(20 * netfpga.Millisecond)
+				st := tester.Stats(1)
+				// Achieved rate from the capture's first/last arrival
+				// spacing: (count-1) inter-departure gaps of wire-time
+				// each.
+				return precCell{achieved: achievedRate(tester, wire), pkts: st.Pkts}, nil
+			},
+		})
+	}
+	for _, dut := range duts {
+		jobs = append(jobs, fleet.Job{
+			Name:  fmt.Sprintf("T6b/dut%v", dut),
+			Board: netfpga.SUME(),
+			Drive: func(c *fleet.Ctx) (any, error) {
+				dev := c.Dev
+				tester, err := osntLoop(dev, dut)
+				if err != nil {
+					return nil, err
+				}
+				if err := tester.Configure(0, osnt.TrafficSpec{
+					Template: template, Count: 500, Mode: osnt.CBR, RateMbps: 2000, Stamp: true,
+				}); err != nil {
+					return nil, err
+				}
+				tester.Start(0)
+				dev.RunFor(10 * netfpga.Millisecond)
+				st := tester.Stats(1)
+				return latCell{mean: st.LatMean, min: st.LatMin, max: st.LatMax,
+					samples: st.LatSamples}, nil
+			},
+		})
+	}
+	results := runJobs(r, jobs)
+
+	for i, rate := range rates {
+		res := results[i].MustValue().(precCell)
+		errPct := 100 * (res.achieved - rate) / rate
+		prec.AddRow(fmt.Sprintf("%.1f", rate/1000), fmt.Sprintf("%.3f", res.achieved/1000),
+			fmt.Sprintf("%+.3f%%", errPct), fmt.Sprintf("%d", res.pkts))
 		prec.Metric(fmt.Sprintf("rate%.0f_err_pct", rate), errPct)
 	}
 	prec.Notes = append(prec.Notes,
@@ -53,41 +106,29 @@ func T6OSNT() []*Table {
 		Title:   "OSNT latency measurement vs known DUT delay",
 		Columns: []string{"DUT delay", "measured mean", "path overhead", "jitter", "samples"},
 	}
-	// Baseline: measure the fixed path overhead (MAC serialization +
-	// wire + relay) with a zero-delay DUT, then check added DUT delay is
-	// recovered exactly.
-	var base netfpga.Time
-	for i, dut := range []netfpga.Time{0, 1 * netfpga.Microsecond, 5 * netfpga.Microsecond, 20 * netfpga.Microsecond} {
-		dev, tester := osntLoop(dut)
-		if err := tester.Configure(0, osnt.TrafficSpec{
-			Template: template, Count: 500, Mode: osnt.CBR, RateMbps: 2000, Stamp: true,
-		}); err != nil {
-			panic(err)
-		}
-		tester.Start(0)
-		dev.RunFor(10 * netfpga.Millisecond)
-		st := tester.Stats(1)
-		if i == 0 {
-			base = st.LatMean
-		}
-		overhead := st.LatMean - dut
-		jitter := st.LatMax - st.LatMin
-		lat.AddRow(dut.String(), st.LatMean.String(), overhead.String(),
-			jitter.String(), fmt.Sprintf("%d", st.LatSamples))
+	// Baseline: the zero-delay DUT measures the fixed path overhead (MAC
+	// serialization + wire + relay); added DUT delay must be recovered
+	// exactly against it.
+	base := results[len(rates)].MustValue().(latCell).mean
+	for i, dut := range duts {
+		res := results[len(rates)+i].MustValue().(latCell)
+		overhead := res.mean - dut
+		jitter := res.max - res.min
+		lat.AddRow(dut.String(), res.mean.String(), overhead.String(),
+			jitter.String(), fmt.Sprintf("%d", res.samples))
 		lat.Metric(fmt.Sprintf("dut%dus_err_ns", dut/netfpga.Microsecond),
-			float64(st.LatMean-base-dut)/1e3)
+			float64(res.mean-base-dut)/1e3)
 	}
 	lat.Notes = append(lat.Notes,
 		"measured mean - DUT delay is the constant path overhead; recovery error is within one 5ns clock quantum")
 	return []*Table{prec, lat}
 }
 
-// osntLoop builds OSNT with port0 -> DUT(delay) -> port1.
-func osntLoop(dutDelay netfpga.Time) (*netfpga.Device, *osnt.OSNT) {
-	dev := netfpga.NewDevice(netfpga.SUME(), netfpga.Options{})
+// osntLoop builds OSNT onto dev with port0 -> DUT(delay) -> port1.
+func osntLoop(dev *netfpga.Device, dutDelay netfpga.Time) (*osnt.OSNT, error) {
 	p := osnt.New()
 	if err := p.Build(dev); err != nil {
-		panic(err)
+		return nil, err
 	}
 	tap0, tap1 := dev.Tap(0), dev.Tap(1)
 	tap0.OnRx = func(f *hw.Frame, at netfpga.Time) {
@@ -100,7 +141,7 @@ func osntLoop(dutDelay netfpga.Time) (*netfpga.Device, *osnt.OSNT) {
 	}
 	dev.Tap(2)
 	dev.Tap(3)
-	return dev, p.Instance()
+	return p.Instance(), nil
 }
 
 // achievedRate computes the generator's achieved rate from the capture
@@ -148,8 +189,9 @@ func (c *captureBuf) bounds() (first, last netfpga.Time, n int) {
 
 // T7BlueSwitch counts mixed-policy packets and update-induced loss for
 // the naive baseline versus the BlueSwitch versioned mechanism, across
-// control-plane write latencies (the per-table rewrite delay).
-func T7BlueSwitch() []*Table {
+// control-plane write latencies (the per-table rewrite delay). Each
+// (delay, mechanism) combination is one fleet device.
+func T7BlueSwitch(r *fleet.Runner) []*Table {
 	t := &Table{
 		ID:    "T7",
 		Title: "policy update under line-rate traffic: naive vs versioned",
@@ -161,52 +203,72 @@ func T7BlueSwitch() []*Table {
 			Src: pkt.MustMAC("02:00:00:00:00:01"), EtherType: 0x0800},
 		pkt.Payload(make([]byte, 46)))
 
-	run := func(mode blueswitch.Mode, delay netfpga.Time) (sent, delivered int, viol uint64) {
-		dev := netfpga.NewDevice(netfpga.SUME(), netfpga.Options{})
-		p := blueswitch.New(blueswitch.Config{Mode: mode})
-		if err := p.Build(dev); err != nil {
-			panic(err)
-		}
-		for i := 0; i < 4; i++ {
-			dev.Tap(i)
-		}
-		p.InstallInitial(blueswitch.TagForwardPolicy(0x0800, 1, 1))
-		pump := func(dur netfpga.Time) {
-			end := dev.Now() + dur
-			for dev.Now() < end {
-				for i := 0; i < 14; i++ {
-					if dev.Tap(0).Send(frame) {
-						sent++
-					}
-				}
-				dev.RunFor(netfpga.Microsecond)
-			}
-		}
-		pump(100 * netfpga.Microsecond)
-		if mode == blueswitch.Versioned {
-			p.StageUpdate(blueswitch.TagForwardPolicy(0x0800, 2, 2))
-			pump(2 * delay)
-			p.Commit()
-		} else {
-			p.ApplyNaive(blueswitch.TagForwardPolicy(0x0800, 2, 2), delay)
-		}
-		pump(200*netfpga.Microsecond + 2*delay)
-		dev.RunFor(netfpga.Millisecond)
-		delivered = len(dev.Tap(1).Received()) + len(dev.Tap(2).Received())
-		return sent, delivered, p.Violations()
+	type cell struct {
+		sent, delivered int
+		violations      uint64
 	}
+	delays := []netfpga.Time{10 * netfpga.Microsecond, 50 * netfpga.Microsecond, 200 * netfpga.Microsecond}
+	modes := []struct {
+		name string
+		mode blueswitch.Mode
+	}{{"naive", blueswitch.Naive}, {"versioned", blueswitch.Versioned}}
 
-	for _, delay := range []netfpga.Time{10 * netfpga.Microsecond, 50 * netfpga.Microsecond, 200 * netfpga.Microsecond} {
-		for _, m := range []struct {
-			name string
-			mode blueswitch.Mode
-		}{{"naive", blueswitch.Naive}, {"versioned", blueswitch.Versioned}} {
-			sent, delivered, viol := run(m.mode, delay)
-			t.AddRow(m.name, delay.String(), fmt.Sprintf("%d", sent),
-				fmt.Sprintf("%d", delivered), fmt.Sprintf("%d", sent-delivered),
-				fmt.Sprintf("%d", viol))
+	var jobs []fleet.Job
+	for _, delay := range delays {
+		for _, m := range modes {
+			jobs = append(jobs, fleet.Job{
+				Name:  fmt.Sprintf("T7/%s/%v", m.name, delay),
+				Board: netfpga.SUME(),
+				Drive: func(c *fleet.Ctx) (any, error) {
+					dev := c.Dev
+					p := blueswitch.New(blueswitch.Config{Mode: m.mode})
+					if err := p.Build(dev); err != nil {
+						return nil, err
+					}
+					for i := 0; i < 4; i++ {
+						dev.Tap(i)
+					}
+					p.InstallInitial(blueswitch.TagForwardPolicy(0x0800, 1, 1))
+					sent := 0
+					pump := func(dur netfpga.Time) {
+						end := dev.Now() + dur
+						for dev.Now() < end {
+							for i := 0; i < 14; i++ {
+								if dev.Tap(0).Send(frame) {
+									sent++
+								}
+							}
+							dev.RunFor(netfpga.Microsecond)
+						}
+					}
+					pump(100 * netfpga.Microsecond)
+					if m.mode == blueswitch.Versioned {
+						p.StageUpdate(blueswitch.TagForwardPolicy(0x0800, 2, 2))
+						pump(2 * delay)
+						p.Commit()
+					} else {
+						p.ApplyNaive(blueswitch.TagForwardPolicy(0x0800, 2, 2), delay)
+					}
+					pump(200*netfpga.Microsecond + 2*delay)
+					dev.RunFor(netfpga.Millisecond)
+					delivered := len(dev.Tap(1).Received()) + len(dev.Tap(2).Received())
+					return cell{sent: sent, delivered: delivered, violations: p.Violations()}, nil
+				},
+			})
+		}
+	}
+	results := runJobs(r, jobs)
+
+	i := 0
+	for _, delay := range delays {
+		for _, m := range modes {
+			res := results[i].MustValue().(cell)
+			i++
+			t.AddRow(m.name, delay.String(), fmt.Sprintf("%d", res.sent),
+				fmt.Sprintf("%d", res.delivered), fmt.Sprintf("%d", res.sent-res.delivered),
+				fmt.Sprintf("%d", res.violations))
 			key := fmt.Sprintf("%s_%dus_violations", m.name, delay/netfpga.Microsecond)
-			t.Metric(key, float64(viol))
+			t.Metric(key, float64(res.violations))
 		}
 	}
 	t.Notes = append(t.Notes,

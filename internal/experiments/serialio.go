@@ -5,14 +5,16 @@ import (
 
 	"repro/internal/core"
 	"repro/netfpga"
+	"repro/netfpga/fleet"
 	"repro/netfpga/projects/iotest"
 )
 
 // T1SerialIO validates the headline I/O claim: the platform sustains
 // line rate from 4x10G through 2x40G to 1x100G, across frame sizes. The
 // iotest loopback design echoes saturating tap traffic; achieved goodput
-// is measured at the taps against the theoretical wire limit.
-func T1SerialIO() []*Table {
+// is measured at the taps against the theoretical wire limit. Every
+// (board, frame size) cell is one independent fleet device.
+func T1SerialIO(r *fleet.Runner) []*Table {
 	t := &Table{
 		ID:    "T1",
 		Title: "aggregate goodput vs line rate, loopback through the datapath",
@@ -32,35 +34,53 @@ func T1SerialIO() []*Table {
 	frames := []int{64, 256, 512, 1024, 1518}
 	const window = 400 * netfpga.Microsecond
 
+	type cell struct {
+		achieved float64
+		loss     uint64
+	}
+	var jobs []fleet.Job
 	for _, b := range boards {
 		for _, fs := range frames {
 			payload := fs - 4 // wire frame minus FCS is what taps carry
-			dev := netfpga.NewDevice(b.spec, netfpga.Options{})
-			p := iotest.New()
-			if err := p.Build(dev); err != nil {
-				panic(err)
-			}
-			taps := make([]*netfpga.PortTap, dev.Board.Ports)
-			for i := range taps {
-				taps[i] = dev.Tap(i)
-			}
-			// Saturate every port through a warmup, then measure a
-			// clean window.
-			data := make([]byte, payload)
-			streams := make([][]byte, len(taps))
-			for i := range streams {
-				streams[i] = data
-			}
-			rxBytes, _ := measureGoodput(dev, taps, streams, 100*netfpga.Microsecond, window)
+			jobs = append(jobs, fleet.Job{
+				Name:  fmt.Sprintf("T1/%s/%dB", b.name, fs),
+				Board: b.spec,
+				Build: func(dev *netfpga.Device) error { return iotest.New().Build(dev) },
+				Drive: func(c *fleet.Ctx) (any, error) {
+					dev := c.Dev
+					taps := make([]*netfpga.PortTap, dev.Board.Ports)
+					for i := range taps {
+						taps[i] = dev.Tap(i)
+					}
+					// Saturate every port through a warmup, then measure
+					// a clean window.
+					data := make([]byte, payload)
+					streams := make([][]byte, len(taps))
+					for i := range streams {
+						streams[i] = data
+					}
+					rxBytes, _ := measureGoodput(dev, taps, streams, 100*netfpga.Microsecond, window)
+					achieved := float64(rxBytes) * 8 / window.Seconds() / 1e9
+					return cell{achieved: achieved, loss: designDrops(dev)}, nil
+				},
+			})
+		}
+	}
+	results := runJobs(r, jobs)
+
+	i := 0
+	for _, b := range boards {
+		for _, fs := range frames {
+			payload := fs - 4
+			res := results[i].MustValue().(cell)
+			i++
 			// Wire limit: payload efficiency x line rate.
 			eff := float64(payload) / float64(payload+24)
 			wireLimit := b.gbps * eff
-			achieved := float64(rxBytes) * 8 / window.Seconds() / 1e9
-			loss := designDrops(dev)
 			t.AddRow(b.name, fmt.Sprintf("%dB", fs), gbps(b.gbps), gbps(wireLimit),
-				gbps(achieved), pct(100*achieved/wireLimit), fmt.Sprintf("%d", loss))
+				gbps(res.achieved), pct(100*res.achieved/wireLimit), fmt.Sprintf("%d", res.loss))
 			if fs == 1518 {
-				t.Metric(fmt.Sprintf("%s_achieved_gbps", b.name), achieved)
+				t.Metric(fmt.Sprintf("%s_achieved_gbps", b.name), res.achieved)
 			}
 		}
 	}

@@ -6,68 +6,90 @@ import (
 	"repro/internal/core"
 	"repro/internal/storage"
 	"repro/netfpga"
+	"repro/netfpga/fleet"
 	"repro/netfpga/projects/iotest"
 )
 
 // T9Standalone exercises the SUME standalone-operation claim: the board
 // boots its project image from local storage with no PCIe host attached,
 // then passes traffic. Boot time is dominated by the storage device, so
-// the MicroSD and SATA paths differ measurably.
-func T9Standalone() []*Table {
+// the MicroSD and SATA paths differ measurably. Each boot device is one
+// fleet device instantiated host-less.
+func T9Standalone(r *fleet.Runner) []*Table {
 	t := &Table{
 		ID:      "T9",
 		Title:   "standalone boot from on-board storage (no PCIe host)",
 		Columns: []string{"boot device", "image size", "boot time", "image ok", "traffic ok"},
 	}
 
-	for _, devName := range []string{"microsd", "sata0"} {
-		board := core.SUME()
-		dev := netfpga.NewDevice(board, netfpga.Options{NoHost: true})
-		if dev.Driver != nil {
-			panic("standalone device should have no driver")
-		}
-		var disk *storage.BlockDev
-		for _, d := range dev.Disks {
-			if d.Name() == devName {
-				disk = d
-			}
-		}
-		// "Flash" the project image: a stand-in bitstream payload whose
-		// integrity the boot path checks.
-		image := make([]byte, 512<<10) // 512 KB partial-bitstream-sized image
-		for i := range image {
-			image[i] = byte(i * 13)
-		}
-		storage.WriteImage(disk, 2048, image, nil)
-		dev.RunUntilIdle(0)
+	devNames := []string{"microsd", "sata0"}
+	type cell struct {
+		imageKB   int
+		bootTime  netfpga.Time
+		imageOK   bool
+		trafficOK bool
+	}
+	var jobs []fleet.Job
+	for _, devName := range devNames {
+		jobs = append(jobs, fleet.Job{
+			Name:    "T9/" + devName,
+			Board:   core.SUME(),
+			Options: netfpga.Options{NoHost: true},
+			Drive: func(c *fleet.Ctx) (any, error) {
+				dev := c.Dev
+				if dev.Driver != nil {
+					return nil, fmt.Errorf("standalone device should have no driver")
+				}
+				var disk *storage.BlockDev
+				for _, d := range dev.Disks {
+					if d.Name() == devName {
+						disk = d
+					}
+				}
+				// "Flash" the project image: a stand-in bitstream payload
+				// whose integrity the boot path checks.
+				image := make([]byte, 512<<10) // 512 KB partial-bitstream-sized image
+				for i := range image {
+					image[i] = byte(i * 13)
+				}
+				storage.WriteImage(disk, 2048, image, nil)
+				dev.RunUntilIdle(0)
 
-		// Boot: load + verify the image, then build the project.
-		bootStart := dev.Now()
-		var loaded []byte
-		var loadErr error
-		storage.LoadImage(disk, 2048, len(image), func(b []byte, err error) {
-			loaded, loadErr = b, err
+				// Boot: load + verify the image, then build the project.
+				bootStart := dev.Now()
+				var loaded []byte
+				var loadErr error
+				storage.LoadImage(disk, 2048, len(image), func(b []byte, err error) {
+					loaded, loadErr = b, err
+				})
+				dev.RunUntilIdle(0)
+				bootTime := dev.Now() - bootStart
+				imageOK := loadErr == nil && len(loaded) == len(image)
+
+				p := iotest.New()
+				if err := p.Build(dev); err != nil {
+					return nil, err
+				}
+				// Traffic without any host: wire in, wire out.
+				tap := dev.Tap(0)
+				for i := 0; i < 50; i++ {
+					tap.Send(make([]byte, 200))
+				}
+				dev.RunFor(2 * netfpga.Millisecond)
+				trafficOK := len(tap.Received()) == 50
+				return cell{imageKB: len(image) >> 10, bootTime: bootTime,
+					imageOK: imageOK, trafficOK: trafficOK}, nil
+			},
 		})
-		dev.RunUntilIdle(0)
-		bootTime := dev.Now() - bootStart
-		imageOK := loadErr == nil && len(loaded) == len(image)
+	}
+	results := runJobs(r, jobs)
 
-		p := iotest.New()
-		if err := p.Build(dev); err != nil {
-			panic(err)
-		}
-		// Traffic without any host: wire in, wire out.
-		tap := dev.Tap(0)
-		for i := 0; i < 50; i++ {
-			tap.Send(make([]byte, 200))
-		}
-		dev.RunFor(2 * netfpga.Millisecond)
-		trafficOK := len(tap.Received()) == 50
-
-		t.AddRow(devName, fmt.Sprintf("%d KB", len(image)>>10), bootTime.String(),
-			fmt.Sprintf("%v", imageOK), fmt.Sprintf("%v", trafficOK))
-		t.Metric(devName+"_boot_ms", float64(bootTime)/float64(netfpga.Millisecond))
-		if !imageOK || !trafficOK {
+	for i, devName := range devNames {
+		res := results[i].MustValue().(cell)
+		t.AddRow(devName, fmt.Sprintf("%d KB", res.imageKB), res.bootTime.String(),
+			fmt.Sprintf("%v", res.imageOK), fmt.Sprintf("%v", res.trafficOK))
+		t.Metric(devName+"_boot_ms", float64(res.bootTime)/float64(netfpga.Millisecond))
+		if !res.imageOK || !res.trafficOK {
 			t.Metric(devName+"_failed", 1)
 		}
 	}

@@ -4,15 +4,23 @@ import (
 	"fmt"
 
 	"repro/netfpga"
+	"repro/netfpga/fleet"
 	"repro/netfpga/pkt"
 	"repro/netfpga/projects/router"
 	"repro/netfpga/projects/switchp"
 )
 
+// buildSwitch assembles a reference switch for a fleet job.
+func buildSwitch(dev *netfpga.Device) error {
+	return switchp.New(switchp.Config{}).Build(dev)
+}
+
 // T4Switch measures the reference switch at 4x10G full mesh across frame
 // sizes: aggregate goodput against line rate, queue drops, and
-// port-to-port store-and-forward latency.
-func T4Switch() []*Table {
+// port-to-port store-and-forward latency. Each frame size spawns two
+// fleet devices: a saturated full-mesh goodput device and an idle
+// latency-probe device.
+func T4Switch(r *fleet.Runner) []*Table {
 	t := &Table{
 		ID:    "T4",
 		Title: "reference switch, 4x10G full mesh",
@@ -27,51 +35,66 @@ func T4Switch() []*Table {
 		macs[i] = pkt.MAC{2, 0, 0, 0, 0, byte(0x20 + i)}
 	}
 
+	type meshCell struct {
+		achieved float64
+		drops    uint64
+	}
+	var jobs []fleet.Job
 	for _, fs := range frames {
 		payload := fs - 4
-		dev := netfpga.NewDevice(netfpga.SUME(), netfpga.Options{})
-		p := switchp.New(switchp.Config{})
-		if err := p.Build(dev); err != nil {
-			panic(err)
-		}
-		taps := make([]*netfpga.PortTap, 4)
-		for i := range taps {
-			taps[i] = dev.Tap(i)
-		}
-		// Pre-learn every station so the mesh is unicast.
-		for i := range taps {
-			learn, _ := pkt.Serialize(pkt.SerializeOptions{},
-				&pkt.Ethernet{Dst: macs[i], Src: macs[i], EtherType: 0x88B5})
-			taps[i].Send(pkt.PadToMin(learn))
-		}
-		dev.RunFor(netfpga.Millisecond)
-		for _, tap := range taps {
-			tap.Received()
-		}
+		jobs = append(jobs, fleet.Job{
+			Name:  fmt.Sprintf("T4/mesh/%dB", fs),
+			Board: netfpga.SUME(),
+			Build: buildSwitch,
+			Drive: func(c *fleet.Ctx) (any, error) {
+				dev := c.Dev
+				taps := make([]*netfpga.PortTap, 4)
+				for i := range taps {
+					taps[i] = dev.Tap(i)
+				}
+				// Pre-learn every station so the mesh is unicast.
+				for i := range taps {
+					learn, _ := pkt.Serialize(pkt.SerializeOptions{},
+						&pkt.Ethernet{Dst: macs[i], Src: macs[i], EtherType: 0x88B5})
+					taps[i].Send(pkt.PadToMin(learn))
+				}
+				dev.RunFor(netfpga.Millisecond)
+				for _, tap := range taps {
+					tap.Received()
+				}
 
-		// Full mesh: port i sends to station on port (i+1)%4 at line
-		// rate.
-		mkFrame := func(i int) []byte {
-			f, _ := pkt.Serialize(pkt.SerializeOptions{},
-				&pkt.Ethernet{Dst: macs[(i+1)%4], Src: macs[i], EtherType: 0x88B5},
-				pkt.Payload(make([]byte, payload-14)))
-			return f
-		}
-		streams := make([][]byte, 4)
-		for i := range streams {
-			streams[i] = mkFrame(i)
-		}
-		rxBytes, _ := measureGoodput(dev, taps, streams, 100*netfpga.Microsecond, window)
-		achieved := float64(rxBytes) * 8 / window.Seconds() / 1e9
+				// Full mesh: port i sends to station on port (i+1)%4 at
+				// line rate.
+				streams := make([][]byte, 4)
+				for i := range streams {
+					f, _ := pkt.Serialize(pkt.SerializeOptions{},
+						&pkt.Ethernet{Dst: macs[(i+1)%4], Src: macs[i], EtherType: 0x88B5},
+						pkt.Payload(make([]byte, payload-14)))
+					streams[i] = f
+				}
+				rxBytes, _ := measureGoodput(dev, taps, streams, 100*netfpga.Microsecond, window)
+				return meshCell{
+					achieved: float64(rxBytes) * 8 / window.Seconds() / 1e9,
+					drops:    designDrops(dev),
+				}, nil
+			},
+		})
+	}
+	// Latency probes ride the same batch as extra devices.
+	for _, fs := range frames {
+		jobs = append(jobs, probeLatencyJob(fs))
+	}
+	results := runJobs(r, jobs)
+
+	for i, fs := range frames {
+		payload := fs - 4
+		mesh := results[i].MustValue().(meshCell)
+		lat := results[len(frames)+i].MustValue().(netfpga.Time)
 		lineGood := 40.0 * float64(payload) / float64(payload+24)
-		drops := designDrops(dev)
-
-		// Latency: a single probe through an idle switch.
-		lat := probeLatency(fs)
-		t.AddRow(fmt.Sprintf("%dB", fs), gbps(40), gbps(achieved),
-			pct(100*achieved/lineGood), fmt.Sprintf("%d", drops), lat.String())
+		t.AddRow(fmt.Sprintf("%dB", fs), gbps(40), gbps(mesh.achieved),
+			pct(100*mesh.achieved/lineGood), fmt.Sprintf("%d", mesh.drops), lat.String())
 		if fs == 64 || fs == 1518 {
-			t.Metric(fmt.Sprintf("achieved_%dB_gbps", fs), achieved)
+			t.Metric(fmt.Sprintf("achieved_%dB_gbps", fs), mesh.achieved)
 			t.Metric(fmt.Sprintf("latency_%dB_ns", fs), float64(lat)/1e3)
 		}
 	}
@@ -80,42 +103,46 @@ func T4Switch() []*Table {
 	return []*Table{t}
 }
 
-// probeLatency sends one frame through an idle learned switch and
-// returns tap-to-tap latency.
-func probeLatency(frameSize int) netfpga.Time {
+// probeLatencyJob builds the single-probe latency device: one frame
+// through an idle learned switch, tap-to-tap.
+func probeLatencyJob(frameSize int) fleet.Job {
 	payload := frameSize - 4
-	dev := netfpga.NewDevice(netfpga.SUME(), netfpga.Options{})
-	p := switchp.New(switchp.Config{})
-	if err := p.Build(dev); err != nil {
-		panic(err)
+	return fleet.Job{
+		Name:  fmt.Sprintf("T4/latency/%dB", frameSize),
+		Board: netfpga.SUME(),
+		Build: buildSwitch,
+		Drive: func(c *fleet.Ctx) (any, error) {
+			dev := c.Dev
+			a, b := dev.Tap(0), dev.Tap(1)
+			macA := pkt.MAC{2, 0, 0, 0, 0, 1}
+			macB := pkt.MAC{2, 0, 0, 0, 0, 2}
+			learnB, _ := pkt.Serialize(pkt.SerializeOptions{},
+				&pkt.Ethernet{Dst: macB, Src: macB, EtherType: 0x88B5})
+			b.Send(pkt.PadToMin(learnB))
+			dev.RunFor(netfpga.Millisecond)
+			for i := 0; i < 4; i++ {
+				dev.Tap(i).Received()
+			}
+			probe, _ := pkt.Serialize(pkt.SerializeOptions{},
+				&pkt.Ethernet{Dst: macB, Src: macA, EtherType: 0x88B5},
+				pkt.Payload(make([]byte, payload-14)))
+			start := dev.Now()
+			a.Send(probe)
+			dev.RunFor(netfpga.Millisecond)
+			rx := b.Received()
+			if len(rx) != 1 {
+				return nil, fmt.Errorf("latency probe lost (%d arrivals)", len(rx))
+			}
+			return rx[0].At - start, nil
+		},
 	}
-	a, b := dev.Tap(0), dev.Tap(1)
-	macA := pkt.MAC{2, 0, 0, 0, 0, 1}
-	macB := pkt.MAC{2, 0, 0, 0, 0, 2}
-	learnB, _ := pkt.Serialize(pkt.SerializeOptions{},
-		&pkt.Ethernet{Dst: macB, Src: macB, EtherType: 0x88B5})
-	b.Send(pkt.PadToMin(learnB))
-	dev.RunFor(netfpga.Millisecond)
-	for i := 0; i < 4; i++ {
-		dev.Tap(i).Received()
-	}
-	probe, _ := pkt.Serialize(pkt.SerializeOptions{},
-		&pkt.Ethernet{Dst: macB, Src: macA, EtherType: 0x88B5},
-		pkt.Payload(make([]byte, payload-14)))
-	start := dev.Now()
-	a.Send(probe)
-	dev.RunFor(netfpga.Millisecond)
-	rx := b.Received()
-	if len(rx) != 1 {
-		panic("latency probe lost")
-	}
-	return rx[0].At - start
 }
 
 // T5Router measures the reference router: line rate across frame sizes
 // and its independence from FIB size (the LPM trie walks at most 32
-// nodes regardless).
-func T5Router() []*Table {
+// nodes regardless). Each (FIB size, frame size) point is one fleet
+// device carrying its own FIB.
+func T5Router(r *fleet.Runner) []*Table {
 	t := &Table{
 		ID:    "T5",
 		Title: "reference router, 4x10G routed mesh",
@@ -130,49 +157,78 @@ func T5Router() []*Table {
 	hostMAC := func(i int) pkt.MAC { return pkt.MAC{2, 0xCC, 0, 0, 0, byte(i)} }
 	hostIP := func(i int) pkt.IP4 { return pkt.IP4{10, 0, byte(i), 2} }
 
+	type cell struct {
+		achieved  float64
+		forwarded uint64
+		punts     uint64
+	}
+	var jobs []fleet.Job
 	for _, fib := range fibSizes {
 		for _, fs := range frames {
 			payload := fs - 4
-			dev := netfpga.NewDevice(netfpga.SUME(), netfpga.Options{})
-			p := router.New(router.Config{})
-			if err := p.Build(dev); err != nil {
-				panic(err)
-			}
-			taps := make([]*netfpga.PortTap, 4)
-			for i := range taps {
-				taps[i] = dev.Tap(i)
-				p.AddRoute(router.Route{
-					Prefix: pkt.Prefix{Addr: pkt.IP4{10, 0, byte(i), 0}, Bits: 24},
-					Port:   uint8(i),
-				})
-				p.AddARP(hostIP(i), hostMAC(i))
-			}
-			// Pad the FIB with distinct prefixes under 172.16/12.
-			for i := 0; p.Engine().FIB.Len() < fib; i++ {
-				p.AddRoute(router.Route{
-					Prefix: pkt.Prefix{Addr: pkt.IP4{172, 16 + byte(i>>16), byte(i >> 8), byte(i)}, Bits: 32},
-					Port:   uint8(i % 4),
-				})
-			}
-			streams := make([][]byte, 4)
-			for i := range streams {
-				f, _ := pkt.BuildUDP(pkt.UDPSpec{
-					SrcMAC: hostMAC(i), DstMAC: ifs[i].MAC,
-					SrcIP: hostIP(i), DstIP: hostIP((i + 1) % 4),
-					SrcPort: 7000, DstPort: 7001,
-					Payload: make([]byte, payload-42),
-				})
-				streams[i] = f
-			}
-			rxBytes, _ := measureGoodput(dev, taps, streams, 100*netfpga.Microsecond, window)
-			achieved := float64(rxBytes) * 8 / window.Seconds() / 1e9
+			jobs = append(jobs, fleet.Job{
+				Name:  fmt.Sprintf("T5/fib%d/%dB", fib, fs),
+				Board: netfpga.SUME(),
+				Drive: func(c *fleet.Ctx) (any, error) {
+					dev := c.Dev
+					p := router.New(router.Config{})
+					if err := p.Build(dev); err != nil {
+						return nil, err
+					}
+					taps := make([]*netfpga.PortTap, 4)
+					for i := range taps {
+						taps[i] = dev.Tap(i)
+						p.AddRoute(router.Route{
+							Prefix: pkt.Prefix{Addr: pkt.IP4{10, 0, byte(i), 0}, Bits: 24},
+							Port:   uint8(i),
+						})
+						p.AddARP(hostIP(i), hostMAC(i))
+					}
+					// Pad the FIB with distinct prefixes under 172.16/12.
+					for i := 0; p.Engine().FIB.Len() < fib; i++ {
+						p.AddRoute(router.Route{
+							Prefix: pkt.Prefix{Addr: pkt.IP4{172, 16 + byte(i>>16), byte(i >> 8), byte(i)}, Bits: 32},
+							Port:   uint8(i % 4),
+						})
+					}
+					streams := make([][]byte, 4)
+					for i := range streams {
+						f, err := pkt.BuildUDP(pkt.UDPSpec{
+							SrcMAC: hostMAC(i), DstMAC: ifs[i].MAC,
+							SrcIP: hostIP(i), DstIP: hostIP((i + 1) % 4),
+							SrcPort: 7000, DstPort: 7001,
+							Payload: make([]byte, payload-42),
+						})
+						if err != nil {
+							return nil, err
+						}
+						streams[i] = f
+					}
+					rxBytes, _ := measureGoodput(dev, taps, streams, 100*netfpga.Microsecond, window)
+					cnt := p.Engine().C
+					return cell{
+						achieved:  float64(rxBytes) * 8 / window.Seconds() / 1e9,
+						forwarded: cnt.Forwarded,
+						punts:     cnt.ARPMiss + cnt.NoRoute + cnt.TTLExpired + cnt.LocalDelivery,
+					}, nil
+				},
+			})
+		}
+	}
+	results := runJobs(r, jobs)
+
+	i := 0
+	for _, fib := range fibSizes {
+		for _, fs := range frames {
+			payload := fs - 4
+			res := results[i].MustValue().(cell)
+			i++
 			lineGood := 40.0 * float64(payload) / float64(payload+24)
-			c := p.Engine().C
 			t.AddRow(fmt.Sprintf("%d", fib), fmt.Sprintf("%dB", fs),
-				gbps(achieved), pct(100*achieved/lineGood),
-				fmt.Sprintf("%d", c.Forwarded),
-				fmt.Sprintf("%d", c.ARPMiss+c.NoRoute+c.TTLExpired+c.LocalDelivery))
-			t.Metric(fmt.Sprintf("fib%d_%dB_gbps", fib, fs), achieved)
+				gbps(res.achieved), pct(100*res.achieved/lineGood),
+				fmt.Sprintf("%d", res.forwarded),
+				fmt.Sprintf("%d", res.punts))
+			t.Metric(fmt.Sprintf("fib%d_%dB_gbps", fib, fs), res.achieved)
 		}
 	}
 	t.Notes = append(t.Notes,

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/netfpga"
+	"repro/netfpga/fleet"
 	"repro/netfpga/hw"
 	"repro/netfpga/lib"
 	"repro/netfpga/pkt"
@@ -17,82 +18,134 @@ import (
 	"repro/netfpga/projects/switchp"
 )
 
-// allProjects returns fresh instances of every project.
-func allProjects() []netfpga.Project {
-	return []netfpga.Project{
-		nic.New(),
-		switchp.New(switchp.Config{}),
-		router.New(router.Config{}),
-		iotest.New(),
-		osnt.New(),
-		blueswitch.New(blueswitch.Config{}),
+// projectMakers returns constructors for every project, so each fleet
+// job builds its own fresh instance.
+func projectMakers() []func() netfpga.Project {
+	return []func() netfpga.Project{
+		func() netfpga.Project { return nic.New() },
+		func() netfpga.Project { return switchp.New(switchp.Config{}) },
+		func() netfpga.Project { return router.New(router.Config{}) },
+		func() netfpga.Project { return iotest.New() },
+		func() netfpga.Project { return osnt.New() },
+		func() netfpga.Project { return blueswitch.New(blueswitch.Config{}) },
 	}
 }
 
 // T8Utilization reproduces the design-utilization comparison the paper
 // says the common infrastructure enables ("users can compare design
 // utilization and performance"), plus the module-reuse matrix that
-// quantifies the building-block claim.
-func T8Utilization() []*Table {
+// quantifies the building-block claim. One fleet device per project
+// (utilization + reuse come from the same build) plus one per
+// (project, board) fit cell.
+func T8Utilization(r *fleet.Runner) []*Table {
 	util := &Table{
 		ID:      "T8a",
 		Title:   "post-synthesis utilization by project (NetFPGA-SUME)",
 		Columns: []string{"project", "LUTs", "FFs", "BRAM36", "LUT%", "FF%", "BRAM%", "fits"},
 	}
-	board := core.SUME()
-	for _, proj := range allProjects() {
-		dev := netfpga.NewDevice(board, netfpga.Options{})
-		if err := proj.Build(dev); err != nil {
-			panic(err)
-		}
-		rep, err := dev.Dsn.Synthesize(board.FPGA)
-		fits := "yes"
-		if err != nil {
-			fits = "NO"
-		}
-		u := rep.Utilization()
-		util.AddRow(proj.Name(),
-			fmt.Sprintf("%d", rep.Total.LUTs), fmt.Sprintf("%d", rep.Total.FFs),
-			fmt.Sprintf("%d", rep.Total.BRAM36),
-			pct(u["LUT"]), pct(u["FF"]), pct(u["BRAM36"]), fits)
-		util.Metric(proj.Name()+"_lut_pct", u["LUT"])
+
+	type synthCell struct {
+		name              string
+		luts, ffs, bram36 int
+		utilization       map[string]float64
+		fits              bool
+		moduleNames       []string
 	}
-	util.Notes = append(util.Notes,
-		"resource numbers are analytic estimates calibrated to published NetFPGA reference reports")
+	makers := projectMakers()
+	board := core.SUME()
+	var jobs []fleet.Job
+	for _, mk := range makers {
+		jobs = append(jobs, fleet.Job{
+			Name:  "T8a/" + mk().Name(),
+			Board: board,
+			Drive: func(c *fleet.Ctx) (any, error) {
+				dev := c.Dev
+				proj := mk()
+				if err := proj.Build(dev); err != nil {
+					return nil, err
+				}
+				rep, synthErr := dev.Dsn.Synthesize(dev.Board.FPGA)
+				var names []string
+				for _, m := range dev.Dsn.Modules() {
+					names = append(names, m.Name())
+				}
+				return synthCell{
+					name: proj.Name(),
+					luts: rep.Total.LUTs, ffs: rep.Total.FFs, bram36: rep.Total.BRAM36,
+					utilization: rep.Utilization(),
+					fits:        synthErr == nil,
+					moduleNames: names,
+				}, nil
+			},
+		})
+	}
 
 	// Cross-board fit: the same projects against each platform's device.
-	fit := &Table{
-		ID:      "T8b",
-		Title:   "project fit across the three platforms",
-		Columns: []string{"project", "SUME (V7-690T)", "10G (V5-TX240T)", "1G-CML (K7-325T)"},
-	}
-	boards := []core.BoardSpec{core.SUME(), core.TenG(), core.OneGCML()}
-	for _, mk := range []func() netfpga.Project{
+	fitBoards := []core.BoardSpec{core.SUME(), core.TenG(), core.OneGCML()}
+	fitMakers := []func() netfpga.Project{
 		func() netfpga.Project { return nic.New() },
 		func() netfpga.Project { return switchp.New(switchp.Config{}) },
 		func() netfpga.Project { return router.New(router.Config{}) },
 		func() netfpga.Project { return osnt.New() },
 		func() netfpga.Project { return blueswitch.New(blueswitch.Config{}) },
-	} {
+	}
+	for _, mk := range fitMakers {
+		for _, b := range fitBoards {
+			jobs = append(jobs, fleet.Job{
+				Name:  fmt.Sprintf("T8b/%s/%s", mk().Name(), b.Name),
+				Board: b,
+				Drive: func(c *fleet.Ctx) (any, error) {
+					dev := c.Dev
+					proj := mk()
+					if err := proj.Build(dev); err != nil {
+						return "build err", nil
+					}
+					rep, err := dev.Dsn.Synthesize(dev.Board.FPGA)
+					if err != nil {
+						return "over capacity", nil
+					}
+					return pct(rep.Utilization()["LUT"]) + " LUT", nil
+				},
+			})
+		}
+	}
+	results := runJobs(r, jobs)
+
+	synths := make([]synthCell, len(makers))
+	for i := range makers {
+		synths[i] = results[i].MustValue().(synthCell)
+	}
+	for _, s := range synths {
+		fits := "yes"
+		if !s.fits {
+			fits = "NO"
+		}
+		util.AddRow(s.name,
+			fmt.Sprintf("%d", s.luts), fmt.Sprintf("%d", s.ffs),
+			fmt.Sprintf("%d", s.bram36),
+			pct(s.utilization["LUT"]), pct(s.utilization["FF"]), pct(s.utilization["BRAM36"]), fits)
+		util.Metric(s.name+"_lut_pct", s.utilization["LUT"])
+	}
+	util.Notes = append(util.Notes,
+		"resource numbers are analytic estimates calibrated to published NetFPGA reference reports")
+
+	fit := &Table{
+		ID:      "T8b",
+		Title:   "project fit across the three platforms",
+		Columns: []string{"project", "SUME (V7-690T)", "10G (V5-TX240T)", "1G-CML (K7-325T)"},
+	}
+	fi := len(makers)
+	for _, mk := range fitMakers {
 		row := []string{mk().Name()}
-		for _, b := range boards {
-			dev := netfpga.NewDevice(b, netfpga.Options{})
-			proj := mk()
-			if err := proj.Build(dev); err != nil {
-				row = append(row, "build err")
-				continue
-			}
-			rep, err := dev.Dsn.Synthesize(b.FPGA)
-			if err != nil {
-				row = append(row, "over capacity")
-				continue
-			}
-			row = append(row, pct(rep.Utilization()["LUT"])+" LUT")
+		for range fitBoards {
+			row = append(row, results[fi].MustValue().(string))
+			fi++
 		}
 		fit.AddRow(row...)
 	}
 
-	// Module reuse matrix: which library blocks appear in which project.
+	// Module reuse matrix: which library blocks appear in which project
+	// (from the same builds as T8a).
 	reuse := &Table{
 		ID:    "T8c",
 		Title: "standard-module reuse across projects (the building-block claim, paper §3)",
@@ -120,18 +173,14 @@ func T8Utilization() []*Table {
 		return ""
 	}
 	totalShared := 0
-	for _, proj := range allProjects() {
-		dev := netfpga.NewDevice(core.SUME(), netfpga.Options{})
-		if err := proj.Build(dev); err != nil {
-			panic(err)
-		}
+	for _, s := range synths {
 		counts := map[string]int{}
-		for _, m := range dev.Dsn.Modules() {
-			if c := classify(m.Name()); c != "" {
+		for _, name := range s.moduleNames {
+			if c := classify(name); c != "" {
 				counts[c]++
 			}
 		}
-		row := []string{proj.Name()}
+		row := []string{s.name}
 		for _, c := range classes {
 			if counts[c] > 0 {
 				row = append(row, fmt.Sprintf("%d", counts[c]))
@@ -152,7 +201,8 @@ func T8Utilization() []*Table {
 // user-written firewall module into the reference switch changes only
 // the inserted stage — utilization grows by the module's own cost and
 // latency by its pipeline depth; behaviour elsewhere is untouched.
-func F2CustomModule() []*Table {
+// The with- and without-firewall builds run as two fleet devices.
+func F2CustomModule(r *fleet.Runner) []*Table {
 	t := &Table{
 		ID:      "F2",
 		Title:   "reference switch vs switch + user firewall module",
@@ -164,88 +214,97 @@ func F2CustomModule() []*Table {
 		latency    netfpga.Time
 		v4, v6     int
 	}
-	run := func(withFirewall bool) result {
-		dev := netfpga.NewDevice(core.SUME(), netfpga.Options{})
-		d := dev.Dsn
-		cam := switchp.NewCAM(1024, 0)
-		lookup := func(f *hw.Frame) lib.Verdict {
-			var eth pkt.Ethernet
-			if eth.DecodeFromBytes(f.Data) != nil {
-				return lib.Drop
-			}
-			cam.Learn(eth.Src, f.Meta.SrcPort, int64(dev.Now()))
-			if !eth.Dst.IsMulticast() {
-				if port, ok := cam.Lookup(eth.Dst, int64(dev.Now())); ok {
-					if port == f.Meta.SrcPort {
+	mkJob := func(withFirewall bool, name string) fleet.Job {
+		return fleet.Job{
+			Name:  name,
+			Board: core.SUME(),
+			Drive: func(c *fleet.Ctx) (any, error) {
+				dev := c.Dev
+				d := dev.Dsn
+				cam := switchp.NewCAM(1024, 0)
+				lookup := func(f *hw.Frame) lib.Verdict {
+					var eth pkt.Ethernet
+					if eth.DecodeFromBytes(f.Data) != nil {
 						return lib.Drop
 					}
-					f.Meta.DstPorts = hw.PortMask(int(port))
+					cam.Learn(eth.Src, f.Meta.SrcPort, int64(dev.Now()))
+					if !eth.Dst.IsMulticast() {
+						if port, ok := cam.Lookup(eth.Dst, int64(dev.Now())); ok {
+							if port == f.Meta.SrcPort {
+								return lib.Drop
+							}
+							f.Meta.DstPorts = hw.PortMask(int(port))
+							return lib.Forward
+						}
+					}
+					f.Meta.DstPorts = hw.AllPortsMask(4) &^ hw.PortMask(int(f.Meta.SrcPort))
 					return lib.Forward
 				}
-			}
-			f.Meta.DstPorts = hw.AllPortsMask(4) &^ hw.PortMask(int(f.Meta.SrcPort))
-			return lib.Forward
-		}
-		var ins []*hw.Stream
-		outs := map[int]*hw.Stream{}
-		for i, mac := range dev.MACs {
-			rx := d.NewStream(fmt.Sprintf("rx%d", i), 16)
-			tx := d.NewStream(fmt.Sprintf("tx%d", i), 16)
-			lib.NewMACAttach(d, mac, i, rx, tx, 0)
-			ins = append(ins, rx)
-			outs[i] = tx
-		}
-		merged := d.NewStream("merged", 16)
-		lib.NewInputArbiter(d, ins, merged)
-		oplIn := merged
-		if withFirewall {
-			filtered := d.NewStream("filtered", 16)
-			d.AddModule(&fwModule{in: merged, out: filtered, blocked: 0x86DD})
-			oplIn = filtered
-		}
-		decided := d.NewStream("decided", 16)
-		lib.NewOutputPortLookup(d, "switch_lookup", oplIn, decided, lookup, 2,
-			hw.Resources{LUTs: 4100, FFs: 4600, BRAM36: 13}, nil)
-		lib.NewOutputQueues(d, decided, outs, 0)
-		rep, err := d.Synthesize(dev.Board.FPGA)
-		if err != nil {
-			panic(err)
-		}
-
-		for i := 0; i < 4; i++ {
-			dev.Tap(i)
-		}
-		mk := func(ethType uint16) []byte {
-			f, _ := pkt.Serialize(pkt.SerializeOptions{},
-				&pkt.Ethernet{Dst: pkt.MustMAC("02:00:00:00:00:99"),
-					Src: pkt.MustMAC("02:00:00:00:00:01"), EtherType: ethType},
-				pkt.Payload(make([]byte, 46)))
-			return f
-		}
-		start := dev.Now()
-		dev.Tap(0).Send(mk(0x0800))
-		dev.RunFor(netfpga.Millisecond)
-		var lat netfpga.Time
-		v4 := 0
-		for i := 1; i < 4; i++ {
-			for _, f := range dev.Tap(i).Received() {
-				v4++
-				if lat == 0 {
-					lat = f.At - start
+				var ins []*hw.Stream
+				outs := map[int]*hw.Stream{}
+				for i, mac := range dev.MACs {
+					rx := d.NewStream(fmt.Sprintf("rx%d", i), 16)
+					tx := d.NewStream(fmt.Sprintf("tx%d", i), 16)
+					lib.NewMACAttach(d, mac, i, rx, tx, 0)
+					ins = append(ins, rx)
+					outs[i] = tx
 				}
-			}
-		}
-		dev.Tap(0).Send(mk(0x86DD))
-		dev.RunFor(netfpga.Millisecond)
-		v6 := 0
-		for i := 1; i < 4; i++ {
-			v6 += len(dev.Tap(i).Received())
-		}
-		return result{luts: rep.Total.LUTs, bram: rep.Total.BRAM36, latency: lat, v4: v4, v6: v6}
-	}
+				merged := d.NewStream("merged", 16)
+				lib.NewInputArbiter(d, ins, merged)
+				oplIn := merged
+				if withFirewall {
+					filtered := d.NewStream("filtered", 16)
+					d.AddModule(&fwModule{in: merged, out: filtered, blocked: 0x86DD})
+					oplIn = filtered
+				}
+				decided := d.NewStream("decided", 16)
+				lib.NewOutputPortLookup(d, "switch_lookup", oplIn, decided, lookup, 2,
+					hw.Resources{LUTs: 4100, FFs: 4600, BRAM36: 13}, nil)
+				lib.NewOutputQueues(d, decided, outs, 0)
+				rep, err := d.Synthesize(dev.Board.FPGA)
+				if err != nil {
+					return nil, err
+				}
 
-	base := run(false)
-	fw := run(true)
+				for i := 0; i < 4; i++ {
+					dev.Tap(i)
+				}
+				mk := func(ethType uint16) []byte {
+					f, _ := pkt.Serialize(pkt.SerializeOptions{},
+						&pkt.Ethernet{Dst: pkt.MustMAC("02:00:00:00:00:99"),
+							Src: pkt.MustMAC("02:00:00:00:00:01"), EtherType: ethType},
+						pkt.Payload(make([]byte, 46)))
+					return f
+				}
+				start := dev.Now()
+				dev.Tap(0).Send(mk(0x0800))
+				dev.RunFor(netfpga.Millisecond)
+				var lat netfpga.Time
+				v4 := 0
+				for i := 1; i < 4; i++ {
+					for _, f := range dev.Tap(i).Received() {
+						v4++
+						if lat == 0 {
+							lat = f.At - start
+						}
+					}
+				}
+				dev.Tap(0).Send(mk(0x86DD))
+				dev.RunFor(netfpga.Millisecond)
+				v6 := 0
+				for i := 1; i < 4; i++ {
+					v6 += len(dev.Tap(i).Received())
+				}
+				return result{luts: rep.Total.LUTs, bram: rep.Total.BRAM36, latency: lat, v4: v4, v6: v6}, nil
+			},
+		}
+	}
+	results := runJobs(r, []fleet.Job{
+		mkJob(false, "F2/reference"),
+		mkJob(true, "F2/firewall"),
+	})
+	base := results[0].MustValue().(result)
+	fw := results[1].MustValue().(result)
 	t.AddRow("reference switch", fmt.Sprintf("%d", base.luts), fmt.Sprintf("%d", base.bram),
 		base.latency.String(), fmt.Sprintf("%d", base.v4), fmt.Sprintf("%d", base.v6))
 	t.AddRow("+ user firewall", fmt.Sprintf("%d", fw.luts), fmt.Sprintf("%d", fw.bram),

@@ -5,7 +5,10 @@ import "math"
 // Rand is a small, fast, deterministic pseudo-random generator
 // (splitmix64). Every stochastic element of a simulation draws from an
 // explicitly seeded Rand so experiments are reproducible; the global
-// math/rand source is never used.
+// math/rand source is never used. Like Sim, a Rand is per-instance
+// state confined to one goroutine — fleet devices each get their own,
+// seeded from (base seed, device index), which is what makes parallel
+// batches byte-for-byte reproducible at any worker count.
 type Rand struct {
 	state uint64
 }

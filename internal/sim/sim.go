@@ -1,7 +1,12 @@
 package sim
 
 // Sim is a discrete-event simulator. It is not safe for concurrent use;
-// the entire simulation runs on the caller's goroutine.
+// the entire simulation runs on the caller's goroutine. That confinement
+// is what lets the fleet executor run many simulations in parallel: each
+// Sim (and everything hanging off it — clocks, timers, device state) is
+// owned by exactly one worker goroutine, and the package keeps no global
+// mutable state whatsoever, so independent simulations never share
+// memory.
 type Sim struct {
 	now    Time
 	seq    uint64
