@@ -1,0 +1,9 @@
+#!/bin/sh
+# Refresh the committed benchmark baseline the CI regression gate
+# compares against. Run after a deliberate perf change (or when the CI
+# hardware class changes), commit the result, and mention the before and
+# after medians in the PR.
+set -e
+cd "$(dirname "$0")/.."
+go test -bench 'BenchmarkDatapathMinFrames10G$|BenchmarkSwitchIMIXWorkload$|BenchmarkSimEventThroughput$' \
+  -benchtime=1000x -count=10 -run '^$' . | tee bench/baseline.txt

@@ -1,0 +1,126 @@
+// benchgate is the CI benchmark-regression gate: it parses two `go test
+// -bench` outputs (a committed baseline and a fresh run), takes the
+// median time per benchmark across repeated -count runs (robust against
+// both slow outliers and bimodal fast runs at small -benchtime), and
+// fails when any gated benchmark regressed by more than the threshold.
+//
+//	go test -bench 'X|Y' -benchtime=100x -count=6 -run '^$' . > new.txt
+//	benchgate -old bench/baseline.txt -new new.txt \
+//	    -gate BenchmarkDatapathMinFrames10G,BenchmarkSwitchIMIXWorkload
+//
+// benchstat remains the tool for human-readable deltas; benchgate exists
+// so the pass/fail rule is explicit, dependency-free and testable.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// parseBench extracts the median ns/op per benchmark name (GOMAXPROCS
+// suffix stripped) from a `go test -bench` output file.
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	samples := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// Benchmark lines: name iterations value "ns/op" [more metrics].
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		nsIdx := -1
+		for i, tok := range fields {
+			if tok == "ns/op" {
+				nsIdx = i - 1
+				break
+			}
+		}
+		if nsIdx < 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[nsIdx], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		samples[name] = append(samples[name], v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(samples))
+	for name, vs := range samples {
+		sort.Float64s(vs)
+		mid := len(vs) / 2
+		if len(vs)%2 == 1 {
+			out[name] = vs[mid]
+		} else {
+			out[name] = (vs[mid-1] + vs[mid]) / 2
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline `go test -bench` output")
+	newPath := flag.String("new", "", "fresh `go test -bench` output")
+	gate := flag.String("gate", "", "comma-separated benchmark names that must not regress")
+	maxRegress := flag.Float64("max-regress", 20, "maximum allowed regression in percent")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" || *gate == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old, -new and -gate are required")
+		os.Exit(2)
+	}
+	oldB, err := parseBench(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	newB, err := parseBench(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	failed := false
+	fmt.Printf("%-40s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range strings.Split(*gate, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		o, okO := oldB[name]
+		n, okN := newB[name]
+		if !okO || !okN {
+			fmt.Printf("%-40s missing (old=%v new=%v)\n", name, okO, okN)
+			failed = true
+			continue
+		}
+		delta := (n - o) / o * 100
+		verdict := ""
+		if delta > *maxRegress {
+			verdict = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-40s %14.1f %14.1f %+8.1f%%%s\n", name, o, n, delta, verdict)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL (threshold %+.0f%%)\n", *maxRegress)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}

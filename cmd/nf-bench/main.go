@@ -9,15 +9,24 @@
 //	nf-bench -exp T4         # just the switch line-rate table
 //	nf-bench -parallel       # fleet execution + speedup report
 //	nf-bench -parallel -workers 4
+//	nf-bench -json           # also write BENCH_<stamp>.json
 //	nf-bench -list           # list experiment IDs
 //
 // Determinism contract: -parallel produces byte-identical tables to the
 // sequential run — devices are independent and per-device seeds are
-// derived from (-seed, job index), never from scheduling.
+// derived from (-seed, job index), never from scheduling — and
+// byte-identical results for every clock batch size (-batch), which the
+// fleet demo verifies on every -parallel run.
+//
+// -json records every experiment's metrics and wall-clock timings as
+// machine-readable JSON (default file BENCH_<stamp>.json, override with
+// -json-out), giving the repo a perf trajectory across commits; CI
+// uploads it as an artifact.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +45,9 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run device batches through the fleet worker pool and report speedup vs sequential")
 	workers := flag.Int("workers", 0, "fleet worker count for -parallel (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 0, "base seed for per-device RNG derivation")
+	batch := flag.Int("batch", 0, "datapath clock batch size (0 = engine default, 1 = unbatched)")
+	jsonOut := flag.Bool("json", false, "write per-experiment metrics and wall-clock to BENCH_<stamp>.json")
+	jsonPath := flag.String("json-out", "", "override the -json output path")
 	flag.Parse()
 
 	if *list {
@@ -56,7 +68,10 @@ func main() {
 	}
 
 	if !*parallel {
-		runSuite(todo, &fleet.Runner{Workers: 1, BaseSeed: *seed}, os.Stdout)
+		walls, tables := runSuite(todo, &fleet.Runner{Workers: 1, BaseSeed: *seed, ClockBatch: *batch}, os.Stdout)
+		if *jsonOut || *jsonPath != "" {
+			writeJSON(*jsonPath, todo, walls, tables, 1, *seed)
+		}
 		return
 	}
 
@@ -67,8 +82,8 @@ func main() {
 	// Sequential reference pass first (tables discarded — they are
 	// byte-identical to the parallel pass by the fleet's determinism
 	// contract), then the parallel pass that prints.
-	seqWalls := runSuite(todo, &fleet.Runner{Workers: 1, BaseSeed: *seed}, io.Discard)
-	parWalls := runSuite(todo, &fleet.Runner{Workers: w, BaseSeed: *seed}, os.Stdout)
+	seqWalls, _ := runSuite(todo, &fleet.Runner{Workers: 1, BaseSeed: *seed, ClockBatch: *batch}, io.Discard)
+	parWalls, parTables := runSuite(todo, &fleet.Runner{Workers: w, BaseSeed: *seed, ClockBatch: *batch}, os.Stdout)
 
 	fmt.Printf("==== fleet speedup (%d workers, GOMAXPROCS=%d) ====\n\n", w, runtime.GOMAXPROCS(0))
 	fmt.Printf("%-4s %12s %12s %8s\n", "exp", "sequential", "parallel", "speedup")
@@ -84,23 +99,88 @@ func main() {
 		seqTotal.Round(time.Millisecond), parTotal.Round(time.Millisecond),
 		speedup(seqTotal, parTotal))
 
-	fleetDemo(w, *seed)
+	if *jsonOut || *jsonPath != "" {
+		writeJSON(*jsonPath, todo, parWalls, parTables, w, *seed)
+	}
+
+	fleetDemo(w, *seed, *batch)
 }
 
 // runSuite executes the experiments on the given runner, rendering
-// tables to out, and returns each experiment's wall-clock time.
-func runSuite(todo []experiments.Experiment, r *fleet.Runner, out io.Writer) []time.Duration {
+// tables to out, and returns each experiment's wall-clock time and
+// tables.
+func runSuite(todo []experiments.Experiment, r *fleet.Runner, out io.Writer) ([]time.Duration, [][]*experiments.Table) {
 	walls := make([]time.Duration, len(todo))
+	all := make([][]*experiments.Table, len(todo))
 	for i, e := range todo {
 		start := time.Now()
 		tables := e.Run(r)
 		walls[i] = time.Since(start)
+		all[i] = tables
 		fmt.Fprintf(out, "==== %s: %s (wall %v) ====\n\n", e.ID, e.Title, walls[i].Round(time.Millisecond))
 		for _, t := range tables {
 			fmt.Fprintln(out, t)
 		}
 	}
-	return walls
+	return walls, all
+}
+
+// benchJSON is the BENCH_<stamp>.json schema: one record per run, with
+// per-experiment wall-clock and headline metrics.
+type benchJSON struct {
+	Stamp       string         `json:"stamp"`
+	GoVersion   string         `json:"go_version"`
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	Workers     int            `json:"workers"`
+	BaseSeed    uint64         `json:"base_seed"`
+	TotalWallNs int64          `json:"total_wall_ns"`
+	Experiments []benchExpJSON `json:"experiments"`
+}
+
+type benchExpJSON struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	WallNs  int64              `json:"wall_ns"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// writeJSON records the run's metrics and timings. An empty path means
+// BENCH_<stamp>.json in the working directory.
+func writeJSON(path string, todo []experiments.Experiment, walls []time.Duration, tables [][]*experiments.Table, workers int, seed uint64) {
+	stamp := time.Now().UTC().Format("20060102-150405")
+	if path == "" {
+		path = "BENCH_" + stamp + ".json"
+	}
+	doc := benchJSON{
+		Stamp:      stamp,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		BaseSeed:   seed,
+	}
+	for i, e := range todo {
+		rec := benchExpJSON{ID: e.ID, Title: e.Title, WallNs: walls[i].Nanoseconds(),
+			Metrics: make(map[string]float64)}
+		for _, t := range tables[i] {
+			for k, v := range t.Metrics {
+				rec.Metrics[t.ID+"/"+k] = v
+			}
+		}
+		doc.TotalWallNs += rec.WallNs
+		doc.Experiments = append(doc.Experiments, rec)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nf-bench: encoding JSON: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "nf-bench: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d experiments, total wall %v)\n\n", path,
+		len(doc.Experiments), time.Duration(doc.TotalWallNs).Round(time.Millisecond))
 }
 
 func speedup(seq, par time.Duration) float64 {
@@ -112,42 +192,57 @@ func speedup(seq, par time.Duration) float64 {
 
 // fleetDemo runs the canonical 8-device suite — eight independent
 // reference-switch devices under seeded IMIX load for a fixed simulated
-// window — once on one worker and once on the pool, verifying the
-// results match and printing the wall-clock comparison.
-func fleetDemo(workers int, seed uint64) {
+// window — once on one worker and once on the pool, then once more
+// fully unbatched (clock batch 1), verifying all three produce
+// byte-identical per-device results: the end-to-end gate for both the
+// fleet's scheduling determinism and the clock engine's batching
+// equivalence.
+func fleetDemo(workers int, seed uint64, batch int) {
 	const devices = 8
 	mkJobs := func() []fleet.Job {
 		return experiments.SwitchFleetJobs(devices, 200*netfpga.Microsecond)
 	}
-	run := func(w int) ([]fleet.Result, time.Duration) {
+	run := func(w, clockBatch int) ([]fleet.Result, time.Duration) {
 		start := time.Now()
-		res := (&fleet.Runner{Workers: w, BaseSeed: seed}).RunAll(context.Background(), mkJobs())
+		res := (&fleet.Runner{Workers: w, BaseSeed: seed, ClockBatch: clockBatch}).
+			RunAll(context.Background(), mkJobs())
 		return res, time.Since(start)
 	}
-	seqRes, seqWall := run(1)
-	parRes, parWall := run(workers)
+	seqRes, seqWall := run(1, batch)
+	parRes, parWall := run(workers, batch)
+	// The equivalence run must use a genuinely different batch size:
+	// fully unbatched normally, the engine default when the main run is
+	// itself unbatched (-batch 1).
+	altBatch := 1
+	if batch == 1 {
+		altBatch = 0
+	}
+	unbatchedRes, _ := run(workers, altBatch)
 
 	fmt.Printf("==== fleet demo: %d reference-switch devices, IMIX at line rate ====\n\n", devices)
 	fmt.Printf("%-9s %-18s %12s %10s\n", "device", "result", "sim events", "status")
 	identical, failed := true, false
 	for i := range seqRes {
 		status := "ok"
-		if err := seqRes[i].Err; err != nil {
-			failed = true
-			status = "ERR(seq) " + err.Error()
-		}
-		if err := parRes[i].Err; err != nil {
-			failed = true
-			status = "ERR(par) " + err.Error()
+		for _, r := range []fleet.Result{seqRes[i], parRes[i], unbatchedRes[i]} {
+			if r.Err != nil {
+				failed = true
+				status = "ERR " + r.Err.Error()
+			}
 		}
 		if fmt.Sprint(seqRes[i].Value) != fmt.Sprint(parRes[i].Value) ||
 			seqRes[i].Events != parRes[i].Events {
 			identical = false
-			status = "DIVERGED"
+			status = "DIVERGED(par)"
+		}
+		if fmt.Sprint(seqRes[i].Value) != fmt.Sprint(unbatchedRes[i].Value) ||
+			seqRes[i].Events != unbatchedRes[i].Events {
+			identical = false
+			status = "DIVERGED(batch)"
 		}
 		fmt.Printf("%-9s %-18v %12d %10s\n", seqRes[i].Name, parRes[i].Value, parRes[i].Events, status)
 	}
-	match := "byte-identical"
+	match := "byte-identical (across workers and batch sizes)"
 	if !identical {
 		match = "MISMATCH (determinism bug)"
 	}

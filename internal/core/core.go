@@ -93,6 +93,11 @@ type Options struct {
 	Seed uint64
 	// NoHost omits the PCIe engine and driver (standalone operation).
 	NoHost bool
+	// ClockBatch overrides the datapath clock's edge budget per
+	// simulation event (0 = sim.DefaultBatch, 1 = fully unbatched).
+	// Results are identical for every value; this is a performance and
+	// equivalence-testing knob.
+	ClockBatch int
 }
 
 // NewDevice instantiates a board.
@@ -107,6 +112,9 @@ func NewDevice(board BoardSpec, opts Options) *Device {
 	}
 	s := sim.New()
 	clk := s.NewClockMHz("datapath", clkMHz)
+	if opts.ClockBatch > 0 {
+		clk.SetBatch(opts.ClockBatch)
+	}
 	d := &Device{
 		Board:   board,
 		Sim:     s,
@@ -150,19 +158,38 @@ func (d *Device) MountRegs(rf *hw.RegisterFile) uint32 {
 // Now returns the device's current simulated time.
 func (d *Device) Now() hw.Time { return d.Sim.Now() }
 
+// portPrefixes caches the per-port snapshot key prefixes for the
+// hw.MaxPorts physical ports, so Snapshot builds keys with a single
+// concatenation instead of fmt.Sprintf per counter.
+var portPrefixes = [hw.MaxPorts]string{
+	"port0.", "port1.", "port2.", "port3.",
+	"port4.", "port5.", "port6.", "port7.",
+}
+
+func portPrefix(i int) string {
+	if i < len(portPrefixes) && portPrefixes[i] != "" {
+		return portPrefixes[i]
+	}
+	return fmt.Sprintf("port%d.", i)
+}
+
 // Snapshot aggregates every counter the device exposes — design modules,
 // port MACs, the PCIe engine and the host driver — into one flat map,
 // keyed by subsystem prefix. The map is freshly allocated, so a snapshot
 // taken when a device stops is immutable even if the device keeps
 // running; fleet results are built from these.
 func (d *Device) Snapshot() map[string]uint64 {
-	out := make(map[string]uint64)
+	// Pre-size for the common shape: ~7 counters per MAC, a few dozen
+	// design counters, pcie/host blocks. Sized once instead of rehashing
+	// as the map grows.
+	out := make(map[string]uint64, 32+16*len(d.MACs))
 	for k, v := range d.Dsn.Stats() {
 		out["design."+k] = v
 	}
 	for i, m := range d.MACs {
+		prefix := portPrefix(i)
 		for k, v := range m.Stats() {
-			out[fmt.Sprintf("port%d.%s", i, k)] = v
+			out[prefix+k] = v
 		}
 	}
 	if d.Engine != nil {
@@ -228,10 +255,28 @@ type PortTap struct {
 	dev  *Device
 	port int
 	mac  *serial.MAC
-	rx   []RxFrame
+	// rxBlocks is a chunked deque of captured frames: fixed-size blocks
+	// are appended and never copied, so capturing N frames costs
+	// amortised O(N) with no doubling churn — a long soak that captures
+	// millions of frames never re-copies or re-zeroes what it already
+	// holds.
+	rxBlocks [][]RxFrame
+	rxCount  int
+	// chunk is the arena captured frame bytes are copied into, so the
+	// delivered frame (and its Data buffer) can be recycled through the
+	// device's frame pool. Full chunks are simply dropped on the floor;
+	// they stay alive exactly as long as some RxFrame still references
+	// them.
+	chunk []byte
 	// OnRx, when set, intercepts arrivals instead of buffering them.
 	OnRx func(f *hw.Frame, at hw.Time)
 }
+
+// tapChunkBytes is the capture arena granularity.
+const tapChunkBytes = 64 << 10
+
+// rxBlockFrames is the capture deque block size.
+const rxBlockFrames = 512
 
 // Tap returns (creating on first use) the traffic endpoint of port i.
 func (d *Device) Tap(i int) *PortTap {
@@ -249,18 +294,54 @@ func (d *Device) Tap(i int) *PortTap {
 		panic(err)
 	}
 	t := &PortTap{dev: d, port: i, mac: peer}
+	pool := d.Dsn.Pool()
 	peer.SetReceiver(func(f *hw.Frame, ok bool) {
+		// A frame delivered to the tap is exclusively owned here: every
+		// datapath fan-out point clones, so no other reference survives
+		// the MAC handing it over. The buffering path copies the bytes
+		// into the tap arena and recycles the frame; the OnRx path hands
+		// the frame to the callback, which may retain it, so it is never
+		// recycled.
 		if !ok {
+			pool.Put(f)
 			return
 		}
 		if t.OnRx != nil {
 			t.OnRx(f, d.Sim.Now())
 			return
 		}
-		t.rx = append(t.rx, RxFrame{Data: f.Data, At: d.Sim.Now()})
+		t.appendRx(RxFrame{Data: t.retain(f.Data), At: d.Sim.Now()})
+		pool.Put(f)
 	})
 	d.taps[i] = t
 	return t
+}
+
+// appendRx stores a captured frame in the chunked deque.
+func (t *PortTap) appendRx(r RxFrame) {
+	nb := len(t.rxBlocks)
+	if nb == 0 || len(t.rxBlocks[nb-1]) == cap(t.rxBlocks[nb-1]) {
+		t.rxBlocks = append(t.rxBlocks, make([]RxFrame, 0, rxBlockFrames))
+		nb++
+	}
+	t.rxBlocks[nb-1] = append(t.rxBlocks[nb-1], r)
+	t.rxCount++
+}
+
+// retain copies b into the tap's arena and returns the stable copy.
+func (t *PortTap) retain(b []byte) []byte {
+	if len(t.chunk)+len(b) > cap(t.chunk) {
+		size := tapChunkBytes
+		if len(b) > size {
+			size = len(b)
+		}
+		t.chunk = make([]byte, 0, size)
+	}
+	t.chunk = append(t.chunk, b...)
+	// Full slice expression: capacity ends at the frame's last byte, so
+	// a caller appending to a drained RxFrame.Data reallocates instead
+	// of overwriting later frames sharing the arena.
+	return t.chunk[len(t.chunk)-len(b) : len(t.chunk) : len(t.chunk)]
 }
 
 // Port returns the tap's port index.
@@ -269,11 +350,18 @@ func (t *PortTap) Port() int { return t.port }
 // MAC returns the tap-side MAC, for rate math.
 func (t *PortTap) MAC() *serial.MAC { return t.mac }
 
-// Send injects a frame into the device port. The data is copied.
+// Send injects a frame into the device port. The data is copied (into a
+// pooled frame, so steady-state traffic allocates nothing).
 func (t *PortTap) Send(data []byte) bool {
-	cp := make([]byte, len(data))
-	copy(cp, data)
-	return t.mac.Send(hw.NewFrame(cp, 0))
+	pool := t.dev.Dsn.Pool()
+	f := pool.Get(len(data))
+	copy(f.Data, data)
+	f.Meta.Len = uint16(len(data))
+	if t.mac.Send(f) {
+		return true
+	}
+	pool.Put(f) // tx FIFO overflow: the drop is counted, the frame is dead
+	return false
 }
 
 // SendAt schedules a frame injection at an absolute simulated time.
@@ -285,10 +373,16 @@ func (t *PortTap) SendAt(at hw.Time, data []byte) {
 
 // Received drains and returns frames captured since the last call.
 func (t *PortTap) Received() []RxFrame {
-	out := t.rx
-	t.rx = nil
+	if t.rxCount == 0 {
+		return nil
+	}
+	out := make([]RxFrame, 0, t.rxCount)
+	for _, b := range t.rxBlocks {
+		out = append(out, b...)
+	}
+	t.rxBlocks, t.rxCount = nil, 0
 	return out
 }
 
 // Pending returns the number of captured-but-undrained frames.
-func (t *PortTap) Pending() int { return len(t.rx) }
+func (t *PortTap) Pending() int { return t.rxCount }

@@ -89,6 +89,18 @@ type MAC struct {
 	rx       func(f *hw.Frame, fcsOK bool)
 	rng      *sim.Rand
 
+	// inbound is the wire in flight towards this MAC: a power-of-two
+	// ring of frames whose last bit has left the peer but not yet
+	// arrived here, drained by the single persistent rxTimer. One ring
+	// and one timer replace the per-frame timer+closure allocation the
+	// old delivery path paid — the datapath's dominant allocation site.
+	// Arrival times are nondecreasing (one sender, constant propagation
+	// delay), so FIFO draining preserves delivery order exactly.
+	inbound []wireEntry
+	inHead  int
+	inN     int
+	rxTimer *sim.Timer
+
 	txFrames, rxFrames uint64
 	txBytes, rxBytes   uint64
 	fcsErrors          uint64
@@ -116,7 +128,50 @@ func NewMAC(s *sim.Sim, cfg Config) *MAC {
 	m.txq = hw.NewFrameQueue(cfg.Name+".txq", 0, cfg.TxBufBytes)
 	m.txq.OnPush(m.kick)
 	m.txTimer = s.NewTimer(m.txDone)
+	m.rxTimer = s.NewTimer(m.deliver)
 	return m
+}
+
+// wireEntry is one frame propagating towards a MAC.
+type wireEntry struct {
+	f  *hw.Frame
+	at sim.Time
+	ok bool
+}
+
+// enqueueArrival queues a frame to arrive at this MAC at the given time.
+func (m *MAC) enqueueArrival(f *hw.Frame, ok bool, at sim.Time) {
+	if m.inN == len(m.inbound) {
+		size := 2 * len(m.inbound)
+		if size == 0 {
+			size = 16
+		}
+		bigger := make([]wireEntry, size)
+		for i := 0; i < m.inN; i++ {
+			bigger[i] = m.inbound[(m.inHead+i)&(len(m.inbound)-1)]
+		}
+		m.inbound, m.inHead = bigger, 0
+	}
+	m.inbound[(m.inHead+m.inN)&(len(m.inbound)-1)] = wireEntry{f: f, at: at, ok: ok}
+	m.inN++
+	if !m.rxTimer.Pending() {
+		m.rxTimer.ScheduleAt(at)
+	}
+}
+
+// deliver completes the head in-flight frame's propagation. The timer is
+// re-armed for the next entry before the receive callback runs, so any
+// event the callback schedules at the same instant stays ordered after
+// the arrival, as it was when each arrival carried its own timer.
+func (m *MAC) deliver() {
+	e := m.inbound[m.inHead]
+	m.inbound[m.inHead] = wireEntry{}
+	m.inHead = (m.inHead + 1) & (len(m.inbound) - 1)
+	m.inN--
+	if m.inN > 0 {
+		m.rxTimer.ScheduleAt(m.inbound[m.inHead].at)
+	}
+	m.receive(e.f, e.ok)
 }
 
 // Connect joins two MACs with a full-duplex wire of the given propagation
@@ -189,7 +244,6 @@ func (m *MAC) txDone() {
 	m.inFlight = nil
 	m.txFrames++
 	m.txBytes += uint64(len(f.Data))
-	peer := m.peer
 	// Error injection: probability one of the frame's wire bits flipped.
 	ok := true
 	if m.cfg.BER > 0 {
@@ -198,7 +252,7 @@ func (m *MAC) txDone() {
 			ok = false
 		}
 	}
-	m.sim.After(m.prop, func() { peer.receive(f, ok) })
+	m.peer.enqueueArrival(f, ok, m.sim.Now()+m.prop)
 	m.kick()
 }
 

@@ -13,13 +13,27 @@ type Sim struct {
 	heap   []*Timer
 	clocks []*Clock
 
+	// horizon fences inline time advancement: a batching clock (see
+	// Clock.edge) may advance now past pending-event gaps but never past
+	// the horizon, so RunUntil's deadline semantics survive batching.
+	horizon Time
+	// fence, when non-zero, is the executed-event count at which inline
+	// batching must stop, so event-budgeted stepping (StepBudget, Drain
+	// with a limit) lands on exactly the same event as unbatched
+	// execution.
+	fence uint64
+
 	// Stopped reports how many events have executed; useful in tests and
 	// for detecting runaway simulations.
 	executed uint64
 }
 
+// maxTime is the end of simulated time; the horizon when no run deadline
+// is active.
+const maxTime = Time(1<<63 - 1)
+
 // New returns an empty simulator positioned at the epoch.
-func New() *Sim { return &Sim{} }
+func New() *Sim { return &Sim{horizon: maxTime} }
 
 // Now returns the current simulated time. Inside an event callback it is
 // the event's scheduled time.
@@ -92,8 +106,11 @@ func (s *Sim) At(at Time, fn func()) *Timer {
 // After schedules fn to run d picoseconds from now and returns its timer.
 func (s *Sim) After(d Time, fn func()) *Timer { return s.At(s.now+d, fn) }
 
-// Step executes the single earliest pending event. It reports whether an
-// event was executed (false means the queue is empty).
+// Step executes the earliest pending event. It reports whether an event
+// was executed (false means the queue is empty). A gateable clock's edge
+// event may execute several consecutive edges inline (see Clock.edge), in
+// which case Executed still advances once per edge, exactly as if each
+// edge had been its own heap event.
 func (s *Sim) Step() bool {
 	if len(s.heap) == 0 {
 		return false
@@ -103,6 +120,27 @@ func (s *Sim) Step() bool {
 	s.now = t.at
 	s.executed++
 	t.fn()
+	return true
+}
+
+// StepBudget executes the earliest pending event provided it is due at or
+// before deadline, allowing at most maxEvents executed events during the
+// step (inline-batched clock edges included; 0 means unlimited). It
+// reports whether an event was executed. Event-budgeted drivers use it so
+// their stopping point is independent of clock batch sizes.
+func (s *Sim) StepBudget(deadline Time, maxEvents uint64) bool {
+	if len(s.heap) == 0 || s.heap[0].at > deadline {
+		return false
+	}
+	prevH, prevF := s.horizon, s.fence
+	if deadline < s.horizon {
+		s.horizon = deadline
+	}
+	if f := s.executed + maxEvents; maxEvents != 0 && (s.fence == 0 || f < s.fence) {
+		s.fence = f
+	}
+	s.Step()
+	s.horizon, s.fence = prevH, prevF
 	return true
 }
 
@@ -117,11 +155,17 @@ func (s *Sim) Peek() (Time, bool) {
 
 // RunUntil executes events with scheduled time <= deadline, then advances
 // Now to deadline. Events scheduled by executed events are honoured if
-// they fall within the deadline.
+// they fall within the deadline. The deadline also fences clock batching:
+// no edge past it executes early.
 func (s *Sim) RunUntil(deadline Time) {
+	prev := s.horizon
+	if deadline < s.horizon {
+		s.horizon = deadline
+	}
 	for len(s.heap) > 0 && s.heap[0].at <= deadline {
 		s.Step()
 	}
+	s.horizon = prev
 	if s.now < deadline {
 		s.now = deadline
 	}
@@ -132,14 +176,26 @@ func (s *Sim) RunFor(d Time) { s.RunUntil(s.now + d) }
 
 // Drain executes events until the queue is empty or limit events have run.
 // It reports whether the queue was drained. A limit of 0 means no limit.
+// Batched clock edges count individually against the limit, and batching
+// stops at the limit, so the stopping point matches unbatched execution.
 func (s *Sim) Drain(limit uint64) bool {
-	n := uint64(0)
+	if limit == 0 {
+		for len(s.heap) > 0 {
+			s.Step()
+		}
+		return true
+	}
+	end := s.executed + limit
 	for len(s.heap) > 0 {
-		if limit != 0 && n >= limit {
+		if s.executed >= end {
 			return false
 		}
+		prev := s.fence
+		if prev == 0 || end < prev {
+			s.fence = end
+		}
 		s.Step()
-		n++
+		s.fence = prev
 	}
 	return true
 }

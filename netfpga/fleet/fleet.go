@@ -148,17 +148,18 @@ func (c *Ctx) RunFor(d netfpga.Time) bool {
 	}
 	if c.stop.Events > 0 {
 		// Step within the event budget, then advance any residual time.
+		// StepBudget fences clock batching to the remaining budget and
+		// the deadline, so the stopping point is identical for every
+		// batch size.
 		deadline := c.Dev.Now() + d
-		for eventsLeft > 0 {
-			at, ok := c.Dev.Sim.Peek()
-			if !ok || at > deadline {
+		for {
+			_, eventsLeft, _ = c.Budget()
+			if eventsLeft == 0 {
+				return false
+			}
+			if !c.Dev.Sim.StepBudget(deadline, eventsLeft) {
 				break
 			}
-			c.Dev.Sim.Step()
-			eventsLeft--
-		}
-		if eventsLeft == 0 {
-			return false
 		}
 		if c.Dev.Now() < deadline {
 			c.Dev.Sim.RunUntil(deadline)

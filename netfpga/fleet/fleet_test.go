@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -155,6 +156,11 @@ func TestCancellation(t *testing.T) {
 			close(started)
 			n := 0
 			for c.RunFor(netfpga.Microsecond) {
+				// Yield so the canceller goroutine runs even on a
+				// single-CPU machine: this empty device's RunFor has no
+				// preemption point, and the loop must observe the
+				// cancel, not race it.
+				runtime.Gosched()
 				n++
 				if n > 1_000_000 {
 					return nil, errors.New("RunFor ignored cancellation")

@@ -20,6 +20,11 @@ type Runner struct {
 	// a whole batch is re-rollable from one number. Zero is a valid
 	// base (the derivation never yields the trivial all-zero stream).
 	BaseSeed uint64
+	// ClockBatch, when non-zero, overrides every device's datapath
+	// clock batch size (jobs that set their own Options.ClockBatch
+	// win). Per-device results are identical for every value; nf-bench
+	// uses it to prove batching equivalence end to end.
+	ClockBatch int
 }
 
 // New returns a runner with the given worker count (<= 0 means
@@ -150,6 +155,9 @@ func (r *Runner) runOne(ctx context.Context, job Job, index int) (res Result) {
 	if !job.NoDevice {
 		opts := job.Options
 		opts.Seed = seed
+		if opts.ClockBatch == 0 {
+			opts.ClockBatch = r.ClockBatch
+		}
 		dev := netfpga.NewDevice(job.Board, opts)
 		if job.Build != nil {
 			if err := job.Build(dev); err != nil {

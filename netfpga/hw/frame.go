@@ -138,6 +138,62 @@ func (f *Frame) Clone() *Frame {
 	return g
 }
 
+// FramePool is a free list recycling Frames and their Data buffers
+// through the datapath hot path, so steady-state traffic stops paying
+// allocator and GC cost per frame. It is deliberately not a sync.Pool:
+// each simulation runs confined to one goroutine, and a plain slice keeps
+// reuse deterministic and free of atomics. A nil *FramePool is valid and
+// degrades to plain allocation, so optional pooling costs callers no
+// branches.
+//
+// Ownership contract: Put hands the pool exclusive ownership of the frame
+// AND its Data array — nothing else may retain either. Consumers that
+// expose received bytes to callers (for example core.PortTap) copy the
+// payload out before recycling the frame.
+type FramePool struct {
+	free []*Frame
+}
+
+// maxPoolFrames bounds the free list so a burst of retained-then-released
+// frames cannot pin unbounded memory.
+const maxPoolFrames = 4096
+
+// Get returns a frame with Data sized to n bytes. The bytes are NOT
+// zeroed when the frame comes from the free list; callers overwrite the
+// full window. Meta is zeroed.
+func (p *FramePool) Get(n int) *Frame {
+	if p == nil || len(p.free) == 0 {
+		return &Frame{Data: make([]byte, n)}
+	}
+	f := p.free[len(p.free)-1]
+	p.free[len(p.free)-1] = nil
+	p.free = p.free[:len(p.free)-1]
+	if cap(f.Data) < n {
+		f.Data = make([]byte, n)
+	} else {
+		f.Data = f.Data[:n]
+	}
+	return f
+}
+
+// Put recycles a frame the caller exclusively owns. The frame and its
+// Data must not be used after Put.
+func (p *FramePool) Put(f *Frame) {
+	if p == nil || f == nil || len(p.free) >= maxPoolFrames {
+		return
+	}
+	f.Meta = Meta{}
+	p.free = append(p.free, f)
+}
+
+// Clone is Frame.Clone drawing storage from the pool.
+func (p *FramePool) Clone(f *Frame) *Frame {
+	g := p.Get(len(f.Data))
+	copy(g.Data, f.Data)
+	g.Meta = f.Meta
+	return g
+}
+
 // Beat is one bus-width transfer of a frame: the half-open byte window
 // [Off, End) of Frame.Data. Last marks the final beat (TLAST).
 type Beat struct {

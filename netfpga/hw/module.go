@@ -54,8 +54,18 @@ type Design struct {
 	clock    *sim.Clock
 	busBytes int
 	modules  []Module
+	// runnable implements sparse ticking: a module whose Tick returned
+	// false is skipped on subsequent edges until something marks it
+	// runnable again — a push into one of its input conduits (wired via
+	// ModuleWake) or a design-wide Wake. By the Component contract an
+	// idle module's Tick is a side-effect-free false until new input
+	// arrives, so skipping it is observably identical to ticking it and
+	// removes the dominant per-edge cost: walking every idle module of
+	// the design on every busy cycle.
+	runnable []bool
 	streams  []*Stream
 	queues   []*FrameQueue
+	pool     FramePool
 	overhead Resources
 	synth    bool
 }
@@ -85,12 +95,42 @@ func (d *Design) Clock() *sim.Clock { return d.clock }
 // Now returns the current simulated time, for timestamping modules.
 func (d *Design) Now() Time { return d.clock.Now() }
 
-// Wake re-arms the datapath clock; stream pushes call it automatically.
-func (d *Design) Wake() { d.clock.Wake() }
+// Wake re-arms the datapath clock and conservatively marks every module
+// runnable; stream pushes call it automatically unless they are wired to
+// a specific consumer via ModuleWake.
+func (d *Design) Wake() {
+	for i := range d.runnable {
+		d.runnable[i] = true
+	}
+	d.clock.Wake()
+}
+
+// ModuleWake returns a wake hook that marks only m runnable before
+// re-arming the clock. Modules install it on their input streams and
+// queues (s.OnPush(d.ModuleWake(m))) so a push wakes exactly the
+// consumer it feeds; conduits without a known consumer keep the
+// mark-everything Wake default.
+func (d *Design) ModuleWake(m Module) func() {
+	for i := range d.modules {
+		if d.modules[i] == m {
+			return func() {
+				d.runnable[i] = true
+				d.clock.Wake()
+			}
+		}
+	}
+	return d.Wake
+}
+
+// Pool returns the design's frame pool, shared by the design's modules
+// and the device's edge endpoints (taps) so frames recycle across the
+// whole traffic loop of one simulation.
+func (d *Design) Pool() *FramePool { return &d.pool }
 
 // AddModule appends a module to the design's tick order.
 func (d *Design) AddModule(m Module) {
 	d.modules = append(d.modules, m)
+	d.runnable = append(d.runnable, true)
 	d.clock.Wake()
 }
 
@@ -118,24 +158,32 @@ func (d *Design) NewFrameQueue(name string, capFrames, capBytes int) *FrameQueue
 // Streams returns the design's streams.
 func (d *Design) Streams() []*Stream { return d.streams }
 
-// Tick implements sim.Component by stepping every module once.
+// Tick implements sim.Component by stepping every runnable module once.
+// Idle modules stay skipped until an input push or Wake re-marks them.
 func (d *Design) Tick() bool {
 	busy := false
-	for _, m := range d.modules {
+	for i, m := range d.modules {
+		if !d.runnable[i] {
+			continue
+		}
 		if m.Tick() {
 			busy = true
+		} else {
+			d.runnable[i] = false
 		}
 	}
 	return busy
 }
 
-// Reset soft-resets every module that supports it.
+// Reset soft-resets every module that supports it and marks all modules
+// runnable, since reset may have changed their state.
 func (d *Design) Reset() {
 	for _, m := range d.modules {
 		if r, ok := m.(Resetter); ok {
 			r.Reset()
 		}
 	}
+	d.Wake()
 }
 
 // Stats aggregates counters from all modules, prefixed by module name, and

@@ -8,7 +8,12 @@ package hw
 // single simulation goroutine.
 type Stream struct {
 	name string
+	// buf is a power-of-two ring so beat indexing is a mask, not a
+	// modulo — this is the datapath's innermost loop. cap is the logical
+	// (TREADY) capacity, which may be smaller than the ring.
 	buf  []Beat
+	mask int
+	cap  int
 	head int
 	n    int
 	wake func()
@@ -18,42 +23,57 @@ type Stream struct {
 	highWtr int
 }
 
+// ringSize rounds a positive capacity up to a power of two.
+func ringSize(n int) int {
+	r := 1
+	for r < n {
+		r <<= 1
+	}
+	return r
+}
+
 // NewStream returns a stream with capacity capBeats. Prefer
 // Design.NewStream, which also wires the wake hook to the design's clock.
 func NewStream(name string, capBeats int) *Stream {
 	if capBeats <= 0 {
 		panic("hw: stream capacity must be positive")
 	}
-	return &Stream{name: name, buf: make([]Beat, capBeats)}
+	ring := ringSize(capBeats)
+	return &Stream{name: name, buf: make([]Beat, ring), mask: ring - 1, cap: capBeats}
 }
 
 // Name returns the stream's name.
 func (s *Stream) Name() string { return s.name }
 
 // Cap returns the stream's capacity in beats.
-func (s *Stream) Cap() int { return len(s.buf) }
+func (s *Stream) Cap() int { return s.cap }
 
 // Len returns the number of queued beats.
 func (s *Stream) Len() int { return s.n }
 
 // CanPush reports whether at least one beat of space is available (TREADY).
-func (s *Stream) CanPush() bool { return s.n < len(s.buf) }
+func (s *Stream) CanPush() bool { return s.n < s.cap }
 
 // Space returns the number of free beat slots.
-func (s *Stream) Space() int { return len(s.buf) - s.n }
+func (s *Stream) Space() int { return s.cap - s.n }
 
-// Push enqueues a beat. Pushing to a full stream panics: modules must
-// check CanPush first, exactly as hardware must honour TREADY.
-func (s *Stream) Push(b Beat) {
-	if s.n == len(s.buf) {
+// put enqueues a beat without invoking the wake hook.
+func (s *Stream) put(b Beat) {
+	if s.n == s.cap {
 		panic("hw: push to full stream " + s.name)
 	}
-	s.buf[(s.head+s.n)%len(s.buf)] = b
+	s.buf[(s.head+s.n)&s.mask] = b
 	s.n++
 	s.pushed++
 	if s.n > s.highWtr {
 		s.highWtr = s.n
 	}
+}
+
+// Push enqueues a beat. Pushing to a full stream panics: modules must
+// check CanPush first, exactly as hardware must honour TREADY.
+func (s *Stream) Push(b Beat) {
+	s.put(b)
 	if s.wake != nil {
 		s.wake()
 	}
@@ -77,7 +97,7 @@ func (s *Stream) Pop() Beat {
 	}
 	b := s.buf[s.head]
 	s.buf[s.head] = Beat{}
-	s.head = (s.head + 1) % len(s.buf)
+	s.head = (s.head + 1) & s.mask
 	s.n--
 	s.popped++
 	return b
@@ -95,7 +115,9 @@ func (s *Stream) HighWater() int { return s.highWtr }
 
 // PushFrame enqueues an entire frame as busBytes-wide beats. It reports
 // false without side effects if the stream lacks space for all beats.
-// Edge adapters use it where a whole frame materialises at once.
+// Edge adapters use it where a whole frame materialises at once. The wake
+// hook runs once for the whole frame, not once per beat: the consuming
+// clock only needs one wakeup, and per-beat wakes were pure overhead.
 func (s *Stream) PushFrame(f *Frame, busBytes int) bool {
 	nb := f.Beats(busBytes)
 	if s.Space() < nb {
@@ -104,11 +126,15 @@ func (s *Stream) PushFrame(f *Frame, busBytes int) bool {
 	for off := 0; ; off += busBytes {
 		end := off + busBytes
 		if end >= len(f.Data) {
-			s.Push(Beat{Frame: f, Off: off, End: len(f.Data), Last: true})
-			return true
+			s.put(Beat{Frame: f, Off: off, End: len(f.Data), Last: true})
+			break
 		}
-		s.Push(Beat{Frame: f, Off: off, End: end})
+		s.put(Beat{Frame: f, Off: off, End: end})
 	}
+	if s.wake != nil {
+		s.wake()
+	}
+	return true
 }
 
 // FrameQueue is a bounded frame-granularity queue used at datapath edges:
@@ -120,11 +146,13 @@ type FrameQueue struct {
 	name      string
 	capFrames int
 	capBytes  int
-	frames    []*Frame
-	head      int
-	n         int
-	bytes     int
-	wake      func()
+	// frames is a power-of-two ring indexed with mask, like Stream.buf.
+	frames []*Frame
+	mask   int
+	head   int
+	n      int
+	bytes  int
+	wake   func()
 
 	pushed uint64
 	popped uint64
@@ -144,8 +172,9 @@ func NewFrameQueue(name string, capFrames, capBytes int) *FrameQueue {
 	if ring <= 0 {
 		ring = 64 // grown on demand when byte-bound only
 	}
+	ring = ringSize(ring)
 	return &FrameQueue{name: name, capFrames: capFrames, capBytes: capBytes,
-		frames: make([]*Frame, ring)}
+		frames: make([]*Frame, ring), mask: ring - 1}
 }
 
 // Name returns the queue's name.
@@ -179,11 +208,11 @@ func (q *FrameQueue) Push(f *Frame) bool {
 	if q.n == len(q.frames) { // grow ring (byte-bound queues only)
 		bigger := make([]*Frame, 2*len(q.frames))
 		for i := 0; i < q.n; i++ {
-			bigger[i] = q.frames[(q.head+i)%len(q.frames)]
+			bigger[i] = q.frames[(q.head+i)&q.mask]
 		}
-		q.frames, q.head = bigger, 0
+		q.frames, q.head, q.mask = bigger, 0, len(bigger)-1
 	}
-	q.frames[(q.head+q.n)%len(q.frames)] = f
+	q.frames[(q.head+q.n)&q.mask] = f
 	q.n++
 	q.bytes += len(f.Data)
 	q.pushed++
@@ -203,7 +232,7 @@ func (q *FrameQueue) Pop() *Frame {
 	}
 	f := q.frames[q.head]
 	q.frames[q.head] = nil
-	q.head = (q.head + 1) % len(q.frames)
+	q.head = (q.head + 1) & q.mask
 	q.n--
 	q.bytes -= len(f.Data)
 	q.popped++

@@ -30,6 +30,10 @@ func NewInputArbiter(d *hw.Design, ins []*hw.Stream, out *hw.Stream) *InputArbit
 	a := &InputArbiter{name: "input_arbiter", ins: ins, out: out,
 		locked: -1, grants: make([]uint64, len(ins))}
 	d.AddModule(a)
+	wake := d.ModuleWake(a)
+	for _, in := range ins {
+		in.OnPush(wake)
+	}
 	return a
 }
 
@@ -49,15 +53,24 @@ func (a *InputArbiter) Tick() bool {
 		return a.pending()
 	}
 	if a.locked < 0 {
-		// Grant: scan round-robin from next.
+		// Grant: scan round-robin from next. Wrap by subtraction, not
+		// modulo — this scan runs every cycle and a variable modulo is
+		// an integer divide.
+		c := a.next
 		for i := 0; i < len(a.ins); i++ {
-			c := (a.next + i) % len(a.ins)
 			if a.ins[c].CanPop() {
 				a.locked = c
 				a.grants[c]++
 				a.packets++
-				a.next = (c + 1) % len(a.ins)
+				a.next = c + 1
+				if a.next == len(a.ins) {
+					a.next = 0
+				}
 				break
+			}
+			c++
+			if c == len(a.ins) {
+				c = 0
 			}
 		}
 		if a.locked < 0 {

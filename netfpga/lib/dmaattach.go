@@ -27,9 +27,12 @@ type DMAAttach struct {
 // pipeline; fromPipe receives pipeline frames bound for the host.
 func NewDMAAttach(d *hw.Design, eng *pcie.Engine, toPipe, fromPipe *hw.Stream) *DMAAttach {
 	a := &DMAAttach{name: "dma.attach", d: d, eng: eng, toPipe: toPipe, fromPipe: fromPipe}
-	// Waking the datapath when DMA completes lands a frame in ToDevice.
-	eng.ToDevice().OnPush(d.Wake)
 	d.AddModule(a)
+	// Waking the datapath when DMA completes lands a frame in ToDevice;
+	// only this module needs to run for it.
+	wake := d.ModuleWake(a)
+	eng.ToDevice().OnPush(wake)
+	fromPipe.OnPush(wake)
 	return a
 }
 
@@ -55,8 +58,10 @@ func (a *DMAAttach) Tick() bool {
 			a.h2dPkts++
 		}
 	}
-	if pushed, _ := a.emit.emit(a.toPipe, a.d.BusBytes()); pushed {
-		busy = true
+	if a.emit.active() {
+		if pushed, _ := a.emit.emit(a.toPipe, a.d.BusBytes()); pushed {
+			busy = true
+		}
 	}
 
 	// Pipeline → host.

@@ -84,6 +84,7 @@ func NewOutputPortLookup(d *hw.Design, name string, in, out *hw.Stream,
 		latency: latencyCycles, res: res, cpu: cpuQ,
 		depth: defaultLookupPipelineDepth}
 	d.AddModule(l)
+	in.OnPush(d.ModuleWake(l))
 	return l
 }
 
@@ -106,8 +107,10 @@ func (l *OutputPortLookup) Tick() bool {
 		copy(l.ready, l.ready[1:])
 		l.ready = l.ready[:len(l.ready)-1]
 	}
-	if pushed, _ := l.emit.emit(l.out, l.d.BusBytes()); pushed {
-		busy = true
+	if l.emit.active() {
+		if pushed, _ := l.emit.emit(l.out, l.d.BusBytes()); pushed {
+			busy = true
+		}
 	}
 
 	// Decision stage: retire the oldest in-flight lookup once its
@@ -117,20 +120,37 @@ func (l *OutputPortLookup) Tick() bool {
 		copy(l.pending, l.pending[1:])
 		l.pending = l.pending[:len(l.pending)-1]
 		l.lookups++
+		pool := l.d.Pool()
 		switch l.fn(f) {
 		case Drop:
 			l.drops++
+			pool.Put(f) // the frame dies at the decision; recycle it
 		case ToCPU:
 			l.punts++
+			forward := f.Meta.DstPorts != 0
 			if l.cpu != nil {
-				l.cpu.Push(f)
+				pf := f
+				if forward {
+					// Punt-and-forward: the CPU gets its own copy so
+					// the datapath copy stays exclusively owned (the
+					// frame pool recycles frames at the egress edge).
+					pf = pool.Clone(f)
+				}
+				if !l.cpu.Push(pf) {
+					// Tail-dropped punt: pf is either a clone or a
+					// non-forwarded original, so nothing else owns it.
+					pool.Put(pf)
+				}
+			} else if !forward {
+				pool.Put(f) // punted nowhere and not forwarded: dead
 			}
-			if f.Meta.DstPorts != 0 {
+			if forward {
 				l.ready = append(l.ready, f)
 			}
 		case Forward:
 			if f.Meta.DstPorts == 0 {
 				l.drops++
+				pool.Put(f)
 			} else {
 				l.ready = append(l.ready, f)
 			}

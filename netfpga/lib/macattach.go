@@ -49,6 +49,12 @@ func NewMACAttach(d *hw.Design, mac *serial.MAC, port int, rxOut, txIn *hw.Strea
 	m.rxq = d.NewFrameQueue(mac.Name()+".rxfifo", 0, rxFIFOBytes)
 	mac.SetReceiver(m.onRx)
 	d.AddModule(m)
+	// Input conduits wake this module alone: a wire arrival or a
+	// pipeline beat bound for this port re-runs the attach, not every
+	// module of the design.
+	wake := d.ModuleWake(m)
+	m.rxq.OnPush(wake)
+	txIn.OnPush(wake)
 	return m
 }
 
@@ -60,42 +66,48 @@ func (m *MACAttach) Resources() hw.Resources {
 	return hw.Resources{LUTs: 3500, FFs: 5200, BRAM36: 6}
 }
 
-// onRx runs in simulated time as frames arrive from the wire.
+// onRx runs in simulated time as frames arrive from the wire. Dropped
+// frames — bad FCS or RX FIFO overflow — are dead on arrival and recycle
+// straight into the design's frame pool.
 func (m *MACAttach) onRx(f *hw.Frame, fcsOK bool) {
 	if !fcsOK {
 		m.badFCS++
-		return // bad frames are dropped at the MAC, as configured in hw
+		m.d.Pool().Put(f) // bad frames are dropped at the MAC, as configured in hw
+		return
 	}
 	f.Meta.SrcPort = m.port
 	f.Meta.Len = uint16(len(f.Data))
 	f.Meta.Ingress = m.d.Now()
 	f.Meta.Flags |= hw.FlagTimestamped
-	m.rxq.Push(f) // overflow counted by the queue (tail drop)
+	if !m.rxq.Push(f) { // overflow counted by the queue (tail drop)
+		m.d.Pool().Put(f)
+	}
 }
 
 // Tick implements hw.Module.
 func (m *MACAttach) Tick() bool {
 	busy := false
 
-	// RX: stream the current frame, else start the next one.
-	if !m.rxEmit.active() {
-		if f := m.rxq.Pop(); f != nil {
+	// RX: stream the current frame, else start the next one. The whole
+	// stage is skipped with two field checks when nothing is in flight.
+	if m.rxEmit.active() || m.rxq.Len() > 0 {
+		if !m.rxEmit.active() {
+			f := m.rxq.Pop()
 			m.rxEmit.start(f)
 			m.rxPkts++
 			m.rxBytes += uint64(len(f.Data))
 		}
-	}
-	if pushed, _ := m.rxEmit.emit(m.rxOut, m.d.BusBytes()); pushed {
-		busy = true
+		if pushed, _ := m.rxEmit.emit(m.rxOut, m.d.BusBytes()); pushed {
+			busy = true
+		}
 	}
 
 	// TX: hand a completed frame to the MAC, honouring its FIFO bound.
-	if m.txHold == nil {
+	// (busy is implied by the return expression's CanPop and by the
+	// txHold block below, so none is computed here.)
+	if m.txHold == nil && m.txIn.CanPop() {
 		if f, done := (collectFrame{}).collect(m.txIn); done {
 			m.txHold = f
-		}
-		if m.txIn.CanPop() || m.txHold != nil {
-			busy = true
 		}
 	}
 	if m.txHold != nil {

@@ -60,6 +60,11 @@ func NewOutputQueues(d *hw.Design, in *hw.Stream, outs map[int]*hw.Stream, queue
 		panic("lib: output queues need at least one port")
 	}
 	d.AddModule(oq)
+	wake := d.ModuleWake(oq)
+	in.OnPush(wake)
+	for i := range oq.ports {
+		oq.ports[i].q.OnPush(wake)
+	}
 	return oq
 }
 
@@ -90,16 +95,21 @@ func (o *OutputQueues) Tick() bool {
 		busy = true
 	}
 
-	// Drain stage: every port moves one beat per cycle.
+	// Drain stage: every port moves one beat per cycle. Idle ports —
+	// nothing queued, nothing mid-emission — fall through with two field
+	// checks and no calls; with eight configured ports and typically one
+	// or two active, this loop is the stage's hot path.
+	bus := o.d.BusBytes()
 	for i := range o.ports {
 		p := &o.ports[i]
 		if !p.emit.active() {
-			if f := p.q.Pop(); f != nil {
-				p.emit.start(f)
-				p.pkts++
+			if p.q.Len() == 0 {
+				continue
 			}
+			p.emit.start(p.q.Pop())
+			p.pkts++
 		}
-		if pushed, _ := p.emit.emit(p.out, o.d.BusBytes()); pushed {
+		if pushed, _ := p.emit.emit(p.out, bus); pushed {
 			busy = true
 		}
 		if p.emit.active() || p.q.Len() > 0 {
@@ -111,21 +121,35 @@ func (o *OutputQueues) Tick() bool {
 
 // route replicates f to every configured destination in its mask.
 // The last matching destination receives the original frame; earlier ones
-// receive clones, so per-copy metadata stays independent.
+// receive clones (drawn from the design's frame pool), so per-copy
+// metadata stays independent. Tail-dropped copies are recycled: the queue
+// counted the drop and nothing else references them.
 func (o *OutputQueues) route(f *hw.Frame) {
-	var targets []*oqPort
+	mask := f.Meta.DstPorts
+	last := -1
 	for i := range o.ports {
-		if f.Meta.DstPorts&(1<<uint(o.ports[i].bit)) != 0 {
-			targets = append(targets, &o.ports[i])
+		if mask&(1<<uint(o.ports[i].bit)) != 0 {
+			last = i
 		}
 	}
-	for i, p := range targets {
+	if last < 0 {
+		o.d.Pool().Put(f) // no configured destination: the frame dies here
+		return
+	}
+	pool := o.d.Pool()
+	for i := 0; i <= last; i++ {
+		p := &o.ports[i]
+		if mask&(1<<uint(p.bit)) == 0 {
+			continue
+		}
 		copyF := f
-		if i < len(targets)-1 {
-			copyF = f.Clone()
+		if i != last {
+			copyF = pool.Clone(f)
 		}
 		copyF.Meta.DstPorts = 1 << uint(p.bit)
-		p.q.Push(copyF) // tail drop accounted by the queue
+		if !p.q.Push(copyF) {
+			pool.Put(copyF)
+		}
 	}
 }
 

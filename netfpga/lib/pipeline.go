@@ -23,6 +23,7 @@ type QueueSource struct {
 func NewQueueSource(d *hw.Design, name string, q *hw.FrameQueue, out *hw.Stream) *QueueSource {
 	s := &QueueSource{name: name, d: d, q: q, out: out}
 	d.AddModule(s)
+	q.OnPush(d.ModuleWake(s))
 	return s
 }
 

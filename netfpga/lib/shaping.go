@@ -31,6 +31,7 @@ func NewRateLimiter(d *hw.Design, name string, in, out *hw.Stream, rateMbps, bur
 	r := &RateLimiter{name: name, d: d, in: in, out: out,
 		rateMbps: rateMbps, burstB: burstBytes, tokens: float64(burstBytes)}
 	d.AddModule(r)
+	in.OnPush(d.ModuleWake(r))
 	return r
 }
 
@@ -112,6 +113,7 @@ type Delay struct {
 func NewDelay(d *hw.Design, name string, in, out *hw.Stream, delay hw.Time) *Delay {
 	dm := &Delay{name: name, d: d, in: in, out: out, delay: delay}
 	d.AddModule(dm)
+	in.OnPush(d.ModuleWake(dm))
 	return dm
 }
 

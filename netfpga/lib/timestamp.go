@@ -42,6 +42,7 @@ type Timestamper struct {
 func NewTimestamper(d *hw.Design, name string, in, out *hw.Stream, mode TimestampMode, offset uint32) *Timestamper {
 	t := &Timestamper{name: name, d: d, in: in, out: out, mode: mode, offset: offset}
 	d.AddModule(t)
+	in.OnPush(d.ModuleWake(t))
 	return t
 }
 

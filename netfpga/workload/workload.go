@@ -76,7 +76,21 @@ type Generator struct {
 	wheel  []int // size index wheel for weighted sampling
 	frames uint64
 	bytes  uint64
+
+	// Reused serialization state: one buffer, one set of layer structs
+	// and one zero-payload scratch serve every Next call, so generating
+	// a frame costs exactly one allocation (the returned copy).
+	sbuf    *pkt.SerializeBuffer
+	eth     pkt.Ethernet
+	ip      pkt.IPv4
+	udp     pkt.UDP
+	payload pkt.Payload
+	layers  []pkt.SerializableLayer
+	scratch []byte
 }
+
+// serializeOpts mirrors pkt's convenience-builder options.
+var serializeOpts = pkt.SerializeOptions{FixLengths: true, ComputeChecksums: true}
 
 // New builds a generator.
 func New(cfg Config) (*Generator, error) {
@@ -123,33 +137,49 @@ func New(cfg Config) (*Generator, error) {
 		g.flows = append(g.flows, f)
 	}
 	// Weighted wheel for size sampling.
+	maxSize := 0
 	for i, s := range cfg.Sizes {
 		for w := 0; w < s.Weight; w++ {
 			g.wheel = append(g.wheel, i)
 		}
+		if s.Bytes > maxSize {
+			maxSize = s.Bytes
+		}
 	}
+	g.sbuf = pkt.NewSerializeBuffer()
+	// Next re-wires udp's checksum layer every call, because it
+	// overwrites the struct wholesale.
+	g.layers = []pkt.SerializableLayer{&g.eth, &g.ip, &g.udp, &g.payload}
+	g.scratch = make([]byte, maxSize) // zeros; payloads slice into it
 	return g, nil
 }
 
 // Next produces the next frame: a UDP packet from a uniformly chosen
-// flow with a size drawn from the weighted mix.
+// flow with a size drawn from the weighted mix. The returned slice is
+// freshly allocated and owned by the caller; all intermediate
+// serialization state is reused across calls.
 func (g *Generator) Next() []byte {
-	f := g.flows[g.rng.Intn(len(g.flows))]
+	f := &g.flows[g.rng.Intn(len(g.flows))]
 	size := g.cfg.Sizes[g.wheel[g.rng.Intn(len(g.wheel))]].Bytes
 	payload := size - 42 // Eth(14)+IPv4(20)+UDP(8)
 	if payload < 0 {
 		payload = 0
 	}
-	frame, err := pkt.BuildUDP(pkt.UDPSpec{
-		SrcMAC: f.srcMAC, DstMAC: f.dstMAC,
-		SrcIP: f.src, DstIP: f.dst,
-		SrcPort: f.sport, DstPort: f.dport,
-		Payload: make([]byte, payload),
-	})
-	if err != nil {
+	g.eth = pkt.Ethernet{Dst: f.dstMAC, Src: f.srcMAC, EtherType: pkt.EtherTypeIPv4}
+	g.ip = pkt.IPv4{TTL: 64, Protocol: pkt.IPProtoUDP, Src: f.src, Dst: f.dst}
+	g.udp = pkt.UDP{SrcPort: f.sport, DstPort: f.dport}
+	g.udp.SetNetworkLayerForChecksum(&g.ip)
+	g.payload = pkt.Payload(g.scratch[:payload])
+	if err := pkt.SerializeTo(g.sbuf, serializeOpts, g.layers...); err != nil {
 		panic(err) // sizes validated at New
 	}
-	frame = pkt.PadToMin(frame)
+	b := g.sbuf.Bytes()
+	n := len(b)
+	if n < pkt.MinFrameSize {
+		n = pkt.MinFrameSize
+	}
+	frame := make([]byte, n) // zero-padded to the Ethernet minimum
+	copy(frame, b)
 	g.frames++
 	g.bytes += uint64(len(frame))
 	return frame
