@@ -11,6 +11,12 @@
 //	nf-bench -parallel -workers 4
 //	nf-bench -json           # also write BENCH_<stamp>.json
 //	nf-bench -list           # list experiment IDs
+//	nf-bench sweep -config examples/paper.sweep   # scenario-matrix mode
+//
+// The sweep subcommand (see sweep.go) runs declarative scenario
+// matrices from a config file, streams per-cell progress, persists
+// results into the results store, and diffs digests against goldens or
+// previous runs.
 //
 // Determinism contract: -parallel produces byte-identical tables to the
 // sequential run — devices are independent and per-device seeds are
@@ -40,6 +46,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		runSweepCmd(os.Args[2:])
+		return
+	}
 	exp := flag.String("exp", "", "run a single experiment by ID (e.g. T4)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	parallel := flag.Bool("parallel", false, "run device batches through the fleet worker pool and report speedup vs sequential")

@@ -5,20 +5,26 @@ import (
 
 	"repro/internal/core"
 	"repro/netfpga/fleet"
+	"repro/netfpga/sweep"
 )
 
-// F1BoardInventory reproduces Figure 1 and §1-2 of the paper as data:
-// the SUME board's subsystem inventory and the three-platform
-// comparison. It tabulates static board specs, so it needs no devices
-// and ignores the runner.
-func F1BoardInventory(_ *fleet.Runner) []*Table {
-	cmp := &Table{
-		ID:    "F1a",
-		Title: "the three NetFPGA platforms (paper §1)",
-		Columns: []string{"board", "FPGA", "ports", "aggregate", "PCIe",
-			"SRAM", "DRAM", "storage", "standalone"},
+// defF1 reproduces Figure 1 and §1-2 of the paper as data: the SUME
+// board's subsystem inventory and the three-platform comparison. The
+// sweep has one NoDevice cell per platform; each cell tabulates its
+// board's static capabilities.
+func defF1() Def {
+	spec := sweep.Spec{
+		Name:     "F1",
+		NoDevice: true,
+		Params: []sweep.Axis{
+			{Name: "board", Values: []string{"sume", "10g", "1g-cml"}},
+		},
 	}
-	for _, b := range []core.BoardSpec{core.SUME(), core.TenG(), core.OneGCML()} {
+	measure := func(c *fleet.Ctx, cell sweep.Cell) (sweep.Outcome, error) {
+		b, ok := sweep.Board(cell.Str("board"))
+		if !ok {
+			return sweep.Outcome{}, fmt.Errorf("unknown board %q", cell.Str("board"))
+		}
 		var sram, dram uint64
 		for _, s := range b.SRAM {
 			sram += s.Size
@@ -26,18 +32,47 @@ func F1BoardInventory(_ *fleet.Runner) []*Table {
 		for _, d := range b.DRAM {
 			dram += d.Size
 		}
-		pcie := fmt.Sprintf("Gen%d x%d", b.PCIe.Gen, b.PCIe.Lanes)
+		var o sweep.Outcome
+		o.Label("name", b.Name)
+		o.Label("fpga", b.FPGA.Name)
+		o.Set("ports", float64(b.Ports))
+		o.Set("port_gbps", b.PortRate(0))
+		o.Set("aggregate_gbps", b.TotalPortGbps())
+		o.Set("pcie_gen", float64(b.PCIe.Gen))
+		o.Set("pcie_lanes", float64(b.PCIe.Lanes))
+		o.Set("sram_mb", float64(sram>>20))
+		o.Set("dram_bytes", float64(dram))
+		o.Set("storage_devices", float64(len(b.Storage)))
+		o.SetBool("standalone", b.Standalone)
+		return o, nil
+	}
+	return Def{
+		ID:     "F1",
+		Title:  "board inventory and platform comparison",
+		Groups: []sweep.Group{{Spec: spec, Measure: measure}},
+		Render: renderF1,
+	}
+}
+
+func renderF1(rs *sweep.Results) []*Table {
+	cmp := &Table{
+		ID:    "F1a",
+		Title: "the three NetFPGA platforms (paper §1)",
+		Columns: []string{"board", "FPGA", "ports", "aggregate", "PCIe",
+			"SRAM", "DRAM", "storage", "standalone"},
+	}
+	for _, res := range rs.Group(0) {
 		standalone := "no"
-		if b.Standalone {
+		if res.V("standalone") == 1 {
 			standalone = "yes"
 		}
-		cmp.AddRow(b.Name, b.FPGA.Name,
-			fmt.Sprintf("%dx%.0fG", b.Ports, b.PortRate(0)),
-			fmt.Sprintf("%.0f Gb/s", b.TotalPortGbps()),
-			pcie,
-			fmt.Sprintf("%d MB", sram>>20),
-			fmt.Sprintf("%.1f GB", float64(dram)/(1<<30)),
-			fmt.Sprintf("%d devices", len(b.Storage)),
+		cmp.AddRow(res.L("name"), res.L("fpga"),
+			fmt.Sprintf("%dx%.0fG", int(res.V("ports")), res.V("port_gbps")),
+			fmt.Sprintf("%.0f Gb/s", res.V("aggregate_gbps")),
+			fmt.Sprintf("Gen%d x%d", int(res.V("pcie_gen")), int(res.V("pcie_lanes"))),
+			fmt.Sprintf("%d MB", uint64(res.V("sram_mb"))),
+			fmt.Sprintf("%.1f GB", res.V("dram_bytes")/(1<<30)),
+			fmt.Sprintf("%d devices", int(res.V("storage_devices"))),
 			standalone)
 	}
 

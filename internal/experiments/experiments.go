@@ -1,14 +1,20 @@
 // Package experiments regenerates every table and figure of the
-// reproduction's experiment index (DESIGN.md §3). Each experiment returns
-// printable tables plus machine-readable metrics; cmd/nf-bench renders
-// them and the top-level benchmarks report the metrics.
+// reproduction's experiment index (DESIGN.md §3). Each experiment is a
+// sweep definition — one or more declarative scenario groups (board x
+// project x workload x parameter axes) plus a per-cell measure function
+// — and a renderer that turns the executed cells into printable tables
+// with machine-readable metrics. cmd/nf-bench renders the tables, the
+// sweep CLI stores and diffs the raw cells, and the golden-digest test
+// locks every cell's content down.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/netfpga/fleet"
+	"repro/netfpga/sweep"
 )
 
 // Table is one rendered experiment result.
@@ -86,21 +92,82 @@ type Experiment struct {
 	Run   func(r *fleet.Runner) []*Table
 }
 
+// Def is one experiment expressed as a sweep: its scenario groups (spec
+// + measure pairs, expanded and executed by netfpga/sweep) and the
+// renderer that shapes the executed cells into the paper's tables.
+// Render requires a full, unfiltered result set — renderers pair rows
+// with axis labels positionally, mirroring each spec's expansion order.
+// Filtered sweeps (nf-bench sweep -filter) report raw cells and never
+// render tables.
+type Def struct {
+	ID     string
+	Title  string
+	Groups []sweep.Group
+	Render func(rs *sweep.Results) []*Table
+}
+
+// Experiment adapts the definition to the classic Run interface: expand
+// every group, execute the flat batch on the runner, render.
+func (d Def) Experiment() Experiment {
+	return Experiment{ID: d.ID, Title: d.Title, Run: func(r *fleet.Runner) []*Table {
+		rs, err := sweep.RunGroups(context.Background(), r, d.Groups, "")
+		if err != nil {
+			panic(err)
+		}
+		return d.Render(rs)
+	}}
+}
+
+// Defs returns every experiment definition in index order.
+func Defs() []Def {
+	return []Def{
+		defF1(),
+		defT1(),
+		defT2(),
+		defT3(),
+		defT4(),
+		defT5(),
+		defT6(),
+		defT7(),
+		defT8(),
+		defF2(),
+		defT9(),
+	}
+}
+
+// DefByID returns the definition with the given ID.
+func DefByID(id string) (Def, bool) {
+	for _, d := range Defs() {
+		if d.ID == id {
+			return d, true
+		}
+	}
+	return Def{}, false
+}
+
 // All returns every experiment in index order.
 func All() []Experiment {
-	return []Experiment{
-		{"F1", "board inventory and platform comparison", F1BoardInventory},
-		{"T1", "serial I/O bandwidth up to 100G", T1SerialIO},
-		{"T2", "memory subsystem: QDRII+ vs DDR3", T2Memory},
-		{"T3", "host DMA throughput (reference NIC)", T3HostDMA},
-		{"T4", "reference switch line rate and latency", T4Switch},
-		{"T5", "reference router line rate vs FIB size", T5Router},
-		{"T6", "OSNT generator precision and latency accuracy", T6OSNT},
-		{"T7", "BlueSwitch consistent update vs naive baseline", T7BlueSwitch},
-		{"T8", "design utilization and module reuse across projects", T8Utilization},
-		{"F2", "rapid prototyping: custom module insertion", F2CustomModule},
-		{"T9", "standalone operation: boot from storage", T9Standalone},
+	defs := Defs()
+	out := make([]Experiment, len(defs))
+	for i, d := range defs {
+		out[i] = d.Experiment()
 	}
+	return out
+}
+
+// GroupsForConfig resolves a sweep config into runnable groups: the
+// named experiments' groups in config order, then the config's custom
+// scenarios driven by the generic measure.
+func GroupsForConfig(cfg *sweep.Config) ([]sweep.Group, error) {
+	var groups []sweep.Group
+	for _, id := range cfg.Experiments {
+		d, ok := DefByID(id)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q in sweep config", id)
+		}
+		groups = append(groups, d.Groups...)
+	}
+	return append(groups, cfg.ScenarioGroups()...), nil
 }
 
 // ByID returns the experiment with the given ID.

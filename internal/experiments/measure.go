@@ -1,24 +1,9 @@
 package experiments
 
 import (
-	"context"
-	"strings"
-
 	"repro/netfpga"
-	"repro/netfpga/fleet"
+	"repro/netfpga/sweep"
 )
-
-// runJobs executes an experiment's device batch on the runner and
-// returns the results in job order. Experiment devices are expected to
-// be healthy, so any per-device failure panics (matching the historic
-// sequential behaviour where setup errors panicked inline).
-func runJobs(r *fleet.Runner, jobs []fleet.Job) []fleet.Result {
-	results := r.RunAll(context.Background(), jobs)
-	for _, res := range results {
-		res.MustValue()
-	}
-	return results
-}
 
 // measureGoodput saturates the given taps (tap i repeatedly sends
 // streams[i]; nil entries stay silent) through a warmup and a timed
@@ -62,19 +47,7 @@ func measureGoodput(dev *netfpga.Device, taps []*netfpga.PortTap, streams [][]by
 	return bytes, frames
 }
 
-// designDrops sums the design's queue-overflow drops (receive FIFOs and
-// output queues). Lookup-stage verdict drops are policy, not loss, and
-// are excluded.
-func designDrops(dev *netfpga.Device) uint64 {
-	var total uint64
-	for k, v := range dev.Dsn.Stats() {
-		if !strings.HasSuffix(k, "drops") {
-			continue
-		}
-		if strings.Contains(k, "fifo") || strings.HasPrefix(k, "oq") ||
-			strings.Contains(k, "port") && strings.Contains(k, "_drops") {
-			total += v
-		}
-	}
-	return total
-}
+// designDrops sums the design's queue-overflow drops — one
+// classification rule for loss, shared with the sweep's generic
+// measure so tables and sweep cells can never disagree.
+func designDrops(dev *netfpga.Device) uint64 { return sweep.QueueDrops(dev) }

@@ -9,18 +9,28 @@ import (
 	"repro/netfpga/pkt"
 	"repro/netfpga/projects/blueswitch"
 	"repro/netfpga/projects/osnt"
+	"repro/netfpga/sweep"
 )
 
-// T6OSNT quantifies the tester itself: CBR rate precision across target
+var (
+	t6Rates = []string{"1000", "2000", "5000", "9000"}
+	t6DUTs  = []string{"0", "1", "5", "20"} // microseconds
+)
+
+// defT6 quantifies the tester itself: CBR rate precision across target
 // rates, and latency measurement accuracy against a device-under-test
 // with a known, configurable delay. Every rate point and every DUT
-// delay is one independent fleet device.
-func T6OSNT(r *fleet.Runner) []*Table {
-	prec := &Table{
-		ID:      "T6a",
-		Title:   "OSNT generator CBR precision (512B frames, port0 -> DUT -> port1)",
-		Columns: []string{"target Gb/s", "achieved Gb/s", "error", "frames"},
+// delay is one independent fleet device, in two sweep groups.
+func defT6() Def {
+	precSpec := sweep.Spec{
+		Name:   "T6a",
+		Params: []sweep.Axis{{Name: "rate", Values: t6Rates}},
 	}
+	latSpec := sweep.Spec{
+		Name:   "T6b",
+		Params: []sweep.Axis{{Name: "dut_us", Values: t6DUTs}},
+	}
+
 	template, _ := pkt.BuildUDP(pkt.UDPSpec{
 		SrcMAC: pkt.MustMAC("02:05:00:00:00:01"), DstMAC: pkt.MustMAC("02:05:00:00:00:02"),
 		SrcIP: pkt.MustIP4("192.0.2.1"), DstIP: pkt.MustIP4("192.0.2.2"),
@@ -28,74 +38,76 @@ func T6OSNT(r *fleet.Runner) []*Table {
 	})
 	wire := len(template) + 24
 
-	rates := []float64{1000, 2000, 5000, 9000}
-	duts := []netfpga.Time{0, 1 * netfpga.Microsecond, 5 * netfpga.Microsecond, 20 * netfpga.Microsecond}
+	precision := func(c *fleet.Ctx, cell sweep.Cell) (sweep.Outcome, error) {
+		dev := c.Dev
+		rate := cell.Float("rate")
+		tester, err := osntLoop(dev, 0)
+		if err != nil {
+			return sweep.Outcome{}, err
+		}
+		const count = 2000
+		if err := tester.Configure(0, osnt.TrafficSpec{
+			Template: template, Count: count, Mode: osnt.CBR, RateMbps: rate, Stamp: true,
+		}); err != nil {
+			return sweep.Outcome{}, err
+		}
+		tester.Start(0)
+		dev.RunFor(20 * netfpga.Millisecond)
+		st := tester.Stats(1)
+		// Achieved rate from the capture's first/last arrival spacing:
+		// (count-1) inter-departure gaps of wire-time each.
+		var o sweep.Outcome
+		o.Set("achieved_mbps", achievedRate(tester, wire))
+		o.Set("pkts", float64(st.Pkts))
+		return o, nil
+	}
 
-	type precCell struct {
-		achieved float64
-		pkts     uint64
+	latency := func(c *fleet.Ctx, cell sweep.Cell) (sweep.Outcome, error) {
+		dev := c.Dev
+		dut := cell.Duration("dut_us")
+		tester, err := osntLoop(dev, dut)
+		if err != nil {
+			return sweep.Outcome{}, err
+		}
+		if err := tester.Configure(0, osnt.TrafficSpec{
+			Template: template, Count: 500, Mode: osnt.CBR, RateMbps: 2000, Stamp: true,
+		}); err != nil {
+			return sweep.Outcome{}, err
+		}
+		tester.Start(0)
+		dev.RunFor(10 * netfpga.Millisecond)
+		st := tester.Stats(1)
+		var o sweep.Outcome
+		o.SetTime("mean_ps", st.LatMean)
+		o.SetTime("min_ps", st.LatMin)
+		o.SetTime("max_ps", st.LatMax)
+		o.Set("samples", float64(st.LatSamples))
+		return o, nil
 	}
-	type latCell struct {
-		mean, min, max netfpga.Time
-		samples        uint64
-	}
-	var jobs []fleet.Job
-	for _, rate := range rates {
-		jobs = append(jobs, fleet.Job{
-			Name:  fmt.Sprintf("T6a/%.0fMbps", rate),
-			Board: netfpga.SUME(),
-			Drive: func(c *fleet.Ctx) (any, error) {
-				dev := c.Dev
-				tester, err := osntLoop(dev, 0)
-				if err != nil {
-					return nil, err
-				}
-				const count = 2000
-				if err := tester.Configure(0, osnt.TrafficSpec{
-					Template: template, Count: count, Mode: osnt.CBR, RateMbps: rate, Stamp: true,
-				}); err != nil {
-					return nil, err
-				}
-				tester.Start(0)
-				dev.RunFor(20 * netfpga.Millisecond)
-				st := tester.Stats(1)
-				// Achieved rate from the capture's first/last arrival
-				// spacing: (count-1) inter-departure gaps of wire-time
-				// each.
-				return precCell{achieved: achievedRate(tester, wire), pkts: st.Pkts}, nil
-			},
-		})
-	}
-	for _, dut := range duts {
-		jobs = append(jobs, fleet.Job{
-			Name:  fmt.Sprintf("T6b/dut%v", dut),
-			Board: netfpga.SUME(),
-			Drive: func(c *fleet.Ctx) (any, error) {
-				dev := c.Dev
-				tester, err := osntLoop(dev, dut)
-				if err != nil {
-					return nil, err
-				}
-				if err := tester.Configure(0, osnt.TrafficSpec{
-					Template: template, Count: 500, Mode: osnt.CBR, RateMbps: 2000, Stamp: true,
-				}); err != nil {
-					return nil, err
-				}
-				tester.Start(0)
-				dev.RunFor(10 * netfpga.Millisecond)
-				st := tester.Stats(1)
-				return latCell{mean: st.LatMean, min: st.LatMin, max: st.LatMax,
-					samples: st.LatSamples}, nil
-			},
-		})
-	}
-	results := runJobs(r, jobs)
 
-	for i, rate := range rates {
-		res := results[i].MustValue().(precCell)
-		errPct := 100 * (res.achieved - rate) / rate
-		prec.AddRow(fmt.Sprintf("%.1f", rate/1000), fmt.Sprintf("%.3f", res.achieved/1000),
-			fmt.Sprintf("%+.3f%%", errPct), fmt.Sprintf("%d", res.pkts))
+	return Def{
+		ID:    "T6",
+		Title: "OSNT generator precision and latency accuracy",
+		Groups: []sweep.Group{
+			{Spec: precSpec, Measure: precision},
+			{Spec: latSpec, Measure: latency},
+		},
+		Render: renderT6,
+	}
+}
+
+func renderT6(rs *sweep.Results) []*Table {
+	prec := &Table{
+		ID:      "T6a",
+		Title:   "OSNT generator CBR precision (512B frames, port0 -> DUT -> port1)",
+		Columns: []string{"target Gb/s", "achieved Gb/s", "error", "frames"},
+	}
+	for _, res := range rs.Group(0) {
+		rate := res.Cell.Float("rate")
+		achieved := res.V("achieved_mbps")
+		errPct := 100 * (achieved - rate) / rate
+		prec.AddRow(fmt.Sprintf("%.1f", rate/1000), fmt.Sprintf("%.3f", achieved/1000),
+			fmt.Sprintf("%+.3f%%", errPct), fmt.Sprintf("%d", res.U("pkts")))
 		prec.Metric(fmt.Sprintf("rate%.0f_err_pct", rate), errPct)
 	}
 	prec.Notes = append(prec.Notes,
@@ -109,15 +121,17 @@ func T6OSNT(r *fleet.Runner) []*Table {
 	// Baseline: the zero-delay DUT measures the fixed path overhead (MAC
 	// serialization + wire + relay); added DUT delay must be recovered
 	// exactly against it.
-	base := results[len(rates)].MustValue().(latCell).mean
-	for i, dut := range duts {
-		res := results[len(rates)+i].MustValue().(latCell)
-		overhead := res.mean - dut
-		jitter := res.max - res.min
-		lat.AddRow(dut.String(), res.mean.String(), overhead.String(),
-			jitter.String(), fmt.Sprintf("%d", res.samples))
+	latCells := rs.Group(1)
+	base := latCells[0].T("mean_ps")
+	for _, res := range latCells {
+		dut := res.Cell.Duration("dut_us")
+		mean := res.T("mean_ps")
+		overhead := mean - dut
+		jitter := res.T("max_ps") - res.T("min_ps")
+		lat.AddRow(dut.String(), mean.String(), overhead.String(),
+			jitter.String(), fmt.Sprintf("%d", res.U("samples")))
 		lat.Metric(fmt.Sprintf("dut%dus_err_ns", dut/netfpga.Microsecond),
-			float64(res.mean-base-dut)/1e3)
+			float64(mean-base-dut)/1e3)
 	}
 	lat.Notes = append(lat.Notes,
 		"measured mean - DUT delay is the constant path overhead; recovery error is within one 5ns clock quantum")
@@ -187,89 +201,96 @@ func (c *captureBuf) bounds() (first, last netfpga.Time, n int) {
 	return first, last, n
 }
 
-// T7BlueSwitch counts mixed-policy packets and update-induced loss for
-// the naive baseline versus the BlueSwitch versioned mechanism, across
+var (
+	t7Delays = []string{"10", "50", "200"} // microseconds
+	t7Modes  = []string{"naive", "versioned"}
+)
+
+// defT7 counts mixed-policy packets and update-induced loss for the
+// naive baseline versus the BlueSwitch versioned mechanism, across
 // control-plane write latencies (the per-table rewrite delay). Each
-// (delay, mechanism) combination is one fleet device.
-func T7BlueSwitch(r *fleet.Runner) []*Table {
-	t := &Table{
-		ID:    "T7",
-		Title: "policy update under line-rate traffic: naive vs versioned",
-		Columns: []string{"mechanism", "per-table delay", "sent", "delivered",
-			"lost", "mixed-policy pkts"},
+// (delay, mechanism) cell is one fleet device.
+func defT7() Def {
+	spec := sweep.Spec{
+		Name: "T7",
+		Params: []sweep.Axis{
+			{Name: "delay_us", Values: t7Delays},
+			{Name: "mode", Values: t7Modes},
+		},
 	}
 	frame, _ := pkt.Serialize(pkt.SerializeOptions{},
 		&pkt.Ethernet{Dst: pkt.MustMAC("02:00:00:00:00:02"),
 			Src: pkt.MustMAC("02:00:00:00:00:01"), EtherType: 0x0800},
 		pkt.Payload(make([]byte, 46)))
 
-	type cell struct {
-		sent, delivered int
-		violations      uint64
-	}
-	delays := []netfpga.Time{10 * netfpga.Microsecond, 50 * netfpga.Microsecond, 200 * netfpga.Microsecond}
-	modes := []struct {
-		name string
-		mode blueswitch.Mode
-	}{{"naive", blueswitch.Naive}, {"versioned", blueswitch.Versioned}}
-
-	var jobs []fleet.Job
-	for _, delay := range delays {
-		for _, m := range modes {
-			jobs = append(jobs, fleet.Job{
-				Name:  fmt.Sprintf("T7/%s/%v", m.name, delay),
-				Board: netfpga.SUME(),
-				Drive: func(c *fleet.Ctx) (any, error) {
-					dev := c.Dev
-					p := blueswitch.New(blueswitch.Config{Mode: m.mode})
-					if err := p.Build(dev); err != nil {
-						return nil, err
-					}
-					for i := 0; i < 4; i++ {
-						dev.Tap(i)
-					}
-					p.InstallInitial(blueswitch.TagForwardPolicy(0x0800, 1, 1))
-					sent := 0
-					pump := func(dur netfpga.Time) {
-						end := dev.Now() + dur
-						for dev.Now() < end {
-							for i := 0; i < 14; i++ {
-								if dev.Tap(0).Send(frame) {
-									sent++
-								}
-							}
-							dev.RunFor(netfpga.Microsecond)
-						}
-					}
-					pump(100 * netfpga.Microsecond)
-					if m.mode == blueswitch.Versioned {
-						p.StageUpdate(blueswitch.TagForwardPolicy(0x0800, 2, 2))
-						pump(2 * delay)
-						p.Commit()
-					} else {
-						p.ApplyNaive(blueswitch.TagForwardPolicy(0x0800, 2, 2), delay)
-					}
-					pump(200*netfpga.Microsecond + 2*delay)
-					dev.RunFor(netfpga.Millisecond)
-					delivered := len(dev.Tap(1).Received()) + len(dev.Tap(2).Received())
-					return cell{sent: sent, delivered: delivered, violations: p.Violations()}, nil
-				},
-			})
+	measure := func(c *fleet.Ctx, cell sweep.Cell) (sweep.Outcome, error) {
+		dev := c.Dev
+		delay := cell.Duration("delay_us")
+		mode := blueswitch.Naive
+		if cell.Str("mode") == "versioned" {
+			mode = blueswitch.Versioned
 		}
-	}
-	results := runJobs(r, jobs)
-
-	i := 0
-	for _, delay := range delays {
-		for _, m := range modes {
-			res := results[i].MustValue().(cell)
-			i++
-			t.AddRow(m.name, delay.String(), fmt.Sprintf("%d", res.sent),
-				fmt.Sprintf("%d", res.delivered), fmt.Sprintf("%d", res.sent-res.delivered),
-				fmt.Sprintf("%d", res.violations))
-			key := fmt.Sprintf("%s_%dus_violations", m.name, delay/netfpga.Microsecond)
-			t.Metric(key, float64(res.violations))
+		p := blueswitch.New(blueswitch.Config{Mode: mode})
+		if err := p.Build(dev); err != nil {
+			return sweep.Outcome{}, err
 		}
+		for i := 0; i < 4; i++ {
+			dev.Tap(i)
+		}
+		p.InstallInitial(blueswitch.TagForwardPolicy(0x0800, 1, 1))
+		sent := 0
+		pump := func(dur netfpga.Time) {
+			end := dev.Now() + dur
+			for dev.Now() < end {
+				for i := 0; i < 14; i++ {
+					if dev.Tap(0).Send(frame) {
+						sent++
+					}
+				}
+				dev.RunFor(netfpga.Microsecond)
+			}
+		}
+		pump(100 * netfpga.Microsecond)
+		if mode == blueswitch.Versioned {
+			p.StageUpdate(blueswitch.TagForwardPolicy(0x0800, 2, 2))
+			pump(2 * delay)
+			p.Commit()
+		} else {
+			p.ApplyNaive(blueswitch.TagForwardPolicy(0x0800, 2, 2), delay)
+		}
+		pump(200*netfpga.Microsecond + 2*delay)
+		dev.RunFor(netfpga.Millisecond)
+		delivered := len(dev.Tap(1).Received()) + len(dev.Tap(2).Received())
+		var o sweep.Outcome
+		o.Set("sent", float64(sent))
+		o.Set("delivered", float64(delivered))
+		o.Set("violations", float64(p.Violations()))
+		return o, nil
+	}
+	return Def{
+		ID:     "T7",
+		Title:  "BlueSwitch consistent update vs naive baseline",
+		Groups: []sweep.Group{{Spec: spec, Measure: measure}},
+		Render: renderT7,
+	}
+}
+
+func renderT7(rs *sweep.Results) []*Table {
+	t := &Table{
+		ID:    "T7",
+		Title: "policy update under line-rate traffic: naive vs versioned",
+		Columns: []string{"mechanism", "per-table delay", "sent", "delivered",
+			"lost", "mixed-policy pkts"},
+	}
+	for _, res := range rs.Group(0) {
+		delay := res.Cell.Duration("delay_us")
+		mode := res.Cell.Str("mode")
+		sent, delivered := int(res.V("sent")), int(res.V("delivered"))
+		t.AddRow(mode, delay.String(), fmt.Sprintf("%d", sent),
+			fmt.Sprintf("%d", delivered), fmt.Sprintf("%d", sent-delivered),
+			fmt.Sprintf("%d", res.U("violations")))
+		key := fmt.Sprintf("%s_%dus_violations", mode, delay/netfpga.Microsecond)
+		t.Metric(key, res.V("violations"))
 	}
 	t.Notes = append(t.Notes,
 		"versioned updates are violation- and loss-free at every delay; naive violations grow with the rewrite window",

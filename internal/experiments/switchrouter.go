@@ -7,27 +7,29 @@ import (
 	"repro/netfpga/fleet"
 	"repro/netfpga/pkt"
 	"repro/netfpga/projects/router"
-	"repro/netfpga/projects/switchp"
+	"repro/netfpga/sweep"
 )
 
-// buildSwitch assembles a reference switch for a fleet job.
-func buildSwitch(dev *netfpga.Device) error {
-	return switchp.New(switchp.Config{}).Build(dev)
-}
+var t4Frames = []string{"64", "256", "512", "1024", "1518"}
 
-// T4Switch measures the reference switch at 4x10G full mesh across frame
+// defT4 measures the reference switch at 4x10G full mesh across frame
 // sizes: aggregate goodput against line rate, queue drops, and
 // port-to-port store-and-forward latency. Each frame size spawns two
-// fleet devices: a saturated full-mesh goodput device and an idle
-// latency-probe device.
-func T4Switch(r *fleet.Runner) []*Table {
-	t := &Table{
-		ID:    "T4",
-		Title: "reference switch, 4x10G full mesh",
-		Columns: []string{"frame", "offered Gb/s", "achieved Gb/s",
-			"of line rate", "drops", "latency"},
+// fleet devices — a saturated full-mesh goodput cell and an idle
+// latency-probe cell — expressed as two sweep groups over the same
+// frame axis.
+func defT4() Def {
+	frameAxis := []sweep.Axis{{Name: "frame", Values: t4Frames}}
+	meshSpec := sweep.Spec{
+		Name:     "T4/mesh",
+		Projects: []string{"reference_switch"},
+		Params:   frameAxis,
 	}
-	frames := []int{64, 256, 512, 1024, 1518}
+	latSpec := sweep.Spec{
+		Name:     "T4/latency",
+		Projects: []string{"reference_switch"},
+		Params:   frameAxis,
+	}
 	const window = 400 * netfpga.Microsecond
 
 	macs := make([]pkt.MAC, 4)
@@ -35,66 +37,100 @@ func T4Switch(r *fleet.Runner) []*Table {
 		macs[i] = pkt.MAC{2, 0, 0, 0, 0, byte(0x20 + i)}
 	}
 
-	type meshCell struct {
-		achieved float64
-		drops    uint64
-	}
-	var jobs []fleet.Job
-	for _, fs := range frames {
-		payload := fs - 4
-		jobs = append(jobs, fleet.Job{
-			Name:  fmt.Sprintf("T4/mesh/%dB", fs),
-			Board: netfpga.SUME(),
-			Build: buildSwitch,
-			Drive: func(c *fleet.Ctx) (any, error) {
-				dev := c.Dev
-				taps := make([]*netfpga.PortTap, 4)
-				for i := range taps {
-					taps[i] = dev.Tap(i)
-				}
-				// Pre-learn every station so the mesh is unicast.
-				for i := range taps {
-					learn, _ := pkt.Serialize(pkt.SerializeOptions{},
-						&pkt.Ethernet{Dst: macs[i], Src: macs[i], EtherType: 0x88B5})
-					taps[i].Send(pkt.PadToMin(learn))
-				}
-				dev.RunFor(netfpga.Millisecond)
-				for _, tap := range taps {
-					tap.Received()
-				}
+	mesh := func(c *fleet.Ctx, cell sweep.Cell) (sweep.Outcome, error) {
+		dev := c.Dev
+		payload := cell.Int("frame") - 4
+		taps := make([]*netfpga.PortTap, 4)
+		for i := range taps {
+			taps[i] = dev.Tap(i)
+		}
+		// Pre-learn every station so the mesh is unicast.
+		for i := range taps {
+			learn, _ := pkt.Serialize(pkt.SerializeOptions{},
+				&pkt.Ethernet{Dst: macs[i], Src: macs[i], EtherType: 0x88B5})
+			taps[i].Send(pkt.PadToMin(learn))
+		}
+		dev.RunFor(netfpga.Millisecond)
+		for _, tap := range taps {
+			tap.Received()
+		}
 
-				// Full mesh: port i sends to station on port (i+1)%4 at
-				// line rate.
-				streams := make([][]byte, 4)
-				for i := range streams {
-					f, _ := pkt.Serialize(pkt.SerializeOptions{},
-						&pkt.Ethernet{Dst: macs[(i+1)%4], Src: macs[i], EtherType: 0x88B5},
-						pkt.Payload(make([]byte, payload-14)))
-					streams[i] = f
-				}
-				rxBytes, _ := measureGoodput(dev, taps, streams, 100*netfpga.Microsecond, window)
-				return meshCell{
-					achieved: float64(rxBytes) * 8 / window.Seconds() / 1e9,
-					drops:    designDrops(dev),
-				}, nil
-			},
-		})
+		// Full mesh: port i sends to station on port (i+1)%4 at line
+		// rate.
+		streams := make([][]byte, 4)
+		for i := range streams {
+			f, _ := pkt.Serialize(pkt.SerializeOptions{},
+				&pkt.Ethernet{Dst: macs[(i+1)%4], Src: macs[i], EtherType: 0x88B5},
+				pkt.Payload(make([]byte, payload-14)))
+			streams[i] = f
+		}
+		rxBytes, _ := measureGoodput(dev, taps, streams, 100*netfpga.Microsecond, window)
+		var o sweep.Outcome
+		o.Set("achieved_gbps", float64(rxBytes)*8/window.Seconds()/1e9)
+		o.Set("drops", float64(designDrops(dev)))
+		return o, nil
 	}
-	// Latency probes ride the same batch as extra devices.
-	for _, fs := range frames {
-		jobs = append(jobs, probeLatencyJob(fs))
-	}
-	results := runJobs(r, jobs)
 
-	for i, fs := range frames {
+	// Latency probe: one frame through an idle learned switch,
+	// tap-to-tap.
+	latency := func(c *fleet.Ctx, cell sweep.Cell) (sweep.Outcome, error) {
+		dev := c.Dev
+		payload := cell.Int("frame") - 4
+		a, b := dev.Tap(0), dev.Tap(1)
+		macA := pkt.MAC{2, 0, 0, 0, 0, 1}
+		macB := pkt.MAC{2, 0, 0, 0, 0, 2}
+		learnB, _ := pkt.Serialize(pkt.SerializeOptions{},
+			&pkt.Ethernet{Dst: macB, Src: macB, EtherType: 0x88B5})
+		b.Send(pkt.PadToMin(learnB))
+		dev.RunFor(netfpga.Millisecond)
+		for i := 0; i < 4; i++ {
+			dev.Tap(i).Received()
+		}
+		probe, _ := pkt.Serialize(pkt.SerializeOptions{},
+			&pkt.Ethernet{Dst: macB, Src: macA, EtherType: 0x88B5},
+			pkt.Payload(make([]byte, payload-14)))
+		start := dev.Now()
+		a.Send(probe)
+		dev.RunFor(netfpga.Millisecond)
+		rx := b.Received()
+		if len(rx) != 1 {
+			return sweep.Outcome{}, fmt.Errorf("latency probe lost (%d arrivals)", len(rx))
+		}
+		var o sweep.Outcome
+		o.SetTime("latency_ps", rx[0].At-start)
+		return o, nil
+	}
+
+	return Def{
+		ID:    "T4",
+		Title: "reference switch line rate and latency",
+		Groups: []sweep.Group{
+			{Spec: meshSpec, Measure: mesh},
+			{Spec: latSpec, Measure: latency},
+		},
+		Render: renderT4,
+	}
+}
+
+func renderT4(rs *sweep.Results) []*Table {
+	t := &Table{
+		ID:    "T4",
+		Title: "reference switch, 4x10G full mesh",
+		Columns: []string{"frame", "offered Gb/s", "achieved Gb/s",
+			"of line rate", "drops", "latency"},
+	}
+	meshCells, latCells := rs.Group(0), rs.Group(1)
+	for i, fstr := range t4Frames {
+		mesh, latRes := meshCells[i], latCells[i]
+		fs := mesh.Cell.Int("frame")
 		payload := fs - 4
-		mesh := results[i].MustValue().(meshCell)
-		lat := results[len(frames)+i].MustValue().(netfpga.Time)
+		achieved := mesh.V("achieved_gbps")
+		lat := latRes.T("latency_ps")
 		lineGood := 40.0 * float64(payload) / float64(payload+24)
-		t.AddRow(fmt.Sprintf("%dB", fs), gbps(40), gbps(mesh.achieved),
-			pct(100*mesh.achieved/lineGood), fmt.Sprintf("%d", mesh.drops), lat.String())
+		t.AddRow(fstr+"B", gbps(40), gbps(achieved),
+			pct(100*achieved/lineGood), fmt.Sprintf("%d", mesh.U("drops")), lat.String())
 		if fs == 64 || fs == 1518 {
-			t.Metric(fmt.Sprintf("achieved_%dB_gbps", fs), mesh.achieved)
+			t.Metric(fmt.Sprintf("achieved_%dB_gbps", fs), achieved)
 			t.Metric(fmt.Sprintf("latency_%dB_ns", fs), float64(lat)/1e3)
 		}
 	}
@@ -103,132 +139,101 @@ func T4Switch(r *fleet.Runner) []*Table {
 	return []*Table{t}
 }
 
-// probeLatencyJob builds the single-probe latency device: one frame
-// through an idle learned switch, tap-to-tap.
-func probeLatencyJob(frameSize int) fleet.Job {
-	payload := frameSize - 4
-	return fleet.Job{
-		Name:  fmt.Sprintf("T4/latency/%dB", frameSize),
-		Board: netfpga.SUME(),
-		Build: buildSwitch,
-		Drive: func(c *fleet.Ctx) (any, error) {
-			dev := c.Dev
-			a, b := dev.Tap(0), dev.Tap(1)
-			macA := pkt.MAC{2, 0, 0, 0, 0, 1}
-			macB := pkt.MAC{2, 0, 0, 0, 0, 2}
-			learnB, _ := pkt.Serialize(pkt.SerializeOptions{},
-				&pkt.Ethernet{Dst: macB, Src: macB, EtherType: 0x88B5})
-			b.Send(pkt.PadToMin(learnB))
-			dev.RunFor(netfpga.Millisecond)
-			for i := 0; i < 4; i++ {
-				dev.Tap(i).Received()
-			}
-			probe, _ := pkt.Serialize(pkt.SerializeOptions{},
-				&pkt.Ethernet{Dst: macB, Src: macA, EtherType: 0x88B5},
-				pkt.Payload(make([]byte, payload-14)))
-			start := dev.Now()
-			a.Send(probe)
-			dev.RunFor(netfpga.Millisecond)
-			rx := b.Received()
-			if len(rx) != 1 {
-				return nil, fmt.Errorf("latency probe lost (%d arrivals)", len(rx))
-			}
-			return rx[0].At - start, nil
+var (
+	t5FIBs   = []string{"16", "1024", "65536"}
+	t5Frames = []string{"64", "1518"}
+)
+
+// defT5 measures the reference router: line rate across frame sizes and
+// its independence from FIB size (the LPM trie walks at most 32 nodes
+// regardless). Each (FIB size, frame size) cell is one fleet device
+// carrying its own FIB.
+func defT5() Def {
+	spec := sweep.Spec{
+		Name: "T5",
+		Params: []sweep.Axis{
+			{Name: "fib", Values: t5FIBs},
+			{Name: "frame", Values: t5Frames},
 		},
+	}
+	const window = 300 * netfpga.Microsecond
+	ifs := router.DefaultInterfaces(4)
+	hostMAC := func(i int) pkt.MAC { return pkt.MAC{2, 0xCC, 0, 0, 0, byte(i)} }
+	hostIP := func(i int) pkt.IP4 { return pkt.IP4{10, 0, byte(i), 2} }
+
+	measure := func(c *fleet.Ctx, cell sweep.Cell) (sweep.Outcome, error) {
+		dev := c.Dev
+		fib, payload := cell.Int("fib"), cell.Int("frame")-4
+		p := router.New(router.Config{})
+		if err := p.Build(dev); err != nil {
+			return sweep.Outcome{}, err
+		}
+		taps := make([]*netfpga.PortTap, 4)
+		for i := range taps {
+			taps[i] = dev.Tap(i)
+			p.AddRoute(router.Route{
+				Prefix: pkt.Prefix{Addr: pkt.IP4{10, 0, byte(i), 0}, Bits: 24},
+				Port:   uint8(i),
+			})
+			p.AddARP(hostIP(i), hostMAC(i))
+		}
+		// Pad the FIB with distinct prefixes under 172.16/12.
+		for i := 0; p.Engine().FIB.Len() < fib; i++ {
+			p.AddRoute(router.Route{
+				Prefix: pkt.Prefix{Addr: pkt.IP4{172, 16 + byte(i>>16), byte(i >> 8), byte(i)}, Bits: 32},
+				Port:   uint8(i % 4),
+			})
+		}
+		streams := make([][]byte, 4)
+		for i := range streams {
+			f, err := pkt.BuildUDP(pkt.UDPSpec{
+				SrcMAC: hostMAC(i), DstMAC: ifs[i].MAC,
+				SrcIP: hostIP(i), DstIP: hostIP((i + 1) % 4),
+				SrcPort: 7000, DstPort: 7001,
+				Payload: make([]byte, payload-42),
+			})
+			if err != nil {
+				return sweep.Outcome{}, err
+			}
+			streams[i] = f
+		}
+		rxBytes, _ := measureGoodput(dev, taps, streams, 100*netfpga.Microsecond, window)
+		cnt := p.Engine().C
+		var o sweep.Outcome
+		o.Set("achieved_gbps", float64(rxBytes)*8/window.Seconds()/1e9)
+		o.Set("forwarded", float64(cnt.Forwarded))
+		o.Set("punts", float64(cnt.ARPMiss+cnt.NoRoute+cnt.TTLExpired+cnt.LocalDelivery))
+		return o, nil
+	}
+	return Def{
+		ID:     "T5",
+		Title:  "reference router line rate vs FIB size",
+		Groups: []sweep.Group{{Spec: spec, Measure: measure}},
+		Render: renderT5,
 	}
 }
 
-// T5Router measures the reference router: line rate across frame sizes
-// and its independence from FIB size (the LPM trie walks at most 32
-// nodes regardless). Each (FIB size, frame size) point is one fleet
-// device carrying its own FIB.
-func T5Router(r *fleet.Runner) []*Table {
+func renderT5(rs *sweep.Results) []*Table {
 	t := &Table{
 		ID:    "T5",
 		Title: "reference router, 4x10G routed mesh",
 		Columns: []string{"FIB size", "frame", "achieved Gb/s", "of line rate",
 			"fwd pkts", "slow-path punts"},
 	}
-	const window = 300 * netfpga.Microsecond
-	fibSizes := []int{16, 1024, 65536}
-	frames := []int{64, 1518}
-
-	ifs := router.DefaultInterfaces(4)
-	hostMAC := func(i int) pkt.MAC { return pkt.MAC{2, 0xCC, 0, 0, 0, byte(i)} }
-	hostIP := func(i int) pkt.IP4 { return pkt.IP4{10, 0, byte(i), 2} }
-
-	type cell struct {
-		achieved  float64
-		forwarded uint64
-		punts     uint64
-	}
-	var jobs []fleet.Job
-	for _, fib := range fibSizes {
-		for _, fs := range frames {
-			payload := fs - 4
-			jobs = append(jobs, fleet.Job{
-				Name:  fmt.Sprintf("T5/fib%d/%dB", fib, fs),
-				Board: netfpga.SUME(),
-				Drive: func(c *fleet.Ctx) (any, error) {
-					dev := c.Dev
-					p := router.New(router.Config{})
-					if err := p.Build(dev); err != nil {
-						return nil, err
-					}
-					taps := make([]*netfpga.PortTap, 4)
-					for i := range taps {
-						taps[i] = dev.Tap(i)
-						p.AddRoute(router.Route{
-							Prefix: pkt.Prefix{Addr: pkt.IP4{10, 0, byte(i), 0}, Bits: 24},
-							Port:   uint8(i),
-						})
-						p.AddARP(hostIP(i), hostMAC(i))
-					}
-					// Pad the FIB with distinct prefixes under 172.16/12.
-					for i := 0; p.Engine().FIB.Len() < fib; i++ {
-						p.AddRoute(router.Route{
-							Prefix: pkt.Prefix{Addr: pkt.IP4{172, 16 + byte(i>>16), byte(i >> 8), byte(i)}, Bits: 32},
-							Port:   uint8(i % 4),
-						})
-					}
-					streams := make([][]byte, 4)
-					for i := range streams {
-						f, err := pkt.BuildUDP(pkt.UDPSpec{
-							SrcMAC: hostMAC(i), DstMAC: ifs[i].MAC,
-							SrcIP: hostIP(i), DstIP: hostIP((i + 1) % 4),
-							SrcPort: 7000, DstPort: 7001,
-							Payload: make([]byte, payload-42),
-						})
-						if err != nil {
-							return nil, err
-						}
-						streams[i] = f
-					}
-					rxBytes, _ := measureGoodput(dev, taps, streams, 100*netfpga.Microsecond, window)
-					cnt := p.Engine().C
-					return cell{
-						achieved:  float64(rxBytes) * 8 / window.Seconds() / 1e9,
-						forwarded: cnt.Forwarded,
-						punts:     cnt.ARPMiss + cnt.NoRoute + cnt.TTLExpired + cnt.LocalDelivery,
-					}, nil
-				},
-			})
-		}
-	}
-	results := runJobs(r, jobs)
-
+	cells := rs.Group(0)
 	i := 0
-	for _, fib := range fibSizes {
-		for _, fs := range frames {
-			payload := fs - 4
-			res := results[i].MustValue().(cell)
+	for _, fib := range t5FIBs {
+		for _, fstr := range t5Frames {
+			res := cells[i]
 			i++
+			payload := res.Cell.Int("frame") - 4
+			achieved := res.V("achieved_gbps")
 			lineGood := 40.0 * float64(payload) / float64(payload+24)
-			t.AddRow(fmt.Sprintf("%d", fib), fmt.Sprintf("%dB", fs),
-				gbps(res.achieved), pct(100*res.achieved/lineGood),
-				fmt.Sprintf("%d", res.forwarded),
-				fmt.Sprintf("%d", res.punts))
-			t.Metric(fmt.Sprintf("fib%d_%dB_gbps", fib, fs), res.achieved)
+			t.AddRow(fib, fstr+"B",
+				gbps(achieved), pct(100*achieved/lineGood),
+				fmt.Sprintf("%d", res.U("forwarded")),
+				fmt.Sprintf("%d", res.U("punts")))
+			t.Metric(fmt.Sprintf("fib%s_%sB_gbps", fib, fstr), achieved)
 		}
 	}
 	t.Notes = append(t.Notes,

@@ -1,0 +1,287 @@
+// Package resultstore is the on-disk results store for scenario sweeps:
+// every sweep execution appends one run file of JSONL cell records under
+// <dir>/runs/, and an index keyed by scenario hash tracks the latest
+// digest of every cell across runs. Tables are rendered from the store,
+// not the other way round — the store is the system of record that
+// makes sweep results comparable across runs and commits.
+//
+// Layout:
+//
+//	<dir>/runs/<run-id>.jsonl   append-only; line 1 is the run meta,
+//	                            every further line is one cell record
+//	<dir>/index.json            scenario hash -> latest {key, digest, run}
+package resultstore
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Meta describes one run.
+type Meta struct {
+	// Run is the run id (also the file name).
+	Run string `json:"run"`
+	// Name is the sweep config's name.
+	Name string `json:"name,omitempty"`
+	// Config is the config file path the run came from.
+	Config string `json:"config,omitempty"`
+	// Filter is the cell filter the run used ("" = full).
+	Filter string `json:"filter,omitempty"`
+	// Seed and Workers record how the run executed.
+	Seed    uint64 `json:"seed"`
+	Workers int    `json:"workers,omitempty"`
+	// Stamp is a human timestamp (informational only; never part of
+	// any digest).
+	Stamp string `json:"stamp,omitempty"`
+}
+
+// Record is one executed cell.
+type Record struct {
+	Key    string             `json:"key"`
+	Digest string             `json:"digest"`
+	Seed   uint64             `json:"seed"`
+	Values map[string]float64 `json:"values,omitempty"`
+	Labels map[string]string  `json:"labels,omitempty"`
+	SimPS  int64              `json:"sim_ps,omitempty"`
+	Events uint64             `json:"events,omitempty"`
+	Err    string             `json:"err,omitempty"`
+}
+
+// line is the JSONL envelope: exactly one of Meta or Cell is set.
+type line struct {
+	Meta *Meta   `json:"meta,omitempty"`
+	Cell *Record `json:"cell,omitempty"`
+}
+
+// IndexEntry is the index's view of one scenario.
+type IndexEntry struct {
+	Key    string `json:"key"`
+	Digest string `json:"digest"`
+	Run    string `json:"run"`
+}
+
+// Hash returns the scenario hash of a cell key: the first 12 hex digits
+// of its SHA-256. It is the index key, short enough to be a usable CLI
+// handle while collision-safe at any plausible matrix size.
+func Hash(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:6])
+}
+
+// Store is an open results directory.
+type Store struct {
+	dir   string
+	index map[string]IndexEntry
+}
+
+// Open opens (creating if needed) a results directory.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "runs"), 0o755); err != nil {
+		return nil, err
+	}
+	st := &Store{dir: dir, index: map[string]IndexEntry{}}
+	data, err := os.ReadFile(st.indexPath())
+	switch {
+	case os.IsNotExist(err):
+	case err != nil:
+		return nil, err
+	default:
+		if err := json.Unmarshal(data, &st.index); err != nil {
+			return nil, fmt.Errorf("resultstore: corrupt index %s: %w", st.indexPath(), err)
+		}
+	}
+	return st, nil
+}
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) indexPath() string { return filepath.Join(st.dir, "index.json") }
+
+func (st *Store) runPath(run string) string {
+	return filepath.Join(st.dir, "runs", run+".jsonl")
+}
+
+// Runs lists the store's run ids, sorted.
+func (st *Store) Runs() ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(st.dir, "runs"))
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if name, ok := strings.CutSuffix(e.Name(), ".jsonl"); ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Index returns the current scenario-hash index.
+func (st *Store) Index() map[string]IndexEntry { return st.index }
+
+// LatestDigests returns cell key -> latest digest across all runs.
+func (st *Store) LatestDigests() map[string]string {
+	out := make(map[string]string, len(st.index))
+	for _, e := range st.index {
+		out[e.Key] = e.Digest
+	}
+	return out
+}
+
+// RunWriter appends one run. Records are written through immediately
+// (append-only); Close finalises the file and folds the run into the
+// index.
+type RunWriter struct {
+	st   *Store
+	meta Meta
+	f    *os.File
+	w    *bufio.Writer
+	recs []Record
+	err  error
+}
+
+// Begin creates a new run file. The run id must be unique within the
+// store.
+func (st *Store) Begin(meta Meta) (*RunWriter, error) {
+	if meta.Run == "" {
+		return nil, fmt.Errorf("resultstore: run needs an id")
+	}
+	if strings.ContainsAny(meta.Run, "/\\") {
+		return nil, fmt.Errorf("resultstore: run id %q must not contain path separators", meta.Run)
+	}
+	f, err := os.OpenFile(st.runPath(meta.Run), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	rw := &RunWriter{st: st, meta: meta, f: f, w: bufio.NewWriter(f)}
+	rw.writeLine(line{Meta: &meta})
+	return rw, rw.err
+}
+
+func (rw *RunWriter) writeLine(l line) {
+	if rw.err != nil {
+		return
+	}
+	data, err := json.Marshal(l)
+	if err != nil {
+		rw.err = err
+		return
+	}
+	if _, err := rw.w.Write(append(data, '\n')); err != nil {
+		rw.err = err
+	}
+}
+
+// Append records one cell.
+func (rw *RunWriter) Append(rec Record) error {
+	rw.writeLine(line{Cell: &rec})
+	if rw.err == nil {
+		rw.recs = append(rw.recs, rec)
+	}
+	return rw.err
+}
+
+// Close flushes the run file and updates the index atomically.
+func (rw *RunWriter) Close() error {
+	if rw.err == nil {
+		rw.err = rw.w.Flush()
+	}
+	if cerr := rw.f.Close(); rw.err == nil {
+		rw.err = cerr
+	}
+	if rw.err != nil {
+		return rw.err
+	}
+	for _, rec := range rw.recs {
+		rw.st.index[Hash(rec.Key)] = IndexEntry{Key: rec.Key, Digest: rec.Digest, Run: rw.meta.Run}
+	}
+	return rw.st.writeIndex()
+}
+
+// writeIndex persists the index via rename for atomicity.
+func (st *Store) writeIndex() error {
+	data, err := json.MarshalIndent(st.index, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := st.indexPath() + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, st.indexPath())
+}
+
+// ReadRun loads one run's meta and records.
+func (st *Store) ReadRun(run string) (Meta, []Record, error) {
+	f, err := os.Open(st.runPath(run))
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	defer f.Close()
+	var meta Meta
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	n := 0
+	for sc.Scan() {
+		n++
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			return meta, recs, fmt.Errorf("resultstore: %s line %d: %w", run, n, err)
+		}
+		switch {
+		case l.Meta != nil:
+			meta = *l.Meta
+		case l.Cell != nil:
+			recs = append(recs, *l.Cell)
+		default:
+			return meta, recs, fmt.Errorf("resultstore: %s line %d: empty record", run, n)
+		}
+	}
+	return meta, recs, sc.Err()
+}
+
+// RunDigests returns key -> digest for one run.
+func (st *Store) RunDigests(run string) (map[string]string, error) {
+	_, recs, err := st.ReadRun(run)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(recs))
+	for _, r := range recs {
+		out[r.Key] = r.Digest
+	}
+	return out, nil
+}
+
+// Diff compares two digest maps and returns human-readable difference
+// lines (sorted; empty means identical over the common key set plus
+// additions/removals).
+func Diff(old, new map[string]string) []string {
+	var diffs []string
+	for k, d := range new {
+		o, ok := old[k]
+		switch {
+		case !ok:
+			diffs = append(diffs, fmt.Sprintf("new: %s", k))
+		case o != d:
+			diffs = append(diffs, fmt.Sprintf("changed: %s (%s -> %s)", k, o, d))
+		}
+	}
+	for k := range old {
+		if _, ok := new[k]; !ok {
+			diffs = append(diffs, fmt.Sprintf("removed: %s", k))
+		}
+	}
+	sort.Strings(diffs)
+	return diffs
+}

@@ -1,0 +1,164 @@
+package resultstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func rec(key, digest string, seed uint64) Record {
+	return Record{
+		Key: key, Digest: digest, Seed: seed,
+		Values: map[string]float64{"v": 1.5},
+		Labels: map[string]string{"l": "x"},
+		SimPS:  123, Events: 9,
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := st.Begin(Meta{Run: "r1", Name: "demo", Seed: 7, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Append(rec("a/x=1", "d1", 11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Append(rec("a/x=2", "d2", 12)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	meta, recs, err := st.ReadRun("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Name != "demo" || meta.Seed != 7 || meta.Workers != 4 {
+		t.Errorf("meta mangled: %+v", meta)
+	}
+	if len(recs) != 2 || recs[0].Key != "a/x=1" || recs[1].Digest != "d2" {
+		t.Errorf("records mangled: %+v", recs)
+	}
+	if recs[0].Values["v"] != 1.5 || recs[0].Labels["l"] != "x" ||
+		recs[0].SimPS != 123 || recs[0].Events != 9 {
+		t.Errorf("record fields mangled: %+v", recs[0])
+	}
+
+	// The index keys by scenario hash and survives reopening.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := st2.Index()[Hash("a/x=1")]
+	if !ok || e.Digest != "d1" || e.Run != "r1" || e.Key != "a/x=1" {
+		t.Errorf("index entry broken: %+v (ok=%v)", e, ok)
+	}
+	latest := st2.LatestDigests()
+	if latest["a/x=1"] != "d1" || latest["a/x=2"] != "d2" {
+		t.Errorf("latest digests broken: %v", latest)
+	}
+
+	runs, err := st2.Runs()
+	if err != nil || len(runs) != 1 || runs[0] != "r1" {
+		t.Errorf("runs listing: %v %v", runs, err)
+	}
+}
+
+func TestIndexTracksLatestRun(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []struct{ run, digest string }{{"r1", "old"}, {"r2", "new"}} {
+		rw, err := st.Begin(Meta{Run: r.run})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rw.Append(rec("k", r.digest, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := rw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e := st.Index()[Hash("k")]; e.Digest != "new" || e.Run != "r2" {
+		t.Errorf("index not updated to latest run: %+v", e)
+	}
+
+	d1, err := st.RunDigests("r1")
+	if err != nil || d1["k"] != "old" {
+		t.Errorf("historic run digests lost: %v %v", d1, err)
+	}
+}
+
+func TestBeginRejectsBadRuns(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Begin(Meta{}); err == nil {
+		t.Error("empty run id accepted")
+	}
+	if _, err := st.Begin(Meta{Run: "a/b"}); err == nil {
+		t.Error("path separator in run id accepted")
+	}
+	if _, err := st.Begin(Meta{Run: "r"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Begin(Meta{Run: "r"}); err == nil {
+		t.Error("duplicate run id accepted")
+	}
+}
+
+func TestCorruptLineReported(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "runs", "bad.jsonl")
+	if err := os.WriteFile(path, []byte("{\"meta\":{\"run\":\"bad\"}}\nnot-json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.ReadRun("bad"); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("corrupt line not reported: %v", err)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	old := map[string]string{"a": "1", "b": "2", "c": "3"}
+	new := map[string]string{"a": "1", "b": "9", "d": "4"}
+	diffs := Diff(old, new)
+	want := []string{
+		"changed: b (2 -> 9)",
+		"new: d",
+		"removed: c",
+	}
+	if len(diffs) != len(want) {
+		t.Fatalf("diffs: %v", diffs)
+	}
+	for i := range want {
+		if diffs[i] != want[i] {
+			t.Errorf("diff %d: %q, want %q", i, diffs[i], want[i])
+		}
+	}
+	if d := Diff(old, old); len(d) != 0 {
+		t.Errorf("self-diff nonempty: %v", d)
+	}
+}
+
+func TestHashStable(t *testing.T) {
+	if Hash("x") != Hash("x") || len(Hash("x")) != 12 {
+		t.Error("hash unstable or wrong width")
+	}
+	if Hash("x") == Hash("y") {
+		t.Error("hash collision on trivial keys")
+	}
+}

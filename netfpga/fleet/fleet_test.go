@@ -242,6 +242,48 @@ func TestRunStream(t *testing.T) {
 	}
 }
 
+// TestRunStreamDeterministicAcrossWorkerCounts: RunStream delivers
+// results in completion order — which legitimately varies with worker
+// count and scheduling — but once re-sorted by job index, the full
+// result set must be byte-identical at every worker count. This is the
+// contract the sweep subsystem's streaming progress (and its golden
+// digests) stand on.
+func TestRunStreamDeterministicAcrossWorkerCounts(t *testing.T) {
+	mkJobs := func() []Job {
+		jobs := make([]Job, 8)
+		for i := range jobs {
+			jobs[i] = switchJob(fmt.Sprintf("dev%d", i))
+		}
+		return jobs
+	}
+	collect := func(workers int) string {
+		results := make([]Result, 0, 8)
+		for r := range (&Runner{Workers: workers, BaseSeed: 42}).
+			RunStream(context.Background(), mkJobs()) {
+			results = append(results, r)
+		}
+		if len(results) != 8 {
+			t.Fatalf("workers=%d: got %d results, want 8", workers, len(results))
+		}
+		sort.Slice(results, func(i, j int) bool { return results[i].Index < results[j].Index })
+		var b strings.Builder
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatalf("workers=%d: job %q failed: %v", workers, r.Name, r.Err)
+			}
+			b.WriteString(fingerprint(r))
+		}
+		return b.String()
+	}
+	want := collect(1)
+	for _, workers := range []int{4, 8} {
+		if got := collect(workers); got != want {
+			t.Errorf("re-sorted stream output diverges between workers=1 and workers=%d:\n--- 1\n%s--- %d\n%s",
+				workers, want, workers, got)
+		}
+	}
+}
+
 // TestDeriveSeed: seeds are a pure function of (base, index), distinct
 // across indices, and never zero.
 func TestDeriveSeed(t *testing.T) {

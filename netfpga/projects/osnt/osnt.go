@@ -135,12 +135,19 @@ func (p *Project) Build(dev *netfpga.Device) error {
 
 		g := &generator{d: d, out: genOut, rng: sim.NewRand(uint64(i) + 1)}
 		d.AddModule(g)
+		// The generator is a pure source: nothing pushes into it, so the
+		// only wake it needs is its own (Start re-arms it after idle).
+		g.wake = d.ModuleWake(g)
 		lib.NewTimestamper(d, fmt.Sprintf("tx_stamp%d", i), genOut, stamped, lib.StampPayload, TsOffset)
 		att := lib.NewMACAttach(d, mac, i, rx, stamped, 0)
 		dev.MountRegs(att.Registers())
 
 		m := &monitor{d: d, in: rx, tsOffset: TsOffset}
 		d.AddModule(m)
+		// Sparse-wire the monitor to its rx stream: a frame arriving
+		// from the MAC wakes exactly this monitor instead of every
+		// module in the design.
+		rx.OnPush(d.ModuleWake(m))
 		dev.MountRegs(m.registers(fmt.Sprintf("osnt_mon%d", i)))
 
 		inst.gens = append(inst.gens, g)
@@ -173,8 +180,9 @@ func (o *OSNT) Configure(port int, spec TrafficSpec) error {
 	return nil
 }
 
-// Start begins transmission on a port.
-func (o *OSNT) Start(port int) { o.gens[port].running = true; o.dev.Dsn.Wake() }
+// Start begins transmission on a port, waking just that port's
+// generator (its output chain is sparse-wired downstream).
+func (o *OSNT) Start(port int) { o.gens[port].running = true; o.gens[port].wake() }
 
 // Stop halts transmission on a port.
 func (o *OSNT) Stop(port int) { o.gens[port].running = false }
@@ -219,6 +227,7 @@ func (o *OSNT) WriteCapture(port int, w io.Writer) (int, error) {
 type generator struct {
 	d       *hw.Design
 	out     *hw.Stream
+	wake    func() // marks this generator runnable and re-arms the clock
 	spec    TrafficSpec
 	rng     *sim.Rand
 	running bool

@@ -1,0 +1,43 @@
+package sweep
+
+import (
+	"repro/netfpga"
+	"repro/netfpga/projects"
+)
+
+// boardRegistry maps config-file board names to platform constructors.
+// Constructors, not specs: every cell instantiates a fresh BoardSpec so
+// devices share nothing.
+var boardRegistry = []struct {
+	name string
+	mk   func() netfpga.BoardSpec
+}{
+	{"sume", netfpga.SUME},
+	{"sume-40g", netfpga.SUME40G},
+	{"sume-100g", netfpga.SUME100G},
+	{"10g", netfpga.TenG},
+	{"1g-cml", netfpga.OneGCML},
+}
+
+// Board resolves a registry name ("sume", "sume-40g", "sume-100g",
+// "10g", "1g-cml") to a fresh board spec.
+func Board(name string) (netfpga.BoardSpec, bool) {
+	for _, b := range boardRegistry {
+		if b.name == name {
+			return b.mk(), true
+		}
+	}
+	return netfpga.BoardSpec{}, false
+}
+
+// BoardNames lists the registered board names in registry order.
+func BoardNames() []string {
+	out := make([]string, len(boardRegistry))
+	for i, b := range boardRegistry {
+		out[i] = b.name
+	}
+	return out
+}
+
+// ProjectEntry resolves a netfpga/projects registry name.
+func ProjectEntry(name string) (projects.Entry, bool) { return projects.ByName(name) }

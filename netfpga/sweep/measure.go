@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"strings"
+
+	"repro/netfpga"
+	"repro/netfpga/fleet"
+	"repro/netfpga/workload"
+)
+
+// GenericMeasure is the built-in measure for config-file scenarios: it
+// saturates every port of the cell's device with the cell's workload
+// (traffic seeded from the cell seed, sprayed across ports by the job
+// RNG) for the spec's window, drains the device, and reports the
+// traffic totals the matrix compares across boards, projects, workloads
+// and BERs.
+//
+// Reported values: sent/rx frame counts, rx bytes, goodput_gbps over
+// the window, queue-overflow drops, and the wire's FCS error count
+// (non-zero only on BER cells).
+func GenericMeasure(c *fleet.Ctx, cell Cell) (Outcome, error) {
+	dev := c.Dev
+	gen, err := workload.New(cell.Workload.Config(c.Seed))
+	if err != nil {
+		return Outcome{}, err
+	}
+	taps := make([]*netfpga.PortTap, dev.Board.Ports)
+	for i := range taps {
+		taps[i] = dev.Tap(i)
+	}
+	window := cell.Spec.Window()
+	var sent uint64
+	for dev.Now() < window && !c.Canceled() {
+		for i := 0; i < 4*len(taps); i++ {
+			if taps[c.Rand.Intn(len(taps))].Send(gen.Next()) {
+				sent++
+			}
+		}
+		dev.RunFor(10 * netfpga.Microsecond)
+	}
+	dev.RunUntilIdle(0)
+
+	var o Outcome
+	var rxFrames, rxBytes, fcsErrs uint64
+	for _, tap := range taps {
+		for _, f := range tap.Received() {
+			rxFrames++
+			rxBytes += uint64(len(f.Data))
+		}
+		// BER is injected on the device's transmit wire; corrupted
+		// frames are counted (and discarded) by the tap-side MAC.
+		fcsErrs += tap.MAC().Stats()["fcs_errors"]
+	}
+	o.Set("sent", float64(sent))
+	o.Set("rx_frames", float64(rxFrames))
+	o.Set("rx_bytes", float64(rxBytes))
+	o.Set("goodput_gbps", float64(rxBytes)*8/window.Seconds()/1e9)
+	o.Set("drops", float64(QueueDrops(dev)))
+	o.Set("fcs_errors", float64(fcsErrs))
+	return o, nil
+}
+
+// QueueDrops sums the design's queue-overflow drops (receive FIFOs and
+// output queues); lookup-stage policy drops are excluded. This is the
+// loss figure the experiments report against offered load.
+func QueueDrops(dev *netfpga.Device) uint64 {
+	var total uint64
+	for k, v := range dev.Dsn.Stats() {
+		if !strings.HasSuffix(k, "drops") {
+			continue
+		}
+		if strings.Contains(k, "fifo") || strings.HasPrefix(k, "oq") ||
+			strings.Contains(k, "port") && strings.Contains(k, "_drops") {
+			total += v
+		}
+	}
+	return total
+}

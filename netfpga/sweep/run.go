@@ -1,0 +1,323 @@
+package sweep
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/netfpga"
+	"repro/netfpga/fleet"
+)
+
+// Outcome is what a measure function reports for one cell: named
+// numeric values plus free-form text labels. Both feed the cell's
+// digest, the results store, and the experiment's table renderer.
+type Outcome struct {
+	Values map[string]float64
+	Labels map[string]string
+}
+
+// Set records a numeric value.
+func (o *Outcome) Set(key string, v float64) {
+	if o.Values == nil {
+		o.Values = make(map[string]float64)
+	}
+	o.Values[key] = v
+}
+
+// SetTime records a simulated time as picoseconds.
+func (o *Outcome) SetTime(key string, t netfpga.Time) { o.Set(key, float64(t)) }
+
+// SetBool records a flag as 0/1.
+func (o *Outcome) SetBool(key string, v bool) {
+	if v {
+		o.Set(key, 1)
+	} else {
+		o.Set(key, 0)
+	}
+}
+
+// Label records a text value.
+func (o *Outcome) Label(key, v string) {
+	if o.Labels == nil {
+		o.Labels = make(map[string]string)
+	}
+	o.Labels[key] = v
+}
+
+// Measure runs one cell's workload on its device context and reports
+// the outcome. It is the experiment's entire per-device logic; sweep
+// owns everything around it (instantiation, seeding, stats capture,
+// digesting).
+type Measure func(c *fleet.Ctx, cell Cell) (Outcome, error)
+
+// Group pairs a spec with the measure that runs its cells.
+type Group struct {
+	Spec    Spec
+	Measure Measure
+}
+
+// CellResult is one executed cell.
+type CellResult struct {
+	// Cell echoes the expanded scenario.
+	Cell Cell
+	// Index is the cell's position in the run's flat batch.
+	Index int
+	// Seed is the seed the device actually ran with.
+	Seed uint64
+	// Values and Labels are the measure's outcome.
+	Values map[string]float64
+	Labels map[string]string
+	// SimTime and Events are the device's final simulated time and
+	// event count (zero for NoDevice cells).
+	SimTime netfpga.Time
+	Events  uint64
+	// Err is the cell's failure, if any ("" for success). Errors are
+	// recorded, digested, and surfaced — not fatal to the batch.
+	Err string
+	// Digest is the stable content digest over everything above except
+	// Index: two runs of the same cell agree on it byte-for-byte iff
+	// they agree on the result.
+	Digest string
+}
+
+// V returns a numeric value, panicking on a failed cell or a missing
+// key — experiment renderers use it where absence is a bug.
+func (r CellResult) V(key string) float64 {
+	if r.Err != "" {
+		panic(fmt.Sprintf("sweep: cell %s failed: %s", r.Cell.Key, r.Err))
+	}
+	v, ok := r.Values[key]
+	if !ok {
+		panic(fmt.Sprintf("sweep: cell %s has no value %q", r.Cell.Key, key))
+	}
+	return v
+}
+
+// T returns a value recorded with SetTime.
+func (r CellResult) T(key string) netfpga.Time { return netfpga.Time(r.V(key)) }
+
+// U returns a value as uint64.
+func (r CellResult) U(key string) uint64 { return uint64(r.V(key)) }
+
+// L returns a text label ("" when absent).
+func (r CellResult) L(key string) string { return r.Labels[key] }
+
+// digest computes the canonical content digest. Floats are encoded as
+// their exact IEEE-754 bits so the digest never depends on formatting.
+func (r *CellResult) digest() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\nseed=%#x sim=%d events=%d\n", r.Cell.Key, r.Seed, r.SimTime, r.Events)
+	for _, k := range SortKeys(r.Values) {
+		fmt.Fprintf(&b, "v %s=%016x\n", k, math.Float64bits(r.Values[k]))
+	}
+	for _, k := range SortKeys(r.Labels) {
+		fmt.Fprintf(&b, "l %s=%s\n", k, r.Labels[k])
+	}
+	if r.Err != "" {
+		fmt.Fprintf(&b, "err %s\n", r.Err)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:16])
+}
+
+// Results is an executed batch: every cell result in expansion order,
+// sliceable by group.
+type Results struct {
+	Cells []CellResult
+
+	groupOff []int // first cell index of each group; len = groups+1
+	byKey    map[string]*CellResult
+}
+
+// Group returns group i's results in cell order.
+func (rs *Results) Group(i int) []CellResult {
+	return rs.Cells[rs.groupOff[i]:rs.groupOff[i+1]]
+}
+
+// Get returns the result for a cell key, or nil.
+func (rs *Results) Get(key string) *CellResult { return rs.byKey[key] }
+
+// Digests returns the key -> digest map of the whole batch.
+func (rs *Results) Digests() map[string]string {
+	out := make(map[string]string, len(rs.Cells))
+	for _, c := range rs.Cells {
+		out[c.Cell.Key] = c.Digest
+	}
+	return out
+}
+
+// Failed returns the failed cells.
+func (rs *Results) Failed() []CellResult {
+	var out []CellResult
+	for _, c := range rs.Cells {
+		if c.Err != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SeedForKey derives a cell's seed purely from (base, key): a 64-bit
+// FNV-1a of the key folded with the base through a splitmix64 step.
+// Independence from batch position is what keeps filtered or reordered
+// sweeps byte-identical to full ones, cell for cell.
+func SeedForKey(base uint64, key string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 0x100000001b3
+	}
+	z := h ^ base
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9e3779b97f4a7c15
+	}
+	return z
+}
+
+// jobFor compiles one cell into a fleet job.
+func jobFor(cell Cell, m Measure, baseSeed uint64) (fleet.Job, error) {
+	seed := cell.Seed
+	if seed == 0 {
+		seed = SeedForKey(baseSeed, cell.Key)
+	}
+	job := fleet.Job{
+		Name:     cell.Key,
+		NoDevice: cell.Spec.NoDevice,
+		Options: netfpga.Options{
+			Seed:    seed,
+			PortBER: cell.BER,
+			NoHost:  cell.Spec.NoHost,
+		},
+	}
+	if !cell.Spec.NoDevice {
+		if cell.Spec.BoardFor != nil {
+			b, err := cell.Spec.BoardFor(cell)
+			if err != nil {
+				return fleet.Job{}, fmt.Errorf("sweep: cell %s board: %w", cell.Key, err)
+			}
+			job.Board = b
+		} else {
+			name := cell.Board
+			if name == "" {
+				name = "sume"
+			}
+			b, ok := Board(name)
+			if !ok {
+				return fleet.Job{}, fmt.Errorf("sweep: cell %s: unknown board %q", cell.Key, name)
+			}
+			job.Board = b
+		}
+		if cell.Project != "" && !cell.Spec.NoBuild {
+			entry, ok := ProjectEntry(cell.Project)
+			if !ok {
+				return fleet.Job{}, fmt.Errorf("sweep: cell %s: unknown project %q", cell.Key, cell.Project)
+			}
+			job.Build = func(dev *netfpga.Device) error { return entry.New().Build(dev) }
+		}
+	}
+	job.Drive = func(c *fleet.Ctx) (any, error) {
+		o, err := m(c, cell)
+		if err != nil {
+			return nil, err
+		}
+		return o, nil
+	}
+	return job, nil
+}
+
+// ExpandGroups expands every group with the given filter and returns
+// the flat cell list plus per-group offsets.
+func ExpandGroups(groups []Group, filter string) ([]Cell, []int, error) {
+	var cells []Cell
+	off := make([]int, 0, len(groups)+1)
+	off = append(off, 0)
+	for gi := range groups {
+		cs, err := groups[gi].Spec.Expand(filter)
+		if err != nil {
+			return nil, nil, err
+		}
+		cells = append(cells, cs...)
+		off = append(off, len(cells))
+	}
+	return cells, off, nil
+}
+
+// RunGroups expands and executes every group on the runner and returns
+// the full result set in cell order. Per-cell failures are recorded in
+// the results, not returned as an error.
+func RunGroups(ctx context.Context, r *fleet.Runner, groups []Group, filter string) (*Results, error) {
+	ch, rs, err := RunStreamGroups(ctx, r, groups, filter)
+	if err != nil {
+		return nil, err
+	}
+	for range ch {
+	}
+	return rs, nil
+}
+
+// RunStreamGroups starts the batch and returns a channel delivering each
+// cell result as its device finishes (completion order), plus the
+// Results that will be fully populated — in expansion order — once the
+// channel closes. The caller must drain the channel.
+func RunStreamGroups(ctx context.Context, r *fleet.Runner, groups []Group, filter string) (<-chan CellResult, *Results, error) {
+	cells, off, err := ExpandGroups(groups, filter)
+	if err != nil {
+		return nil, nil, err
+	}
+	rs := &Results{
+		Cells:    make([]CellResult, len(cells)),
+		groupOff: off,
+		byKey:    make(map[string]*CellResult, len(cells)),
+	}
+	jobs := make([]fleet.Job, len(cells))
+	measureOf := func(i int) Measure {
+		// Group index of cell i: off is sorted, one binary search.
+		gi := sort.SearchInts(off[1:], i+1)
+		return groups[gi].Measure
+	}
+	for i, cell := range cells {
+		m := measureOf(i)
+		if m == nil {
+			return nil, nil, fmt.Errorf("sweep: group of cell %s has no measure", cell.Key)
+		}
+		job, err := jobFor(cell, m, r.BaseSeed)
+		if err != nil {
+			return nil, nil, err
+		}
+		jobs[i] = job
+	}
+
+	out := make(chan CellResult)
+	go func() {
+		defer close(out)
+		for res := range r.RunStream(ctx, jobs) {
+			cr := CellResult{
+				Cell:    cells[res.Index],
+				Index:   res.Index,
+				Seed:    res.Seed,
+				SimTime: res.SimTime,
+				Events:  res.Events,
+			}
+			if res.Err != nil {
+				cr.Err = res.Err.Error()
+			} else if o, ok := res.Value.(Outcome); ok {
+				cr.Values, cr.Labels = o.Values, o.Labels
+			}
+			cr.Digest = cr.digest()
+			rs.Cells[res.Index] = cr
+			out <- cr
+		}
+		for i := range rs.Cells {
+			rs.byKey[rs.Cells[i].Cell.Key] = &rs.Cells[i]
+		}
+	}()
+	return out, rs, nil
+}

@@ -1,0 +1,348 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/netfpga/fleet"
+	"repro/netfpga/workload"
+)
+
+// matrixGroup is the canonical test matrix: a small board x project x
+// workload x BER x seed product driven by the generic measure.
+func matrixGroup(windowUS int) Group {
+	return Group{
+		Spec: Spec{
+			Name:     "m",
+			Boards:   []string{"sume"},
+			Projects: []string{"reference_switch", "reference_iotest"},
+			Workloads: []Workload{
+				{Name: "imix"},
+				{Name: "min", Sizes: []workload.SizeWeight{{Bytes: 60, Weight: 1}}},
+			},
+			BERs:     []float64{0, 1e-5},
+			Seeds:    []uint64{1},
+			WindowUS: windowUS,
+		},
+		Measure: GenericMeasure,
+	}
+}
+
+func TestExpandOrderAndKeys(t *testing.T) {
+	s := Spec{
+		Name:   "x",
+		Boards: []string{"sume", "10g"},
+		BERs:   []float64{0, 1e-7},
+		Params: []Axis{
+			{Name: "frame", Values: []string{"64", "1518"}},
+			{Name: "mode", Values: []string{"a", "b"}},
+		},
+	}
+	cells, err := s.Expand("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"x/board=sume/ber=0/frame=64/mode=a",
+		"x/board=sume/ber=0/frame=64/mode=b",
+		"x/board=sume/ber=0/frame=1518/mode=a",
+		"x/board=sume/ber=0/frame=1518/mode=b",
+		"x/board=sume/ber=1e-07/frame=64/mode=a",
+		"x/board=sume/ber=1e-07/frame=64/mode=b",
+		"x/board=sume/ber=1e-07/frame=1518/mode=a",
+		"x/board=sume/ber=1e-07/frame=1518/mode=b",
+		"x/board=10g/ber=0/frame=64/mode=a",
+		"x/board=10g/ber=0/frame=64/mode=b",
+		"x/board=10g/ber=0/frame=1518/mode=a",
+		"x/board=10g/ber=0/frame=1518/mode=b",
+		"x/board=10g/ber=1e-07/frame=64/mode=a",
+		"x/board=10g/ber=1e-07/frame=64/mode=b",
+		"x/board=10g/ber=1e-07/frame=1518/mode=a",
+		"x/board=10g/ber=1e-07/frame=1518/mode=b",
+	}
+	if len(cells) != len(want) {
+		t.Fatalf("expanded %d cells, want %d", len(cells), len(want))
+	}
+	for i, c := range cells {
+		if c.Key != want[i] {
+			t.Errorf("cell %d: key %q, want %q", i, c.Key, want[i])
+		}
+	}
+	// Accessors parse the axis values back.
+	if cells[2].Int("frame") != 1518 || cells[2].Str("mode") != "a" {
+		t.Errorf("param accessors broken: %+v", cells[2].Param)
+	}
+	if cells[4].BER != 1e-7 || cells[4].Board != "sume" {
+		t.Errorf("first-class axes broken: %+v", cells[4])
+	}
+}
+
+func TestExpandValidation(t *testing.T) {
+	cases := []Spec{
+		{},                                      // no name
+		{Name: "x", Boards: []string{"nope"}},   // unknown board
+		{Name: "x", Projects: []string{"nope"}}, // unknown project
+		{Name: "x", Seeds: []uint64{0}},         // reserved seed
+		{Name: "x", Params: []Axis{{Name: "", Values: []string{"a"}}}}, // unnamed axis
+		{Name: "x", Params: []Axis{{Name: "p"}}},                       // empty axis
+	}
+	for i, s := range cases {
+		if _, err := s.Expand(""); err == nil {
+			t.Errorf("case %d: invalid spec %+v accepted", i, s)
+		}
+	}
+}
+
+func TestMatches(t *testing.T) {
+	cases := []struct {
+		key, inc, exc string
+		want          bool
+	}{
+		{"T4/mesh/frame=64", "", "", true},
+		{"T4/mesh/frame=64", "T4", "", true},
+		{"T4/mesh/frame=64", "T5", "", false},
+		{"T4/mesh/frame=64", "T4,T5", "", true},
+		{"T4/mesh/frame=64", "T4 !mesh", "", false},
+		{"T4/mesh/frame=64", "T4 -mesh", "", false},
+		{"T4/mesh/frame=64", "", "frame=64", false},
+		{"T4/latency/frame=64", "T4", "mesh", true},
+	}
+	for _, c := range cases {
+		if got := Matches(c.key, c.inc, c.exc); got != c.want {
+			t.Errorf("Matches(%q, %q, %q) = %v, want %v", c.key, c.inc, c.exc, got, c.want)
+		}
+	}
+}
+
+func TestSeedForKey(t *testing.T) {
+	if SeedForKey(0, "a") == SeedForKey(0, "b") {
+		t.Error("different keys collide")
+	}
+	if SeedForKey(0, "a") == SeedForKey(1, "a") {
+		t.Error("base seed ignored")
+	}
+	if SeedForKey(0, "a") != SeedForKey(0, "a") {
+		t.Error("not a pure function")
+	}
+	if SeedForKey(0, "") == 0 {
+		t.Error("zero seed derived")
+	}
+}
+
+// TestDigestsInvariantAcrossWorkersAndFilters is the sweep contract:
+// the same matrix produces byte-identical per-cell digests at any
+// worker count, and a filtered run reproduces exactly the digests of
+// the matching cells from the full run (seeds derive from keys, never
+// from batch position).
+func TestDigestsInvariantAcrossWorkersAndFilters(t *testing.T) {
+	groups := []Group{matrixGroup(40)}
+	run := func(workers int, filter string) *Results {
+		rs, err := RunGroups(context.Background(), &fleet.Runner{Workers: workers}, groups, filter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range rs.Failed() {
+			t.Fatalf("cell %s failed: %s", f.Cell.Key, f.Err)
+		}
+		return rs
+	}
+	full1 := run(1, "")
+	full8 := run(8, "")
+	if len(full1.Cells) != 8 {
+		t.Fatalf("matrix expanded to %d cells, want 8", len(full1.Cells))
+	}
+	for i := range full1.Cells {
+		if full1.Cells[i].Digest != full8.Cells[i].Digest {
+			t.Errorf("cell %s diverges across worker counts", full1.Cells[i].Cell.Key)
+		}
+	}
+
+	filtered := run(4, "wl=min")
+	if len(filtered.Cells) == 0 || len(filtered.Cells) == len(full1.Cells) {
+		t.Fatalf("filter matched %d of %d cells", len(filtered.Cells), len(full1.Cells))
+	}
+	for _, fc := range filtered.Cells {
+		want := full1.Get(fc.Cell.Key)
+		if want == nil {
+			t.Fatalf("filtered cell %s missing from full run", fc.Cell.Key)
+		}
+		if fc.Digest != want.Digest {
+			t.Errorf("cell %s: filtered digest %s != full-run digest %s",
+				fc.Cell.Key, fc.Digest, want.Digest)
+		}
+	}
+}
+
+// TestBERAndSeedMoveResults guards against vacuous determinism: the
+// BER axis and the base seed must actually change measured results.
+func TestBERAndSeedMoveResults(t *testing.T) {
+	groups := []Group{matrixGroup(40)}
+	rs, err := RunGroups(context.Background(), fleet.New(4), groups, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := rs.Get("m/board=sume/project=reference_switch/wl=imix/ber=0/seed=1")
+	noisy := rs.Get("m/board=sume/project=reference_switch/wl=imix/ber=1e-05/seed=1")
+	if clean == nil || noisy == nil {
+		for _, c := range rs.Cells {
+			t.Log(c.Cell.Key)
+		}
+		t.Fatal("expected cells missing")
+	}
+	if clean.V("fcs_errors") != 0 {
+		t.Errorf("clean cell has %v FCS errors", clean.V("fcs_errors"))
+	}
+	if noisy.V("fcs_errors") == 0 {
+		t.Error("BER cell saw no FCS errors — error injection not wired through the sweep")
+	}
+
+	// Derived-seed cells must move with the runner's base seed.
+	noSeedGroup := Group{
+		Spec: Spec{
+			Name:      "d",
+			Projects:  []string{"reference_iotest"},
+			Workloads: []Workload{{Name: "imix"}},
+			BERs:      []float64{1e-6},
+			WindowUS:  40,
+		},
+		Measure: GenericMeasure,
+	}
+	a, err := RunGroups(context.Background(), &fleet.Runner{Workers: 2, BaseSeed: 1}, []Group{noSeedGroup}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunGroups(context.Background(), &fleet.Runner{Workers: 2, BaseSeed: 2}, []Group{noSeedGroup}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cells[0].Digest == b.Cells[0].Digest {
+		t.Error("base seed change did not move a derived-seed cell")
+	}
+	if a.Cells[0].Seed == b.Cells[0].Seed {
+		t.Error("derived seeds identical across base seeds")
+	}
+}
+
+// TestErrorCellsAreRecorded: a failing measure is a digested result,
+// not a batch failure.
+func TestErrorCellsAreRecorded(t *testing.T) {
+	g := Group{
+		Spec: Spec{Name: "e", NoDevice: true,
+			Params: []Axis{{Name: "i", Values: []string{"0", "1"}}}},
+		Measure: func(c *fleet.Ctx, cell Cell) (Outcome, error) {
+			if cell.Int("i") == 1 {
+				return Outcome{}, fmt.Errorf("deliberate")
+			}
+			var o Outcome
+			o.Set("ok", 1)
+			return o, nil
+		},
+	}
+	rs, err := RunGroups(context.Background(), fleet.New(2), []Group{g}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Failed()) != 1 {
+		t.Fatalf("want 1 failed cell, got %d", len(rs.Failed()))
+	}
+	bad := rs.Get("e/i=1")
+	if bad == nil || !strings.Contains(bad.Err, "deliberate") {
+		t.Fatalf("error not recorded: %+v", bad)
+	}
+	if bad.Digest == "" || bad.Digest == rs.Get("e/i=0").Digest {
+		t.Error("failed cell needs its own digest")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("V on failed cell did not panic")
+		}
+	}()
+	bad.V("ok")
+}
+
+func TestConfigAndGoldenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "t.sweep")
+	writeFile(t, cfgPath, `{
+	  "name": "t",
+	  "scenarios": [{
+	    "name": "s",
+	    "projects": ["reference_iotest"],
+	    "workloads": [{"name": "min", "sizes": [{"bytes": 60, "weight": 1}]}],
+	    "seeds": [1],
+	    "window_us": 20
+	  }]
+	}`)
+	cfg, err := LoadConfig(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := cfg.ScenarioGroups()
+	rs, err := RunGroups(context.Background(), fleet.New(2), groups, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Failed()) > 0 {
+		t.Fatalf("failures: %+v", rs.Failed())
+	}
+
+	gPath := filepath.Join(dir, "golden.json")
+	if err := WriteGolden(gPath, NewGolden("test", 0, rs)); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadGolden(gPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := DiffGolden(g, rs, false); len(diffs) != 0 {
+		t.Fatalf("round trip diffs: %v", diffs)
+	}
+	// Mutate one digest: the diff must say so.
+	for k, c := range g.Cells {
+		c.Digest = "deadbeef"
+		g.Cells[k] = c
+		break
+	}
+	if diffs := DiffGolden(g, rs, false); len(diffs) != 1 {
+		t.Fatalf("want 1 diff after mutation, got %v", diffs)
+	}
+
+	// Bad configs are rejected.
+	for i, bad := range []string{
+		`{}`,
+		`{"name": "x"}`,
+		`{"name": "x", "scenarios": [{"name": "s"}]}`,
+		`{"name": "x", "scenarios": [{"name": "s", "projects": ["nope"]}]}`,
+		`{"name": "x", "scenarios": [{"name": "s", "projects": ["reference_nic"]},
+		                             {"name": "s", "projects": ["reference_nic"]}]}`,
+	} {
+		p := filepath.Join(dir, fmt.Sprintf("bad%d.sweep", i))
+		writeFile(t, p, bad)
+		if _, err := LoadConfig(p); err == nil {
+			t.Errorf("bad config %d accepted: %s", i, bad)
+		}
+	}
+}
+
+func TestBoardRegistry(t *testing.T) {
+	for _, name := range BoardNames() {
+		b, ok := Board(name)
+		if !ok || b.Ports == 0 {
+			t.Errorf("board %q broken", name)
+		}
+	}
+	if _, ok := Board("nope"); ok {
+		t.Error("unknown board resolved")
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

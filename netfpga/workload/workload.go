@@ -17,8 +17,8 @@ import (
 
 // SizeWeight is one frame size with its relative weight.
 type SizeWeight struct {
-	Bytes  int // frame size without FCS
-	Weight int
+	Bytes  int `json:"bytes"` // frame size without FCS
+	Weight int `json:"weight"`
 }
 
 // IMIX returns the classic simple-IMIX distribution (7:4:1 of
