@@ -1,9 +1,20 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Refresh the committed benchmark baseline the CI regression gate
 # compares against. Run after a deliberate perf change (or when the CI
 # hardware class changes), commit the result, and mention the before and
 # after medians in the PR.
-set -e
+#
+# pipefail matters: the bench output is piped through grep/tee, and
+# without it a panicking benchmark would exit 0 through tee and commit
+# a silently truncated baseline.
+set -eo pipefail
 cd "$(dirname "$0")/.."
 go test -bench 'BenchmarkDatapathMinFrames10G$|BenchmarkSwitchIMIXWorkload$|BenchmarkSimEventThroughput$' \
   -benchtime=1000x -count=10 -run '^$' . | tee bench/baseline.txt
+# The fleet tail-heavy batch and multicast flood are macro/steady-state
+# benchmarks: far fewer, longer iterations keep total time sane while
+# the medians stay stable.
+go test -bench 'BenchmarkFleetTailHeavyBatch(WholeJob)?$' \
+  -benchtime=2x -count=6 -run '^$' . | grep Benchmark | tee -a bench/baseline.txt
+go test -bench 'BenchmarkMulticastFlood$' \
+  -benchtime=2000x -count=10 -benchmem -run '^$' . | grep Benchmark | tee -a bench/baseline.txt

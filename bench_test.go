@@ -77,6 +77,27 @@ func benchFleet(b *testing.B, workers int) {
 func BenchmarkFleet8SwitchesSequential(b *testing.B) { benchFleet(b, 1) }
 func BenchmarkFleet8SwitchesParallel(b *testing.B)   { benchFleet(b, 0) }
 
+// benchTailHeavy runs the canonical tail-heavy batch (15 short devices
+// + one long 100G device, last) on 8 workers, with and without the
+// segment scheduler. Both variants are recorded in bench/baseline.txt
+// and gated by CI, so the segmented/whole-job gap stays visible across
+// commits; on single-core hardware both modes cost the same CPU and
+// only the determinism contract is exercised.
+func benchTailHeavy(b *testing.B, segment bool) {
+	for i := 0; i < b.N; i++ {
+		r := &fleet.Runner{Workers: 8, BaseSeed: 42, Segment: segment}
+		res := r.RunAll(context.Background(), experiments.TailHeavyJobs(hw.Millisecond))
+		for _, rr := range res {
+			if rr.Err != nil {
+				b.Fatal(rr.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkFleetTailHeavyBatch(b *testing.B)         { benchTailHeavy(b, true) }
+func BenchmarkFleetTailHeavyBatchWholeJob(b *testing.B) { benchTailHeavy(b, false) }
+
 // ---- micro-benchmarks of the substrate hot paths ----
 
 func BenchmarkPacketFullDecode(b *testing.B) {
@@ -245,6 +266,53 @@ func BenchmarkSwitchIMIXWorkload(b *testing.B) {
 	}
 	dev.RunUntilIdle(0)
 	b.SetBytes(int64(sent / uint64(b.N)))
+}
+
+func BenchmarkMulticastFlood(b *testing.B) {
+	// Broadcast replication through the reference switch: every frame
+	// fans out to the three non-source ports via the zero-copy
+	// shared-buffer path in OutputQueues.route. Steady state must not
+	// allocate: copies are pooled shells sharing the frozen payload,
+	// and -benchmem proves it.
+	dev := netfpga.NewDevice(netfpga.SUME(), netfpga.Options{})
+	p := switchp.New(switchp.Config{})
+	if err := p.Build(dev); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		dev.Tap(i)
+	}
+	tap := dev.Tap(0)
+	frame, err := pkt.Serialize(pkt.SerializeOptions{},
+		&pkt.Ethernet{Dst: pkt.MustMAC("ff:ff:ff:ff:ff:ff"),
+			Src: pkt.MustMAC("02:00:00:00:00:01"), EtherType: 0x88B5},
+		pkt.Payload(make([]byte, 110)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the pool (shells, refcounts, rings) before measuring.
+	for i := 0; i < 512; i++ {
+		tap.Send(frame)
+		if i%64 == 63 {
+			dev.RunFor(100 * hw.Microsecond)
+		}
+	}
+	dev.RunUntilIdle(0)
+	for i := 0; i < 4; i++ {
+		dev.Tap(i).Received()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tap.Send(frame)
+		if i%64 == 63 {
+			dev.RunFor(64*130*hw.Nanosecond + hw.Microsecond)
+			for j := 1; j < 4; j++ {
+				dev.Tap(j).Received()
+			}
+		}
+	}
+	dev.RunUntilIdle(0)
 }
 
 func BenchmarkDatapathMinFrames10G(b *testing.B) {

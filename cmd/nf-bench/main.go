@@ -38,6 +38,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
 	"time"
 
 	"repro/internal/experiments"
@@ -56,6 +57,7 @@ func main() {
 	workers := flag.Int("workers", 0, "fleet worker count for -parallel (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 0, "base seed for per-device RNG derivation")
 	batch := flag.Int("batch", 0, "datapath clock batch size (0 = engine default, 1 = unbatched)")
+	segment := flag.String("segment", "auto", "segment scheduler: auto, off, or an events-per-segment budget (results identical in every mode)")
 	jsonOut := flag.Bool("json", false, "write per-experiment metrics and wall-clock to BENCH_<stamp>.json")
 	jsonPath := flag.String("json-out", "", "override the -json output path")
 	flag.Parse()
@@ -77,8 +79,11 @@ func main() {
 		todo = []experiments.Experiment{e}
 	}
 
+	segOn, segBudget := parseSegment(*segment)
+
 	if !*parallel {
-		walls, tables := runSuite(todo, &fleet.Runner{Workers: 1, BaseSeed: *seed, ClockBatch: *batch}, os.Stdout)
+		walls, tables := runSuite(todo, &fleet.Runner{Workers: 1, BaseSeed: *seed, ClockBatch: *batch,
+			Segment: segOn, SegmentBudget: segBudget}, os.Stdout)
 		if *jsonOut || *jsonPath != "" {
 			writeJSON(*jsonPath, todo, walls, tables, 1, *seed)
 		}
@@ -93,7 +98,8 @@ func main() {
 	// byte-identical to the parallel pass by the fleet's determinism
 	// contract), then the parallel pass that prints.
 	seqWalls, _ := runSuite(todo, &fleet.Runner{Workers: 1, BaseSeed: *seed, ClockBatch: *batch}, io.Discard)
-	parWalls, parTables := runSuite(todo, &fleet.Runner{Workers: w, BaseSeed: *seed, ClockBatch: *batch}, os.Stdout)
+	parWalls, parTables := runSuite(todo, &fleet.Runner{Workers: w, BaseSeed: *seed, ClockBatch: *batch,
+		Segment: segOn, SegmentBudget: segBudget}, os.Stdout)
 
 	fmt.Printf("==== fleet speedup (%d workers, GOMAXPROCS=%d) ====\n\n", w, runtime.GOMAXPROCS(0))
 	fmt.Printf("%-4s %12s %12s %8s\n", "exp", "sequential", "parallel", "speedup")
@@ -114,6 +120,29 @@ func main() {
 	}
 
 	fleetDemo(w, *seed, *batch)
+	if !segOn {
+		fmt.Println("tail-heavy demo skipped (-segment off)")
+		return
+	}
+	tailDemo(w, *seed, *batch, segBudget)
+}
+
+// parseSegment maps the -segment flag: "off" disables the segment
+// scheduler, "auto" enables it with per-job budget auto-sizing, and a
+// number enables it with that events-per-segment budget.
+func parseSegment(v string) (on bool, budget uint64) {
+	switch v {
+	case "off", "":
+		return false, 0
+	case "auto":
+		return true, 0
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil || n == 0 {
+		fmt.Fprintf(os.Stderr, "nf-bench: -segment must be auto, off, or a positive event budget (got %q)\n", v)
+		os.Exit(2)
+	}
+	return true, n
 }
 
 // runSuite executes the experiments on the given runner, rendering
@@ -200,6 +229,17 @@ func speedup(seq, par time.Duration) float64 {
 	return float64(seq) / float64(par)
 }
 
+// sameResult compares two fleet results on everything the device
+// exposes: Drive value, event count, final simulated time, and the
+// full counter snapshot (fmt prints maps in sorted key order, so the
+// comparison is canonical). The demos gate on this so a divergence
+// visible only in counters still fails CI.
+func sameResult(a, b fleet.Result) bool {
+	return fmt.Sprint(a.Value) == fmt.Sprint(b.Value) &&
+		a.Events == b.Events && a.SimTime == b.SimTime &&
+		fmt.Sprint(a.Stats) == fmt.Sprint(b.Stats)
+}
+
 // fleetDemo runs the canonical 8-device suite — eight independent
 // reference-switch devices under seeded IMIX load for a fixed simulated
 // window — once on one worker and once on the pool, then once more
@@ -240,13 +280,11 @@ func fleetDemo(workers int, seed uint64, batch int) {
 				status = "ERR " + r.Err.Error()
 			}
 		}
-		if fmt.Sprint(seqRes[i].Value) != fmt.Sprint(parRes[i].Value) ||
-			seqRes[i].Events != parRes[i].Events {
+		if !sameResult(seqRes[i], parRes[i]) {
 			identical = false
 			status = "DIVERGED(par)"
 		}
-		if fmt.Sprint(seqRes[i].Value) != fmt.Sprint(unbatchedRes[i].Value) ||
-			seqRes[i].Events != unbatchedRes[i].Events {
+		if !sameResult(seqRes[i], unbatchedRes[i]) {
 			identical = false
 			status = "DIVERGED(batch)"
 		}
@@ -262,6 +300,58 @@ func fleetDemo(workers int, seed uint64, batch int) {
 	fmt.Printf("\nsequential %v, parallel (%d workers) %v, speedup %.2fx; results %s\n",
 		seqWall.Round(time.Millisecond), workers, parWall.Round(time.Millisecond),
 		speedup(seqWall, parWall), match)
+	if !identical || failed {
+		os.Exit(1)
+	}
+}
+
+// tailDemo runs the tail-heavy batch — 15 short devices followed by one
+// long 100G device, last in the list — through the whole-job pool and
+// the segment scheduler, verifies the two produce byte-identical
+// per-device results, and reports the wall-clock delta with both
+// utilization reports. The long cell's queueing delay behind the short
+// jobs is exactly what segmentation removes, so on a machine with as
+// many cores as workers the segmented run lands near
+// max(long cell, total/workers) — about 1.5-1.8x faster here.
+func tailDemo(workers int, seed uint64, batch int, segBudget uint64) {
+	const scale = 4 * netfpga.Millisecond
+	run := func(segment bool) ([]fleet.Result, *fleet.Utilization, time.Duration) {
+		r := &fleet.Runner{Workers: workers, BaseSeed: seed, ClockBatch: batch,
+			Segment: segment, SegmentBudget: segBudget}
+		start := time.Now()
+		res := r.RunAll(context.Background(), experiments.TailHeavyJobs(scale))
+		return res, r.Utilization(), time.Since(start)
+	}
+	wholeRes, wholeU, wholeWall := run(false)
+	segRes, segU, segWall := run(true)
+
+	fmt.Printf("==== tail-heavy demo: 15 short devices + 1x100G tail, %d workers ====\n\n", workers)
+	identical, failed := true, false
+	for i := range wholeRes {
+		for _, r := range []fleet.Result{wholeRes[i], segRes[i]} {
+			if r.Err != nil {
+				failed = true
+				fmt.Printf("device %s FAILED: %v\n", r.Name, r.Err)
+			}
+		}
+		if !sameResult(wholeRes[i], segRes[i]) {
+			identical = false
+			fmt.Printf("device %s DIVERGED between schedulers\n", wholeRes[i].Name)
+		}
+	}
+	fmt.Println(wholeU)
+	fmt.Println(segU)
+	fmt.Printf("\nwhole-job %v vs segmented %v: %.2fx; results ",
+		wholeWall.Round(time.Millisecond), segWall.Round(time.Millisecond),
+		speedup(wholeWall, segWall))
+	if identical && !failed {
+		fmt.Println("byte-identical across schedulers")
+	} else {
+		fmt.Println("MISMATCH (determinism bug)")
+	}
+	if cpus := runtime.NumCPU(); cpus < workers {
+		fmt.Printf("note: %d workers on %d CPUs — wall-clock gains need one core per worker\n", workers, cpus)
+	}
 	if !identical || failed {
 		os.Exit(1)
 	}

@@ -77,6 +77,14 @@ type Device struct {
 	taps   []*PortTap
 	agents []Agent
 
+	// segBudget/segYield/nextYield implement cooperative segmented
+	// execution (see SetSegmentHook): when segBudget is non-zero, RunFor
+	// and RunUntilIdle pause bit-exactly every segBudget executed events
+	// and call segYield with the simulation quiescent.
+	segBudget uint64
+	segYield  func()
+	nextYield uint64
+
 	// regNext is the next free mount base for auto-mounted blocks.
 	regNext uint32
 }
@@ -206,12 +214,48 @@ func (d *Device) Snapshot() map[string]uint64 {
 	return out
 }
 
-// RunFor advances the simulation by dur.
-func (d *Device) RunFor(dur hw.Time) { d.Sim.RunFor(dur) }
+// RunFor advances the simulation by dur. Under a segment hook the run
+// is split into resumable segments with yields between them; the end
+// state is identical either way.
+func (d *Device) RunFor(dur hw.Time) {
+	if d.segBudget == 0 {
+		d.Sim.RunFor(dur)
+		return
+	}
+	w := d.Window(d.Now() + dur)
+	for !w.Run(d.segmentLeft()) {
+	}
+}
 
 // RunUntilIdle runs until no events remain (bounded by limit events;
 // 0 means unbounded). It reports whether the event queue drained.
-func (d *Device) RunUntilIdle(limit uint64) bool { return d.Sim.Drain(limit) }
+// Under a segment hook the drain yields every segment budget; the
+// stopping point for a bounded drain is identical either way (the
+// event fence pins it).
+func (d *Device) RunUntilIdle(limit uint64) bool {
+	if d.segBudget == 0 {
+		return d.Sim.Drain(limit)
+	}
+	left := limit
+	for {
+		seg := d.segmentLeft()
+		use := seg
+		if limit != 0 && left < seg {
+			use = left
+		}
+		before := d.Sim.Executed()
+		drained := d.Sim.Drain(use)
+		if drained {
+			return true
+		}
+		if limit != 0 {
+			left -= d.Sim.Executed() - before
+			if left == 0 {
+				return false
+			}
+		}
+	}
+}
 
 // Agent is project "firmware": software that runs against the register
 // file and exception path in simulated time, standing in for the
@@ -296,17 +340,25 @@ func (d *Device) Tap(i int) *PortTap {
 	t := &PortTap{dev: d, port: i, mac: peer}
 	pool := d.Dsn.Pool()
 	peer.SetReceiver(func(f *hw.Frame, ok bool) {
-		// A frame delivered to the tap is exclusively owned here: every
-		// datapath fan-out point clones, so no other reference survives
-		// the MAC handing it over. The buffering path copies the bytes
-		// into the tap arena and recycles the frame; the OnRx path hands
-		// the frame to the callback, which may retain it, so it is never
-		// recycled.
+		// The Frame struct delivered here is exclusively owned, but its
+		// Data may be shared with multicast siblings still inside the
+		// device (zero-copy replication in the output queues). The
+		// buffering path copies the bytes into the tap arena and
+		// recycles the frame either way. The OnRx path hands the frame
+		// to the callback — which may retain and even rewrite it — so a
+		// shared frame is first swapped for a private deep copy (and
+		// the shared one released), preserving the callback's exclusive
+		// ownership of Data. Unshared frames skip the copy.
 		if !ok {
 			pool.Put(f)
 			return
 		}
 		if t.OnRx != nil {
+			if f.Shared() {
+				g := pool.Clone(f)
+				pool.Put(f)
+				f = g
+			}
 			t.OnRx(f, d.Sim.Now())
 			return
 		}

@@ -1,0 +1,119 @@
+package core
+
+import "repro/netfpga/hw"
+
+// Window is a checkpointable run of a device toward an absolute
+// simulated-time deadline — the unit the fleet's segment scheduler
+// schedules. Each Run call executes at most one segment's worth of
+// events (sim.RunSegment); between calls the device is quiescent (no
+// event is ever split), so a parked window may be resumed from a
+// different worker goroutine, provided the handoff establishes a
+// happens-before edge between the two Run calls. Results are
+// bit-exact for every segmentation: a window completed in N budgeted
+// Run calls leaves the device byte-identical to one completed in a
+// single unbudgeted call.
+type Window struct {
+	d        *Device
+	deadline hw.Time
+	done     bool
+}
+
+// Window opens a resumable run toward deadline (an absolute simulated
+// time at or after Now).
+func (d *Device) Window(deadline hw.Time) *Window {
+	return &Window{d: d, deadline: deadline}
+}
+
+// Run advances the device by at most eventBudget events (0 = no event
+// bound) toward the window's deadline and reports whether the window
+// completed. Once complete, further calls are no-ops reporting true.
+func (w *Window) Run(eventBudget uint64) bool {
+	if !w.done {
+		w.done = w.d.Sim.RunSegment(w.deadline, eventBudget)
+	}
+	return w.done
+}
+
+// Done reports whether the window has completed.
+func (w *Window) Done() bool { return w.done }
+
+// Deadline returns the window's absolute deadline.
+func (w *Window) Deadline() hw.Time { return w.deadline }
+
+// Remaining returns the simulated time left until the deadline (0 once
+// complete).
+func (w *Window) Remaining() hw.Time {
+	if w.done || w.d.Now() >= w.deadline {
+		return 0
+	}
+	return w.deadline - w.d.Now()
+}
+
+// SetSegmentHook puts the device in segmented execution: RunFor and
+// RunUntilIdle split their work into bit-exact segments of at most
+// budget events and call yield between segments. yield runs with the
+// simulation quiescent (between events, never inside one), which is
+// what lets the fleet scheduler park the device there and hand it to a
+// different worker. The yield cadence is counted in cumulative executed
+// events, so it is independent of how the driver slices its RunFor
+// calls. A zero budget (or nil yield) restores direct execution.
+//
+// Segmentation is invisible to the simulation: event order, timestamps,
+// Executed counts and every counter are identical with and without a
+// hook, for every budget.
+func (d *Device) SetSegmentHook(budget uint64, yield func()) {
+	if budget == 0 || yield == nil {
+		d.segBudget, d.segYield = 0, nil
+		return
+	}
+	d.segBudget, d.segYield = budget, yield
+	d.nextYield = d.Sim.Executed() + budget
+}
+
+// RunBudgeted advances the device toward an absolute deadline,
+// executing at most maxEvents events (0 = no event bound), honouring
+// the segment hook. It reports whether the window completed (deadline
+// reached with the queue quiet before it); false means the event
+// budget stopped it first, with Now at the last executed event — the
+// exact stopping point of unsegmented budgeted stepping, whatever the
+// segment size (fleet.Stop.Events stands on this).
+func (d *Device) RunBudgeted(deadline hw.Time, maxEvents uint64) bool {
+	w := d.Window(deadline)
+	left := maxEvents
+	for {
+		use := left
+		if d.segBudget != 0 {
+			seg := d.segmentLeft()
+			if maxEvents == 0 || seg < left {
+				use = seg
+			}
+		}
+		before := d.Sim.Executed()
+		done := w.Run(use)
+		if maxEvents != 0 {
+			left -= d.Sim.Executed() - before
+		}
+		if done {
+			return true
+		}
+		if maxEvents != 0 && left == 0 {
+			return false
+		}
+	}
+}
+
+// segmentLeft returns the events remaining before the next yield,
+// yielding first if the budget is already spent.
+func (d *Device) segmentLeft() uint64 {
+	ex := d.Sim.Executed()
+	if ex >= d.nextYield {
+		d.yieldNow()
+	}
+	return d.nextYield - d.Sim.Executed()
+}
+
+// yieldNow invokes the segment hook and re-arms the budget.
+func (d *Device) yieldNow() {
+	d.segYield()
+	d.nextYield = d.Sim.Executed() + d.segBudget
+}

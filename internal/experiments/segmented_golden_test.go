@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"repro/netfpga/fleet"
+	"repro/netfpga/sweep"
+)
+
+// TestSegmentedDeterministicAcrossWorkersAndBudgets is the segment
+// scheduler's full-matrix gate: every cell of the paper sweep runs at
+// worker counts {1, 4, 8} x segment budgets {tiny, default}, and each
+// run's digests must match the checked-in golden table byte for byte.
+// Together with TestGoldenSweep (the same workers, unsegmented), this
+// covers the whole workers x {tiny, default, unsegmented} grid: pausing
+// a device hundreds of times mid-window and resuming it on a different
+// worker must be observable by nothing.
+func TestSegmentedDeterministicAcrossWorkersAndBudgets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep matrix is slow")
+	}
+	groups := paperGroups(t)
+	g, err := sweep.ReadGolden(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (generate with TestGoldenSweep -update): %v", err)
+	}
+
+	budgets := []struct {
+		name   string
+		budget uint64
+	}{
+		{"tiny", 512},
+		{"default", 0}, // auto-sized (DefaultSegmentBudget)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		for _, bg := range budgets {
+			r := &fleet.Runner{Workers: workers, BaseSeed: 0,
+				Segment: true, SegmentBudget: bg.budget}
+			rs, err := sweep.RunGroups(context.Background(), r, groups, "")
+			if err != nil {
+				t.Fatalf("workers=%d budget=%s: %v", workers, bg.name, err)
+			}
+			for _, f := range rs.Failed() {
+				t.Errorf("workers=%d budget=%s: cell %s failed: %s", workers, bg.name, f.Cell.Key, f.Err)
+			}
+			if diffs := sweep.DiffGolden(g, rs, false); len(diffs) > 0 {
+				for _, d := range diffs {
+					t.Errorf("workers=%d budget=%s: golden mismatch:\n  %s", workers, bg.name, d)
+				}
+			}
+			if u := r.Utilization(); u == nil || !u.Segmented {
+				t.Errorf("workers=%d budget=%s: batch did not run segmented", workers, bg.name)
+			}
+		}
+	}
+}

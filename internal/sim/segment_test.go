@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// segmentBudgets are the per-call event budgets the equivalence tests
+// sweep: pathological (1), awkward primes, and budgets larger than the
+// whole scenario (effectively one segment).
+var segmentBudgets = []uint64{1, 2, 5, 17, 64, 1 << 20}
+
+// runSegmented drives the scenario with a chain of RunSegment calls of
+// at most budget events each, toward the same deadlines as the
+// reference RunFor runner, then drains the same way.
+func runSegmented(budget uint64) func(s *Sim) {
+	return func(s *Sim) {
+		deadline := Time(0)
+		for _, d := range []Time{10 * Nanosecond, 1, 13 * Nanosecond,
+			50 * Nanosecond, 500 * Nanosecond} {
+			deadline += d
+			for !s.RunSegment(deadline, budget) {
+			}
+		}
+		s.Drain(0)
+	}
+}
+
+// TestRunSegmentEquivalence is the determinism bedrock of the fleet's
+// segment scheduler: for every (segment budget x clock batch)
+// combination, a chain of RunSegment calls produces exactly the trace,
+// executed count and final time of unsegmented RunFor execution.
+func TestRunSegmentEquivalence(t *testing.T) {
+	reference := func(s *Sim) {
+		for _, d := range []Time{10 * Nanosecond, 1, 13 * Nanosecond,
+			50 * Nanosecond, 500 * Nanosecond} {
+			s.RunFor(d)
+		}
+		s.Drain(0)
+	}
+	ref, refExec := coprimeScenario(t, 1, reference)
+	if len(ref) == 0 {
+		t.Fatal("scenario produced no events")
+	}
+	for _, batch := range batchSizes {
+		for _, budget := range segmentBudgets {
+			got, exec := coprimeScenario(t, batch, runSegmented(budget))
+			if exec != refExec {
+				t.Errorf("batch=%d budget=%d executed %d events, want %d",
+					batch, budget, exec, refExec)
+			}
+			if !reflect.DeepEqual(got, ref) {
+				for i := range ref {
+					if i >= len(got) || got[i] != ref[i] {
+						t.Fatalf("batch=%d budget=%d: first divergence at %d: got %q want %q",
+							batch, budget, i, got[i:min(i+3, len(got))], ref[i:min(i+3, len(ref))])
+					}
+				}
+				t.Fatalf("batch=%d budget=%d trace diverges", batch, budget)
+			}
+		}
+	}
+}
+
+// TestRunSegmentPauseSemantics pins the contract around a pause: Now
+// never advances to the deadline while the window is unfinished, a
+// budget that expires exactly as the queue goes quiet still reports
+// unfinished without advancing, and the resuming call completes the
+// window.
+func TestRunSegmentPauseSemantics(t *testing.T) {
+	s := New()
+	fired := 0
+	for i := 1; i <= 3; i++ {
+		s.At(Time(i)*Nanosecond, func() { fired++ })
+	}
+
+	// Budget smaller than the pending work: pause at the last executed
+	// event's time.
+	if s.RunSegment(10*Nanosecond, 2) {
+		t.Fatal("segment reported done with events pending")
+	}
+	if fired != 2 || s.Now() != 2*Nanosecond {
+		t.Fatalf("after pause: fired=%d now=%v", fired, s.Now())
+	}
+
+	// Budget expiring exactly on the final event: still unfinished, no
+	// deadline advance — the caller decides whether residual time runs.
+	if s.RunSegment(10*Nanosecond, 1) {
+		t.Fatal("segment reported done on the exact budget boundary")
+	}
+	if fired != 3 || s.Now() != 3*Nanosecond {
+		t.Fatalf("boundary pause: fired=%d now=%v", fired, s.Now())
+	}
+
+	// Resume with a fresh budget: nothing pending, the window completes
+	// and time advances to the deadline.
+	if !s.RunSegment(10*Nanosecond, 100) {
+		t.Fatal("resume did not complete the quiet window")
+	}
+	if s.Now() != 10*Nanosecond {
+		t.Fatalf("completion did not advance to deadline: now=%v", s.Now())
+	}
+
+	// A completed window is idempotent.
+	if !s.RunSegment(10*Nanosecond, 1) {
+		t.Fatal("re-running a completed window reported unfinished")
+	}
+}
+
+// TestRunSegmentUnbudgeted: eventBudget 0 means a single call behaves
+// exactly like RunUntil.
+func TestRunSegmentUnbudgeted(t *testing.T) {
+	a, b := New(), New()
+	mk := func(s *Sim) *int {
+		n := new(int)
+		var rep *Timer
+		rep = s.NewTimer(func() {
+			*n++
+			if *n < 20 {
+				rep.ScheduleAfter(3 * Nanosecond)
+			}
+		})
+		rep.ScheduleAfter(3 * Nanosecond)
+		return n
+	}
+	na, nb := mk(a), mk(b)
+	a.RunUntil(31 * Nanosecond)
+	if !b.RunSegment(31*Nanosecond, 0) {
+		t.Fatal("unbudgeted segment did not complete")
+	}
+	if *na != *nb || a.Now() != b.Now() || a.Executed() != b.Executed() {
+		t.Fatalf("RunSegment(_, 0) diverges from RunUntil: %d/%d events, now %v/%v",
+			*na, *nb, a.Now(), b.Now())
+	}
+}

@@ -174,6 +174,66 @@ func (s *Sim) RunUntil(deadline Time) {
 // RunFor runs the simulation for d picoseconds of simulated time.
 func (s *Sim) RunFor(d Time) { s.RunUntil(s.now + d) }
 
+// RunSegment executes events due at or before deadline, bounded by
+// eventBudget executed events (0 = no event bound) — the resumable
+// building block the fleet's segment scheduler is made of. It reports
+// done=true when the window completed: no pending event at or before
+// deadline remains AND the budget was not exhausted first; only then is
+// Now advanced to deadline. done=false means the segment paused with
+// the window unfinished: Now stays at the last executed event and the
+// next RunSegment call with the same deadline resumes bit-exactly where
+// this one stopped.
+//
+// Suspension is exact at every budget: the event fence stops inline
+// clock batching at the budget, so a chain of RunSegment calls executes
+// the same events, in the same order, with the same Executed counts, as
+// a single RunUntil(deadline) — whatever the segment sizes. A pause
+// always falls between events, never inside one, so the simulation
+// (and everything hanging off it) is quiescent at every pause point and
+// may be picked up by a different goroutine, provided the handoff
+// establishes a happens-before edge (the fleet scheduler's channel
+// park/resume does).
+//
+// Note the budget check runs before the deadline advance: a segment
+// whose budget expires exactly as the queue goes quiet reports
+// done=false without advancing Now, and the next call completes the
+// window. Event-budgeted callers (fleet.Stop.Events) rely on that order
+// so an exhausted budget never silently skips residual time.
+func (s *Sim) RunSegment(deadline Time, eventBudget uint64) bool {
+	prevH := s.horizon
+	if deadline < s.horizon {
+		s.horizon = deadline
+	}
+	end := uint64(0)
+	if eventBudget != 0 {
+		end = s.executed + eventBudget
+	}
+	for len(s.heap) > 0 && s.heap[0].at <= deadline {
+		if end != 0 && s.executed >= end {
+			s.horizon = prevH
+			return false
+		}
+		if end != 0 {
+			prevF := s.fence
+			if prevF == 0 || end < prevF {
+				s.fence = end
+			}
+			s.Step()
+			s.fence = prevF
+		} else {
+			s.Step()
+		}
+	}
+	s.horizon = prevH
+	if end != 0 && s.executed >= end {
+		return false
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return true
+}
+
 // Drain executes events until the queue is empty or limit events have run.
 // It reports whether the queue was drained. A limit of 0 means no limit.
 // Batched clock edges count individually against the limit, and batching

@@ -56,6 +56,13 @@ type Job struct {
 	Drive func(*Ctx) (any, error)
 	// Stop bounds Drive's Ctx.RunFor stepping.
 	Stop Stop
+	// Weight is an optional scheduling hint for the segmented
+	// scheduler: the job's expected wall cost relative to its batch
+	// peers (any consistent unit). Zero derives the hint from the
+	// declared Stop window. Weights order initial placement only —
+	// longest first, each onto the lightest worker — and never affect
+	// results; work stealing corrects any misestimate at run time.
+	Weight int64
 }
 
 // Ctx is the per-job execution context handed to Drive: the device, the
@@ -147,22 +154,13 @@ func (c *Ctx) RunFor(d netfpga.Time) bool {
 		d = simLeft
 	}
 	if c.stop.Events > 0 {
-		// Step within the event budget, then advance any residual time.
-		// StepBudget fences clock batching to the remaining budget and
-		// the deadline, so the stopping point is identical for every
-		// batch size.
-		deadline := c.Dev.Now() + d
-		for {
-			_, eventsLeft, _ = c.Budget()
-			if eventsLeft == 0 {
-				return false
-			}
-			if !c.Dev.Sim.StepBudget(deadline, eventsLeft) {
-				break
-			}
-		}
-		if c.Dev.Now() < deadline {
-			c.Dev.Sim.RunUntil(deadline)
+		// Run within the event budget; RunBudgeted fences clock
+		// batching to the remaining budget and the deadline, so the
+		// stopping point is identical for every batch and segment size,
+		// and an exhausted budget pauses without advancing residual
+		// time.
+		if !c.Dev.RunBudgeted(c.Dev.Now()+d, eventsLeft) {
+			return false
 		}
 	} else {
 		c.Dev.RunFor(d)

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/sim"
 	"repro/netfpga"
@@ -25,6 +26,26 @@ type Runner struct {
 	// win). Per-device results are identical for every value; nf-bench
 	// uses it to prove batching equivalence end to end.
 	ClockBatch int
+	// Segment enables the segmented work-stealing scheduler: each
+	// device executes in resumable windows of at most SegmentBudget
+	// simulation events, parked bit-exactly between segments, and the
+	// pool schedules segments — per-worker deques with steal-half —
+	// instead of whole jobs. A tail-heavy batch (one long 100G device
+	// behind a queue of short ones) then finishes in
+	// ~max(longest device, total work / workers) instead of
+	// ~(queue delay + longest device). Results are byte-identical to
+	// unsegmented execution for every budget and worker count: a
+	// device's state never crosses a segment boundary mid-event, each
+	// job still runs on one goroutine, and seeds stay pure functions of
+	// (BaseSeed, index).
+	Segment bool
+	// SegmentBudget caps the events per segment when Segment is set;
+	// 0 auto-sizes per job from its declared Stop window (see
+	// DefaultSegmentBudget).
+	SegmentBudget uint64
+
+	// util is the last batch's utilization report (see Utilization).
+	util atomic.Pointer[Utilization]
 }
 
 // New returns a runner with the given worker count (<= 0 means
@@ -63,6 +84,11 @@ func (r *Runner) workers(jobs int) int {
 	return w
 }
 
+// Utilization returns the report of the most recently completed batch
+// (nil before the first). Valid once RunAll returns or a RunStream
+// channel closes; a Runner must not execute two batches concurrently.
+func (r *Runner) Utilization() *Utilization { return r.util.Load() }
+
 // RunAll executes every job and returns the results in job order. All
 // jobs run to completion (or to their own failure) regardless of other
 // jobs' errors; cancelling ctx abandons not-yet-started jobs with
@@ -70,25 +96,7 @@ func (r *Runner) workers(jobs int) int {
 // should poll Ctx.Canceled in long loops).
 func (r *Runner) RunAll(ctx context.Context, jobs []Job) []Result {
 	results := make([]Result, len(jobs))
-	if len(jobs) == 0 {
-		return results
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < r.workers(len(jobs)); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(jobs) {
-					return
-				}
-				results[i] = r.runOne(ctx, jobs[i], i)
-			}
-		}()
-	}
-	wg.Wait()
+	r.dispatch(ctx, jobs, func(res Result) { results[res.Index] = res })
 	return results
 }
 
@@ -97,35 +105,63 @@ func (r *Runner) RunAll(ctx context.Context, jobs []Job) []Result {
 // the batch is done. The caller must drain it.
 func (r *Runner) RunStream(ctx context.Context, jobs []Job) <-chan Result {
 	out := make(chan Result)
-	if len(jobs) == 0 {
-		close(out)
-		return out
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < r.workers(len(jobs)); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(jobs) {
-					return
-				}
-				out <- r.runOne(ctx, jobs[i], i)
-			}
-		}()
-	}
 	go func() {
-		wg.Wait()
-		close(out)
+		defer close(out)
+		r.dispatch(ctx, jobs, func(res Result) { out <- res })
 	}()
 	return out
 }
 
-// runOne executes a single job, isolating panics so one bad device
-// cannot take down the pool.
-func (r *Runner) runOne(ctx context.Context, job Job, index int) (res Result) {
+// dispatch executes the batch on the pool, calling deliver once per
+// finished job (from worker goroutines, in completion order), and
+// records the batch's Utilization. It returns when every job has been
+// delivered.
+func (r *Runner) dispatch(ctx context.Context, jobs []Job, deliver func(Result)) {
+	if len(jobs) == 0 {
+		r.util.Store(&Utilization{})
+		return
+	}
+	nw := r.workers(len(jobs))
+	u := newUtilization(nw, len(jobs), r.Segment)
+	start := time.Now()
+	if r.Segment {
+		r.runSegmented(ctx, jobs, nw, u, deliver)
+	} else {
+		// Whole-job scheduling: workers claim jobs in index order.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					t0 := time.Now()
+					res := r.runJob(ctx, jobs[i], i, 0, nil)
+					dt := time.Since(t0)
+					u.account(w, dt)
+					u.jobDone(jobs[i].Name, dt)
+					deliver(res)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	u.Wall = time.Since(start)
+	r.util.Store(u)
+}
+
+// runJob executes a single job, isolating panics so one bad device
+// cannot take down the pool. With a non-zero segBudget and yield, the
+// device runs segmented: every Ctx.RunFor / Device.RunFor /
+// RunUntilIdle slice pauses bit-exactly each segBudget events and calls
+// yield with the simulation quiescent (the segment scheduler parks the
+// job there).
+func (r *Runner) runJob(ctx context.Context, job Job, index int, segBudget uint64, yield func()) (res Result) {
 	seed := job.Options.Seed
 	if seed == 0 {
 		seed = DeriveSeed(r.BaseSeed, index)
@@ -159,6 +195,9 @@ func (r *Runner) runOne(ctx context.Context, job Job, index int) (res Result) {
 			opts.ClockBatch = r.ClockBatch
 		}
 		dev := netfpga.NewDevice(job.Board, opts)
+		if segBudget > 0 && yield != nil {
+			dev.SetSegmentHook(segBudget, yield)
+		}
 		if job.Build != nil {
 			if err := job.Build(dev); err != nil {
 				res.Err = fmt.Errorf("fleet: job %q build: %w", job.Name, err)

@@ -112,6 +112,18 @@ type Meta struct {
 type Frame struct {
 	Data []byte
 	Meta Meta
+	// ref, when non-nil, counts the Frames sharing this Data buffer
+	// (zero-copy multicast replication, see FramePool.ShareClone). The
+	// pool recycles the buffer only when the last sharer is Put. Frames
+	// with shared Data are frozen: nothing downstream of the sharing
+	// point may write Data.
+	ref *frameShare
+}
+
+// frameShare is the reference count behind a shared Data buffer. It is
+// not atomic: frames never leave their owning simulation goroutine.
+type frameShare struct {
+	n int32
 }
 
 // NewFrame builds a frame over data arriving on srcPort.
@@ -152,6 +164,15 @@ func (f *Frame) Clone() *Frame {
 // payload out before recycling the frame.
 type FramePool struct {
 	free []*Frame
+	// shells are recycled Frame structs without a Data buffer: a frame
+	// Put while other sharers still hold its Data surrenders the buffer
+	// and parks here. ShareClone draws from shells, so steady-state
+	// multicast replication allocates neither bytes nor structs — the
+	// shells released at the egress edge are exactly the shells the
+	// route stage needs next.
+	shells []*Frame
+	// shares recycles the refcount cells.
+	shares []*frameShare
 }
 
 // maxPoolFrames bounds the free list so a burst of retained-then-released
@@ -177,9 +198,32 @@ func (p *FramePool) Get(n int) *Frame {
 }
 
 // Put recycles a frame the caller exclusively owns. The frame and its
-// Data must not be used after Put.
+// Data must not be used after Put. A frame whose Data is shared
+// (ShareClone) surrenders the buffer unless it is the last sharer:
+// earlier sharers recycle as data-less shells, the final one carries
+// the buffer back to the free list.
 func (p *FramePool) Put(f *Frame) {
-	if p == nil || f == nil || len(p.free) >= maxPoolFrames {
+	if f == nil {
+		return
+	}
+	if r := f.ref; r != nil {
+		f.ref = nil
+		r.n--
+		if r.n > 0 {
+			// Another sharer still owns the bytes: recycle only the
+			// struct.
+			f.Data = nil
+			if p != nil && len(p.shells) < maxPoolFrames {
+				f.Meta = Meta{}
+				p.shells = append(p.shells, f)
+			}
+			return
+		}
+		if p != nil && len(p.shares) < maxPoolFrames {
+			p.shares = append(p.shares, r)
+		}
+	}
+	if p == nil || len(p.free) >= maxPoolFrames {
 		return
 	}
 	f.Meta = Meta{}
@@ -193,6 +237,47 @@ func (p *FramePool) Clone(f *Frame) *Frame {
 	g.Meta = f.Meta
 	return g
 }
+
+// ShareClone returns a frame sharing f's Data with no byte copy — the
+// zero-copy multicast primitive. Both f and the clone become sharers of
+// the buffer (refcounted; Put recycles the bytes only when the last
+// sharer is Put); each has its own independent Meta. The caller
+// guarantees the bytes are frozen from this point on — in the datapath
+// that is every frame past the output-queue stage, where all rewriting
+// has already happened. A nil pool degrades to a deep Clone.
+func (p *FramePool) ShareClone(f *Frame) *Frame {
+	if p == nil {
+		return f.Clone()
+	}
+	r := f.ref
+	if r == nil {
+		if n := len(p.shares); n > 0 {
+			r = p.shares[n-1]
+			p.shares = p.shares[:n-1]
+		} else {
+			r = &frameShare{}
+		}
+		r.n = 1
+		f.ref = r
+	}
+	r.n++
+	var g *Frame
+	if n := len(p.shells); n > 0 {
+		g = p.shells[n-1]
+		p.shells[n-1] = nil
+		p.shells = p.shells[:n-1]
+	} else {
+		g = &Frame{}
+	}
+	g.Data = f.Data
+	g.Meta = f.Meta
+	g.ref = r
+	return g
+}
+
+// Shared reports whether the frame's Data is currently shared with at
+// least one other frame (diagnostic; used by tests).
+func (f *Frame) Shared() bool { return f.ref != nil && f.ref.n > 1 }
 
 // Beat is one bus-width transfer of a frame: the half-open byte window
 // [Off, End) of Frame.Data. Last marks the final beat (TLAST).

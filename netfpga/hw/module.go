@@ -63,11 +63,17 @@ type Design struct {
 	// removes the dominant per-edge cost: walking every idle module of
 	// the design on every busy cycle.
 	runnable []bool
-	streams  []*Stream
-	queues   []*FrameQueue
-	pool     FramePool
-	overhead Resources
-	synth    bool
+	// tickCounts records how many cycles each module actually executed
+	// (skipped-idle cycles excluded) — the observable proof that sparse
+	// ticking works, and the per-module half of the fleet's utilization
+	// story. One counter increment per executed module-cycle; noise
+	// next to the Tick call it accompanies.
+	tickCounts []uint64
+	streams    []*Stream
+	queues     []*FrameQueue
+	pool       FramePool
+	overhead   Resources
+	synth      bool
 }
 
 // NewDesign creates a design named name on the given datapath clock with a
@@ -131,11 +137,25 @@ func (d *Design) Pool() *FramePool { return &d.pool }
 func (d *Design) AddModule(m Module) {
 	d.modules = append(d.modules, m)
 	d.runnable = append(d.runnable, true)
+	d.tickCounts = append(d.tickCounts, 0)
 	d.clock.Wake()
 }
 
 // Modules returns the design's modules in tick order.
 func (d *Design) Modules() []Module { return d.modules }
+
+// ModuleTicks returns, per module name, how many cycles that module
+// actually executed. With sparse ticking (ModuleWake wiring) an idle
+// module's count stops growing even while the rest of the design is
+// busy — the regression tests for sparse-wired projects pin exactly
+// that.
+func (d *Design) ModuleTicks() map[string]uint64 {
+	out := make(map[string]uint64, len(d.modules))
+	for i, m := range d.modules {
+		out[m.Name()] = d.tickCounts[i]
+	}
+	return out
+}
 
 // NewStream creates a stream owned by the design, wired to wake the
 // datapath clock on push.
@@ -166,6 +186,7 @@ func (d *Design) Tick() bool {
 		if !d.runnable[i] {
 			continue
 		}
+		d.tickCounts[i]++
 		if m.Tick() {
 			busy = true
 		} else {

@@ -72,7 +72,18 @@ func (a *DMAAttach) Tick() bool {
 	}
 	if a.txHold != nil {
 		if a.eng.FromDevice().CanAccept(len(a.txHold.Data)) {
-			a.eng.FromDevice().Push(a.txHold)
+			f := a.txHold
+			// The host driver retains delivered Data indefinitely (and
+			// host code may rewrite it in place), so a frame whose
+			// buffer is shared with multicast siblings still inside the
+			// datapath is swapped for a private copy here, at the last
+			// pool-aware point before it leaves the device.
+			if f.Shared() {
+				g := a.d.Pool().Clone(f)
+				a.d.Pool().Put(f)
+				f = g
+			}
+			a.eng.FromDevice().Push(f)
 			a.d2hPkts++
 			a.txHold = nil
 		}

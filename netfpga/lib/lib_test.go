@@ -1,6 +1,7 @@
 package lib
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/pcie"
@@ -193,9 +194,20 @@ func TestMulticastReplication(t *testing.T) {
 	if len(r.rx[0]) != 1 || len(r.rx[1]) != 1 {
 		t.Fatalf("flood delivered %d/%d copies", len(r.rx[0]), len(r.rx[1]))
 	}
-	// Copies must be independent frames with identical bytes.
-	if &r.rx[0][0].Data[0] == &r.rx[1][0].Data[0] {
-		t.Fatal("multicast copies alias the same buffer")
+	// Copies are independent frames with independent metadata but
+	// deliberately share the frozen payload bytes (zero-copy multicast).
+	a, b := r.rx[0][0], r.rx[1][0]
+	if a == b {
+		t.Fatal("multicast copies are the same frame")
+	}
+	if !bytes.Equal(a.Data, b.Data) {
+		t.Fatal("multicast copies differ in payload")
+	}
+	if &a.Data[0] != &b.Data[0] {
+		t.Fatal("multicast copies copied the payload — replication should share the frozen buffer")
+	}
+	if a.Meta.DstPorts == b.Meta.DstPorts {
+		t.Fatal("multicast copies share metadata")
 	}
 }
 
@@ -381,6 +393,53 @@ func (m *captureMod) Tick() bool {
 		return true
 	}
 	return false
+}
+
+func TestDMAAttachPrivatizesSharedFrames(t *testing.T) {
+	// A host-bound frame whose Data is shared with a multicast sibling
+	// (zero-copy replication at the output queues) must be swapped for
+	// a private copy before delivery: the host retains — and may
+	// rewrite — received buffers indefinitely.
+	s := sim.New()
+	clk := s.NewClockMHz("dp", 200)
+	d := hw.NewDesign("t", clk, 32)
+	eng := pcie.NewEngine(s, pcie.EngineConfig{Link: pcie.SUMELink()})
+	toPipe := d.NewStream("h2d", 8)
+	fromPipe := d.NewStream("d2h", 8)
+	NewDMAAttach(d, eng, toPipe, fromPipe)
+	var got *hw.Frame
+	eng.SetDeliver(func(f *hw.Frame) { got = f })
+	eng.PostRx(4)
+
+	pool := d.Pool()
+	orig := pool.Get(96)
+	for i := range orig.Data {
+		orig.Data[i] = 9
+	}
+	sib := pool.ShareClone(orig) // orig stays "inside the device"
+	sib.Meta.DstPorts = hw.HostPortMask(0)
+	if !fromPipe.PushFrame(sib, 32) {
+		t.Fatal("push failed")
+	}
+	s.RunFor(sim.Millisecond)
+	if got == nil {
+		t.Fatal("host never received the frame")
+	}
+	if &got.Data[0] == &orig.Data[0] {
+		t.Fatal("host-retained Data aliases an in-flight multicast sibling")
+	}
+	if !bytes.Equal(got.Data, orig.Data) {
+		t.Fatal("privatized copy differs from the original payload")
+	}
+	// The host copy is private: scribbling on it must not touch the
+	// sibling still owned by the datapath.
+	got.Data[0] = 0xEE
+	if orig.Data[0] != 9 {
+		t.Fatal("host write leaked into the datapath sibling")
+	}
+	if orig.Shared() {
+		t.Fatal("sibling still marked shared after privatization released the share")
+	}
 }
 
 func TestDMAAttachLoop(t *testing.T) {

@@ -120,10 +120,14 @@ func (o *OutputQueues) Tick() bool {
 }
 
 // route replicates f to every configured destination in its mask.
-// The last matching destination receives the original frame; earlier ones
-// receive clones (drawn from the design's frame pool), so per-copy
-// metadata stays independent. Tail-dropped copies are recycled: the queue
-// counted the drop and nothing else references them.
+// The last matching destination receives the original frame; earlier
+// ones receive zero-copy sharers (FramePool.ShareClone): every copy is
+// its own Frame with independent metadata, but all of them reference
+// the same frozen Data — frames are never rewritten past the OQ stage,
+// so multicast replication moves no bytes and allocates nothing in
+// steady state. The pool's refcount releases the buffer when the last
+// copy leaves the device (or is tail-dropped here: the queue counted
+// the drop and nothing else references the copy).
 func (o *OutputQueues) route(f *hw.Frame) {
 	mask := f.Meta.DstPorts
 	last := -1
@@ -144,7 +148,7 @@ func (o *OutputQueues) route(f *hw.Frame) {
 		}
 		copyF := f
 		if i != last {
-			copyF = pool.Clone(f)
+			copyF = pool.ShareClone(f)
 		}
 		copyF.Meta.DstPorts = 1 << uint(p.bit)
 		if !p.q.Push(copyF) {

@@ -41,6 +41,9 @@ type (
 	RxFrame = core.RxFrame
 	// Agent is project firmware running against the register file.
 	Agent = core.Agent
+	// Window is a checkpointable run of a device toward a deadline,
+	// resumable in bit-exact segments (the fleet scheduler's unit).
+	Window = core.Window
 	// Time is simulated time in picoseconds.
 	Time = hw.Time
 )
