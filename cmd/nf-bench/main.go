@@ -44,6 +44,7 @@ import (
 	"repro/internal/experiments"
 	"repro/netfpga"
 	"repro/netfpga/fleet"
+	"repro/netfpga/sweep"
 )
 
 func main() {
@@ -58,6 +59,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "base seed for per-device RNG derivation")
 	batch := flag.Int("batch", 0, "datapath clock batch size (0 = engine default, 1 = unbatched)")
 	segment := flag.String("segment", "auto", "segment scheduler: auto, off, or an events-per-segment budget (results identical in every mode)")
+	execName := flag.String("exec", "local", "execution backend: local (fixed pool) or elastic (grow/shrink workers mid-batch; results identical)")
 	jsonOut := flag.Bool("json", false, "write per-experiment metrics and wall-clock to BENCH_<stamp>.json")
 	jsonPath := flag.String("json-out", "", "override the -json output path")
 	flag.Parse()
@@ -69,21 +71,33 @@ func main() {
 		return
 	}
 
-	todo := experiments.All()
+	todo := experiments.Defs()
 	if *exp != "" {
-		e, ok := experiments.ByID(*exp)
+		d, ok := experiments.DefByID(*exp)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "nf-bench: unknown experiment %q (use -list)\n", *exp)
 			os.Exit(1)
 		}
-		todo = []experiments.Experiment{e}
+		todo = []experiments.Def{d}
 	}
 
 	segOn, segBudget := parseSegment(*segment)
+	if *execName != "local" && *execName != "elastic" {
+		fmt.Fprintf(os.Stderr, "nf-bench: -exec must be local or elastic (got %q)\n", *execName)
+		os.Exit(2)
+	}
+	if *execName == "elastic" && !segOn {
+		// An elastic pool is segmentation: silently running segmented
+		// anyway would invalidate any whole-job-vs-elastic comparison.
+		fmt.Fprintln(os.Stderr, "nf-bench: -exec elastic requires the segment scheduler (-segment off conflicts)")
+		os.Exit(2)
+	}
+	mkExec := func(w int) fleet.Executor {
+		return buildExecutor(*execName, w, *seed, *batch, segOn, segBudget)
+	}
 
 	if !*parallel {
-		walls, tables := runSuite(todo, &fleet.Runner{Workers: 1, BaseSeed: *seed, ClockBatch: *batch,
-			Segment: segOn, SegmentBudget: segBudget}, os.Stdout)
+		walls, tables := runSuite(todo, mkExec(1), os.Stdout)
 		if *jsonOut || *jsonPath != "" {
 			writeJSON(*jsonPath, todo, walls, tables, 1, *seed)
 		}
@@ -98,8 +112,7 @@ func main() {
 	// byte-identical to the parallel pass by the fleet's determinism
 	// contract), then the parallel pass that prints.
 	seqWalls, _ := runSuite(todo, &fleet.Runner{Workers: 1, BaseSeed: *seed, ClockBatch: *batch}, io.Discard)
-	parWalls, parTables := runSuite(todo, &fleet.Runner{Workers: w, BaseSeed: *seed, ClockBatch: *batch,
-		Segment: segOn, SegmentBudget: segBudget}, os.Stdout)
+	parWalls, parTables := runSuite(todo, mkExec(w), os.Stdout)
 
 	fmt.Printf("==== fleet speedup (%d workers, GOMAXPROCS=%d) ====\n\n", w, runtime.GOMAXPROCS(0))
 	fmt.Printf("%-4s %12s %12s %8s\n", "exp", "sequential", "parallel", "speedup")
@@ -127,6 +140,21 @@ func main() {
 	tailDemo(w, *seed, *batch, segBudget)
 }
 
+// buildExecutor constructs the chosen local execution backend from the
+// shared CLI knobs — the one place the main and sweep modes agree on
+// what "local" and "elastic" mean. name must already be validated.
+func buildExecutor(name string, w int, seed uint64, batch int, segOn bool, segBudget uint64) fleet.Executor {
+	if name == "elastic" {
+		return &fleet.Elastic{
+			Runner: fleet.Runner{BaseSeed: seed, ClockBatch: batch,
+				SegmentBudget: segBudget},
+			Min: 1, Max: w,
+		}
+	}
+	return &fleet.Runner{Workers: w, BaseSeed: seed, ClockBatch: batch,
+		Segment: segOn, SegmentBudget: segBudget}
+}
+
 // parseSegment maps the -segment flag: "off" disables the segment
 // scheduler, "auto" enables it with per-job budget auto-sizing, and a
 // number enables it with that events-per-segment budget.
@@ -145,18 +173,35 @@ func parseSegment(v string) (on bool, budget uint64) {
 	return true, n
 }
 
-// runSuite executes the experiments on the given runner, rendering
+// runSuite executes the experiments on the given backend, rendering
 // tables to out, and returns each experiment's wall-clock time and
-// tables.
-func runSuite(todo []experiments.Experiment, r *fleet.Runner, out io.Writer) ([]time.Duration, [][]*experiments.Table) {
+// tables. Cells stream as they finish — a long experiment shows its
+// devices completing instead of a silent pause before the table.
+func runSuite(todo []experiments.Def, ex fleet.Executor, out io.Writer) ([]time.Duration, [][]*experiments.Table) {
 	walls := make([]time.Duration, len(todo))
 	all := make([][]*experiments.Table, len(todo))
-	for i, e := range todo {
+	for i, d := range todo {
+		var progress func(cr sweep.CellResult)
+		if out != io.Discard {
+			fmt.Fprintf(out, "==== %s: %s ====\n", d.ID, d.Title)
+			// Expansion is cheap and pure; counting cells up front
+			// lets the stream show [done/total].
+			total := 0
+			if cells, _, err := sweep.ExpandGroups(d.Groups, ""); err == nil {
+				total = len(cells)
+			}
+			done := 0
+			progress = func(cr sweep.CellResult) {
+				done++
+				fmt.Fprintf(out, "[%*d/%d] %-52s %s\n", digits(total), done, total,
+					cr.Cell.Key, summarizeCell(cr))
+			}
+		}
 		start := time.Now()
-		tables := e.Run(r)
+		tables := d.RunStreamed(ex, progress)
 		walls[i] = time.Since(start)
 		all[i] = tables
-		fmt.Fprintf(out, "==== %s: %s (wall %v) ====\n\n", e.ID, e.Title, walls[i].Round(time.Millisecond))
+		fmt.Fprintf(out, "(wall %v)\n\n", walls[i].Round(time.Millisecond))
 		for _, t := range tables {
 			fmt.Fprintln(out, t)
 		}
@@ -185,7 +230,7 @@ type benchExpJSON struct {
 
 // writeJSON records the run's metrics and timings. An empty path means
 // BENCH_<stamp>.json in the working directory.
-func writeJSON(path string, todo []experiments.Experiment, walls []time.Duration, tables [][]*experiments.Table, workers int, seed uint64) {
+func writeJSON(path string, todo []experiments.Def, walls []time.Duration, tables [][]*experiments.Table, workers int, seed uint64) {
 	stamp := time.Now().UTC().Format("20060102-150405")
 	if path == "" {
 		path = "BENCH_" + stamp + ".json"

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"sort"
 	"strings"
@@ -12,38 +13,66 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/storage/resultstore"
-	"repro/netfpga/fleet"
 	"repro/netfpga/sweep"
+	"repro/netfpga/sweep/shard"
 )
 
 // runSweepCmd implements `nf-bench sweep`: expand a scenario-matrix
-// config into fleet jobs, execute them with streaming progress, persist
-// every cell into the results store, and optionally diff the run
-// against a golden digest file or a previous stored run.
+// config into fleet jobs, execute them — in-process, on the elastic
+// pool, or sharded across OS processes — with streaming progress,
+// persist every cell into the results store, and optionally diff the
+// run against a golden digest file or a previous stored run.
 //
 //	nf-bench sweep -config examples/paper.sweep
 //	nf-bench sweep -config examples/paper.sweep -filter 'T4 -latency'
+//	nf-bench sweep -config examples/paper.sweep -exec elastic
+//	nf-bench sweep -config examples/paper.sweep -shards 4 -workers 2
 //	nf-bench sweep -config examples/paper.sweep -compare testdata/golden_sweep.json
 //	nf-bench sweep -config examples/paper.sweep -out golden.json
 //	nf-bench sweep -config examples/matrix.sweep -compare-run <run-id>
+//	nf-bench sweep -history 'T4/latency/frame=64'
 func runSweepCmd(args []string) {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	configPath := fs.String("config", "", "sweep config file (required)")
 	filter := fs.String("filter", "", "cell filter: space/comma terms, '!' or '-' prefix excludes")
-	workers := fs.Int("workers", 0, "fleet worker count (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "fleet worker count per process (0 = GOMAXPROCS)")
 	seed := fs.Uint64("seed", 0, "base seed for per-cell seed derivation")
 	batch := fs.Int("batch", 0, "datapath clock batch size (0 = engine default)")
 	segment := fs.String("segment", "auto", "segment scheduler: auto, off, or an events-per-segment budget (cell digests identical in every mode)")
+	execName := fs.String("exec", "local", "execution backend: local (fixed pool) or elastic (grow/shrink workers mid-batch; digests identical)")
+	shards := fs.Int("shards", 1, "partition cells by canonical key across N OS processes (digests identical to a single-process run)")
+	shardWorker := fs.Bool("shard-worker", false, "internal: serve one shard over length-prefixed JSON on stdin/stdout")
 	storeDir := fs.String("store", "nf-results", "results store directory")
 	noStore := fs.Bool("no-store", false, "skip the results store")
+	history := fs.String("history", "", "trend report: a cell's values across stored runs (key, scenario hash, or unique substring), then exit")
 	outPath := fs.String("out", "", "write the run's digests as a golden file")
 	comparePath := fs.String("compare", "", "diff the run against a golden digest file; nonzero exit on mismatch")
 	compareRun := fs.String("compare-run", "", "diff the run against a previous run id in the store")
 	quiet := fs.Bool("q", false, "suppress per-cell progress lines")
 	fs.Parse(args)
+
+	if *shardWorker {
+		if err := shard.Serve(context.Background(), os.Stdin, os.Stdout, workerPlan); err != nil {
+			fmt.Fprintf(os.Stderr, "nf-bench shard worker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *history != "" {
+		runHistory(*storeDir, *history)
+		return
+	}
 	if *configPath == "" {
 		fmt.Fprintln(os.Stderr, "nf-bench sweep: -config is required")
 		fs.Usage()
+		os.Exit(2)
+	}
+	if *execName != "local" && *execName != "elastic" {
+		fmt.Fprintf(os.Stderr, "nf-bench sweep: -exec must be local or elastic (got %q)\n", *execName)
+		os.Exit(2)
+	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "nf-bench sweep: -shards must be >= 1 (got %d)\n", *shards)
 		os.Exit(2)
 	}
 
@@ -57,14 +86,19 @@ func runSweepCmd(args []string) {
 		w = runtime.GOMAXPROCS(0)
 	}
 	segOn, segBudget := parseSegment(*segment)
-	runner := &fleet.Runner{Workers: w, BaseSeed: *seed, ClockBatch: *batch,
-		Segment: segOn, SegmentBudget: segBudget}
+	if *execName == "elastic" && !segOn {
+		fmt.Fprintln(os.Stderr, "nf-bench sweep: -exec elastic requires the segment scheduler (-segment off conflicts)")
+		os.Exit(2)
+	}
 
-	start := time.Now()
-	ch, rs, err := sweep.RunStreamGroups(context.Background(), runner, groups, *filter)
+	plan, err := sweep.PlanGroups(groups, *filter, *seed)
 	fatal(err)
-	total := len(rs.Cells)
-	fmt.Printf("sweep %q: %d cells, %d workers, base seed %d\n", cfg.Name, total, w, *seed)
+	total := len(plan.Cells)
+	mode := *execName
+	if *shards > 1 {
+		mode = fmt.Sprintf("%d-process shards (%s per shard)", *shards, *execName)
+	}
+	fmt.Printf("sweep %q: %d cells, %d workers, base seed %d, %s\n", cfg.Name, total, w, *seed, mode)
 	if total == 0 {
 		// An empty run must not satisfy a comparison gate: a filter
 		// that silently stopped matching would otherwise turn the CI
@@ -76,42 +110,62 @@ func runSweepCmd(args []string) {
 		fmt.Println("nothing to do (filter matched no cells)")
 		return
 	}
-	done := 0
-	for cr := range ch {
-		done++
-		if *quiet {
-			continue
-		}
-		status := summarizeCell(cr)
-		fmt.Printf("[%*d/%d] %-52s %s\n", digits(total), done, total, cr.Cell.Key, status)
-	}
-	wall := time.Since(start)
-	fmt.Printf("sweep done: %d cells in %v (%d failed)\n", len(rs.Cells), wall.Round(time.Millisecond), len(rs.Failed()))
-	for _, f := range rs.Failed() {
-		fmt.Printf("  FAILED %s: %s\n", f.Cell.Key, f.Err)
-	}
 
 	var st *resultstore.Store
+	var prev map[string]string
 	// Nanosecond granularity: back-to-back sweeps in one second must
 	// not collide on the store's exclusive run file.
 	runID := time.Now().UTC().Format("20060102-150405.000000000")
 	if !*noStore {
 		st, err = resultstore.Open(*storeDir)
 		fatal(err)
-		prev := st.LatestDigests()
-		rw, err := st.Begin(resultstore.Meta{
-			Run: runID, Name: cfg.Name, Config: *configPath, Filter: *filter,
-			Seed: *seed, Workers: w, Stamp: time.Now().UTC().Format(time.RFC3339),
-		})
-		fatal(err)
-		for _, cr := range rs.Cells {
-			fatal(rw.Append(resultstore.Record{
-				Key: cr.Cell.Key, Digest: cr.Digest, Seed: cr.Seed,
-				Values: cr.Values, Labels: cr.Labels,
-				SimPS: int64(cr.SimTime), Events: cr.Events, Err: cr.Err,
-			}))
+		prev = st.LatestDigests()
+	}
+	meta := resultstore.Meta{
+		Run: runID, Name: cfg.Name, Config: *configPath, Filter: *filter,
+		Seed: *seed, Workers: w, Stamp: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	start := time.Now()
+	done := 0
+	progress := func(cr sweep.CellResult) {
+		done++
+		if *quiet {
+			return
 		}
-		fatal(rw.Close())
+		fmt.Printf("[%*d/%d] %-52s %s\n", digits(total), done, total, cr.Cell.Key, summarizeCell(cr))
+	}
+
+	var rs *sweep.Results
+	if *shards > 1 {
+		rs = runSharded(plan, st, meta, shardConfig{
+			shards: *shards, config: *configPath, filter: *filter, seed: *seed,
+			workers: w, batch: *batch, segOn: segOn, segBudget: segBudget,
+			elastic: *execName == "elastic",
+		}, progress)
+	} else {
+		ex := buildExecutor(*execName, w, *seed, *batch, segOn, segBudget)
+		ch, streamed, err := plan.Execute(context.Background(), ex)
+		fatal(err)
+		for cr := range ch {
+			progress(cr)
+		}
+		rs = streamed
+		if st != nil {
+			rw, err := st.Begin(meta)
+			fatal(err)
+			for _, cr := range rs.Cells {
+				fatal(rw.Append(storeRecord(cr)))
+			}
+			fatal(rw.Close())
+		}
+	}
+	wall := time.Since(start)
+	fmt.Printf("sweep done: %d cells in %v (%d failed)\n", len(rs.Cells), wall.Round(time.Millisecond), len(rs.Failed()))
+	for _, f := range rs.Failed() {
+		fmt.Printf("  FAILED %s: %s\n", f.Cell.Key, f.Err)
+	}
+	if st != nil {
 		fmt.Printf("stored run %s in %s (%d cells indexed)\n", runID, *storeDir, len(rs.Cells))
 		if len(prev) > 0 {
 			reportStoreDiff(prev, rs)
@@ -158,6 +212,243 @@ func runSweepCmd(args []string) {
 	}
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// workerPlan resolves a shard request into the full sweep plan — the
+// worker-side twin of the coordinator's planning, sharing one config
+// file so both sides always expand identical cells.
+func workerPlan(req shard.Request) (*sweep.Plan, error) {
+	cfg, err := sweep.LoadConfig(req.Config)
+	if err != nil {
+		return nil, err
+	}
+	groups, err := experiments.GroupsForConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.PlanGroups(groups, req.Filter, req.Seed)
+}
+
+type shardConfig struct {
+	shards         int
+	config, filter string
+	seed           uint64
+	workers, batch int
+	segOn          bool
+	segBudget      uint64
+	elastic        bool
+}
+
+// runSharded executes the plan across OS-process shards, streaming
+// per-shard partial runs into the store as cells arrive and folding
+// them into one complete, indexed run at the end. A shard failure
+// leaves the partial runs on disk for diagnosis and exits nonzero.
+func runSharded(plan *sweep.Plan, st *resultstore.Store, meta resultstore.Meta,
+	sc shardConfig, progress func(sweep.CellResult)) *sweep.Results {
+
+	exe, err := os.Executable()
+	fatal(err)
+	spawn := func(i int) (*shard.Proc, error) {
+		cmd := exec.Command(exe, "sweep", "-shard-worker")
+		cmd.Stderr = os.Stderr
+		in, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, err
+		}
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		return &shard.Proc{In: in, Out: out, Wait: cmd.Wait,
+			Kill: cmd.Process.Kill}, nil
+	}
+
+	// Per-shard partial writers: every streamed cell is on disk before
+	// the merge, so a crashed shard loses nothing already harvested.
+	var writers []*resultstore.RunWriter
+	var partIDs []string
+	if st != nil {
+		for i := 0; i < sc.shards; i++ {
+			pm := meta
+			pm.Run = fmt.Sprintf("%s-s%dof%d", meta.Run, i, sc.shards)
+			pm.Partial = true
+			pm.Shard = fmt.Sprintf("%d/%d", i, sc.shards)
+			rw, err := st.Begin(pm)
+			fatal(err)
+			writers = append(writers, rw)
+			partIDs = append(partIDs, pm.Run)
+		}
+	}
+
+	co := &shard.Coordinator{
+		Shards: sc.shards,
+		Req: shard.Request{
+			Config: sc.config, Filter: sc.filter, Seed: sc.seed,
+			Workers: sc.workers, ClockBatch: sc.batch,
+			Segment: sc.segOn, SegmentBudget: sc.segBudget, Elastic: sc.elastic,
+		},
+		Spawn: spawn,
+	}
+	rs, runErr := co.Run(context.Background(), plan, func(cr sweep.CellResult) {
+		if st != nil {
+			fatal(writers[sweep.ShardOf(cr.Cell.Key, sc.shards)].Append(storeRecord(cr)))
+		}
+		progress(cr)
+	})
+	for _, rw := range writers {
+		fatal(rw.Close())
+	}
+	if runErr != nil {
+		if st != nil {
+			fmt.Fprintf(os.Stderr, "nf-bench sweep: partial shard runs preserved in %s: %s\n",
+				st.Dir(), strings.Join(partIDs, ", "))
+		}
+		fatal(runErr)
+	}
+	if st != nil {
+		n, err := st.MergeRuns(meta, partIDs, plan.Keys())
+		fatal(err)
+		fmt.Printf("merged %d partial runs into %s (%d cells)\n", len(partIDs), meta.Run, n)
+	}
+	return rs
+}
+
+// storeRecord flattens a cell result into a store record.
+func storeRecord(cr sweep.CellResult) resultstore.Record {
+	return resultstore.Record{
+		Key: cr.Cell.Key, Digest: cr.Digest, Seed: cr.Seed,
+		Values: cr.Values, Labels: cr.Labels,
+		SimPS: int64(cr.SimTime), Events: cr.Events, Err: cr.Err,
+	}
+}
+
+// runHistory implements -history: resolve the query to one cell and
+// report its digest and values across every stored (non-partial) run,
+// oldest first — the store-backed trend view of a scenario.
+func runHistory(storeDir, query string) {
+	st, err := resultstore.Open(storeDir)
+	fatal(err)
+	runs, err := st.Runs()
+	fatal(err)
+
+	type hit struct {
+		run string
+		rec resultstore.Record
+	}
+	var hits []hit
+	keys := map[string]bool{}
+	exact := false
+	for _, run := range runs {
+		m, recs, err := st.ReadRun(run)
+		fatal(err)
+		if m.Partial {
+			continue // shard fragments; their cells live in the merged run
+		}
+		for _, rec := range recs {
+			isExact := rec.Key == query || resultstore.Hash(rec.Key) == query
+			if !isExact && !strings.Contains(rec.Key, query) {
+				continue
+			}
+			if isExact && !exact {
+				// An exact key or hash match outranks substring hits:
+				// a full key must never be "ambiguous" just because it
+				// prefixes another key (frame=64 vs frame=640).
+				exact = true
+				hits = hits[:0]
+				keys = map[string]bool{}
+			}
+			if exact == isExact {
+				hits = append(hits, hit{run: run, rec: rec})
+				keys[rec.Key] = true
+			}
+		}
+	}
+	if len(keys) == 0 {
+		fmt.Fprintf(os.Stderr, "nf-bench sweep: no stored cell matches %q in %s\n", query, storeDir)
+		os.Exit(1)
+	}
+	if len(keys) > 1 {
+		// Substring queries must resolve to exactly one scenario; an
+		// exact key or hash always does.
+		list := make([]string, 0, len(keys))
+		for k := range keys {
+			list = append(list, k)
+		}
+		sort.Strings(list)
+		fmt.Fprintf(os.Stderr, "nf-bench sweep: %q matches %d cells; narrow it:\n", query, len(list))
+		for _, k := range list {
+			fmt.Fprintf(os.Stderr, "  %s  (hash %s)\n", k, resultstore.Hash(k))
+		}
+		os.Exit(1)
+	}
+
+	key := hits[0].rec.Key
+	fmt.Printf("history of %s (hash %s): %d stored runs\n\n", key, resultstore.Hash(key), len(hits))
+	// Column set is the union across runs: a measure that renamed its
+	// values mid-history still shows every metric that ever existed.
+	union := map[string]float64{}
+	for _, h := range hits {
+		for vk := range h.rec.Values {
+			union[vk] = 0
+		}
+	}
+	valKeys := sweep.SortKeys(union)
+	header := []string{"run", "digest", "Δ"}
+	header = append(header, valKeys...)
+	rows := [][]string{header}
+	changes := 0
+	prevDigest := ""
+	for _, h := range hits {
+		marker := ""
+		if prevDigest != "" && h.rec.Digest != prevDigest {
+			marker = "*"
+			changes++
+		}
+		prevDigest = h.rec.Digest
+		row := []string{h.run, h.rec.Digest, marker}
+		for _, vk := range valKeys {
+			if v, ok := h.rec.Values[vk]; ok {
+				row = append(row, fmt.Sprintf("%.6g", v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		if h.rec.Err != "" {
+			row[len(row)-1] += " ERR:" + h.rec.Err
+		}
+		rows = append(rows, row)
+	}
+	printAligned(rows)
+	fmt.Printf("\ndigest changed %d time(s) across %d runs", changes, len(hits))
+	if e, ok := st.Index()[resultstore.Hash(key)]; ok {
+		fmt.Printf("; latest digest %s (run %s)", e.Digest, e.Run)
+	}
+	fmt.Println()
+}
+
+// printAligned renders rows with per-column padding; row 0 is the
+// header.
+func printAligned(rows [][]string) {
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				fmt.Print("  ")
+			}
+			fmt.Printf("%-*s", widths[i], cell)
+		}
+		fmt.Println()
 	}
 }
 

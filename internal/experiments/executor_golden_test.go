@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/netfpga/fleet"
+	"repro/netfpga/sweep"
+	"repro/netfpga/sweep/shard"
+)
+
+// TestMain lets this test binary double as a shard worker: the
+// executor golden test re-execs itself with NF_SHARD_WORKER=1, so the
+// shard backend is exercised across REAL OS process boundaries — same
+// wiring as `nf-bench sweep -shard-worker`, same plan resolver
+// (GroupsForConfig), different binary.
+func TestMain(m *testing.M) {
+	if os.Getenv("NF_SHARD_WORKER") == "1" {
+		err := shard.Serve(context.Background(), os.Stdin, os.Stdout, workerPlanForTest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func workerPlanForTest(req shard.Request) (*sweep.Plan, error) {
+	cfg, err := sweep.LoadConfig(req.Config)
+	if err != nil {
+		return nil, err
+	}
+	groups, err := GroupsForConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.PlanGroups(groups, req.Filter, req.Seed)
+}
+
+// spawnSelf starts this test binary as a shard worker subprocess.
+func spawnSelf(t *testing.T) shard.Spawn {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(i int) (*shard.Proc, error) {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), "NF_SHARD_WORKER=1")
+		cmd.Stderr = os.Stderr
+		in, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, err
+		}
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		return &shard.Proc{In: in, Out: out, Wait: cmd.Wait,
+			Kill: cmd.Process.Kill}, nil
+	}
+}
+
+// TestExecutorBackendsMatchGolden is the acceptance gate of the
+// pluggable-backend refactor: every one of the 103 golden sweep digests
+// must be byte-identical whichever execution substrate runs it —
+//
+//   - the elastic local pool (two different Min/Max bounds, fast
+//     control period so resizing genuinely happens mid-batch), and
+//   - the multi-process shard backend at {1, 2, 4} shards, each worker
+//     process running {1, 4} local workers.
+//
+// TestGoldenSweep covers the fixed local pool at workers {1, 4, 8} and
+// TestSegmentedDeterministicAcrossWorkersAndBudgets the segmented pool;
+// together the three tests close the backend matrix.
+func TestExecutorBackendsMatchGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full backend matrix is slow")
+	}
+	groups := paperGroups(t)
+	g, err := sweep.ReadGolden(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (generate with TestGoldenSweep -update): %v", err)
+	}
+	check := func(label string, rs *sweep.Results) {
+		t.Helper()
+		for _, f := range rs.Failed() {
+			t.Errorf("%s: cell %s failed: %s", label, f.Cell.Key, f.Err)
+		}
+		if diffs := sweep.DiffGolden(g, rs, false); len(diffs) > 0 {
+			for _, d := range diffs {
+				t.Errorf("%s: golden mismatch:\n  %s", label, d)
+			}
+		}
+	}
+
+	for _, b := range [][2]int{{1, 4}, {2, 8}} {
+		e := &fleet.Elastic{Runner: fleet.Runner{BaseSeed: 0},
+			Min: b[0], Max: b[1], Interval: time.Millisecond}
+		rs, err := sweep.RunGroups(context.Background(), e, groups, "")
+		if err != nil {
+			t.Fatalf("elastic %v: %v", b, err)
+		}
+		check(fmt.Sprintf("elastic[%d,%d]", b[0], b[1]), rs)
+		if u := e.Utilization(); u == nil || !u.Elastic {
+			t.Errorf("elastic %v: batch did not run on the elastic backend", b)
+		}
+	}
+
+	plan, err := sweep.PlanGroups(groups, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configPath := filepath.Join("..", "..", "examples", "paper.sweep")
+	for _, shards := range []int{1, 2, 4} {
+		for _, workers := range []int{1, 4} {
+			co := &shard.Coordinator{
+				Shards: shards,
+				Req:    shard.Request{Config: configPath, Workers: workers},
+				Spawn:  spawnSelf(t),
+			}
+			rs, err := co.Run(context.Background(), plan, nil)
+			if err != nil {
+				t.Fatalf("shards=%d workers=%d: %v", shards, workers, err)
+			}
+			check(fmt.Sprintf("shards=%d,workers=%d", shards, workers), rs)
+		}
+	}
+}

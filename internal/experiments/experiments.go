@@ -81,15 +81,16 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// Experiment is one runnable experiment. Run receives the fleet runner
-// that executes the experiment's devices: a sequential runner reproduces
-// the classic one-device-at-a-time behaviour, a parallel runner shards
-// the same jobs across workers with identical results (each device is
-// seeded and stepped independently).
+// Experiment is one runnable experiment. Run receives the fleet
+// execution backend that executes the experiment's devices: a
+// sequential runner reproduces the classic one-device-at-a-time
+// behaviour, a parallel or elastic backend shards the same jobs across
+// workers with identical results (each device is seeded and stepped
+// independently).
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(r *fleet.Runner) []*Table
+	Run   func(ex fleet.Executor) []*Table
 }
 
 // Def is one experiment expressed as a sweep: its scenario groups (spec
@@ -106,15 +107,28 @@ type Def struct {
 	Render func(rs *sweep.Results) []*Table
 }
 
-// Experiment adapts the definition to the classic Run interface: expand
-// every group, execute the flat batch on the runner, render.
-func (d Def) Experiment() Experiment {
-	return Experiment{ID: d.ID, Title: d.Title, Run: func(r *fleet.Runner) []*Table {
-		rs, err := sweep.RunGroups(context.Background(), r, d.Groups, "")
-		if err != nil {
-			panic(err)
+// RunStreamed executes the definition's groups on the backend,
+// invoking onCell (when non-nil) for every finished cell in completion
+// order — the hook nf-bench's incremental table rendering hangs
+// progress off — and renders the tables once the batch drains.
+func (d Def) RunStreamed(ex fleet.Executor, onCell func(sweep.CellResult)) []*Table {
+	ch, rs, err := sweep.RunStreamGroups(context.Background(), ex, d.Groups, "")
+	if err != nil {
+		panic(err)
+	}
+	for cr := range ch {
+		if onCell != nil {
+			onCell(cr)
 		}
-		return d.Render(rs)
+	}
+	return d.Render(rs)
+}
+
+// Experiment adapts the definition to the classic Run interface: expand
+// every group, execute the flat batch on the backend, render.
+func (d Def) Experiment() Experiment {
+	return Experiment{ID: d.ID, Title: d.Title, Run: func(ex fleet.Executor) []*Table {
+		return d.RunStreamed(ex, nil)
 	}}
 }
 

@@ -40,6 +40,12 @@ type Meta struct {
 	// Stamp is a human timestamp (informational only; never part of
 	// any digest).
 	Stamp string `json:"stamp,omitempty"`
+	// Partial marks a shard's partial run: it records one partition of
+	// a sweep, is excluded from the index, and is meant to be folded
+	// into a complete run by MergeRuns.
+	Partial bool `json:"partial,omitempty"`
+	// Shard labels a partial run's partition ("0/4").
+	Shard string `json:"shard,omitempty"`
 }
 
 // Record is one executed cell.
@@ -190,7 +196,9 @@ func (rw *RunWriter) Append(rec Record) error {
 	return rw.err
 }
 
-// Close flushes the run file and updates the index atomically.
+// Close flushes the run file and updates the index atomically. Partial
+// runs never enter the index — only complete (merged) runs define "the
+// latest digest" of a scenario.
 func (rw *RunWriter) Close() error {
 	if rw.err == nil {
 		rw.err = rw.w.Flush()
@@ -198,7 +206,7 @@ func (rw *RunWriter) Close() error {
 	if cerr := rw.f.Close(); rw.err == nil {
 		rw.err = cerr
 	}
-	if rw.err != nil {
+	if rw.err != nil || rw.meta.Partial {
 		return rw.err
 	}
 	for _, rec := range rw.recs {
@@ -261,6 +269,104 @@ func (st *Store) RunDigests(run string) (map[string]string, error) {
 		out[r.Key] = r.Digest
 	}
 	return out, nil
+}
+
+// MergeRuns folds several (typically partial, per-shard) runs into one
+// new complete run: the union of their cell records, deduplicated by
+// key. Records for the same key must agree byte-for-byte on their
+// digest — overlapping shards that disagree mean a determinism bug, and
+// the merge refuses rather than pick a side. expect, when non-nil,
+// lists the keys the merged run must cover (the coordinator's plan);
+// any missing key aborts the merge, so a partial shard failure can
+// never masquerade as a complete run. The inputs stay on disk untouched
+// (the store is append-only); only the merged run enters the index.
+// Records are written in sorted key order, and the merge returns the
+// number of cells written.
+func (st *Store) MergeRuns(meta Meta, parts []string, expect []string) (int, error) {
+	if len(parts) == 0 {
+		return 0, fmt.Errorf("resultstore: merge of no runs")
+	}
+	merged := map[string]Record{}
+	from := map[string]string{}
+	for _, part := range parts {
+		_, recs, err := st.ReadRun(part)
+		if err != nil {
+			return 0, fmt.Errorf("resultstore: merge: %w", err)
+		}
+		for _, rec := range recs {
+			if prev, ok := merged[rec.Key]; ok {
+				if prev.Digest != rec.Digest {
+					return 0, fmt.Errorf("resultstore: merge conflict: cell %s has digest %s in %s but %s in %s",
+						rec.Key, prev.Digest, from[rec.Key], rec.Digest, part)
+				}
+				continue // identical overlap: dedup
+			}
+			merged[rec.Key] = rec
+			from[rec.Key] = part
+		}
+	}
+	if expect != nil {
+		var missing []string
+		for _, k := range expect {
+			if _, ok := merged[k]; !ok {
+				missing = append(missing, k)
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			return 0, fmt.Errorf("resultstore: merge incomplete: %d of %d expected cells missing (first: %s)",
+				len(missing), len(expect), missing[0])
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	meta.Partial = false
+	rw, err := st.Begin(meta)
+	if err != nil {
+		return 0, err
+	}
+	for _, k := range keys {
+		if err := rw.Append(merged[k]); err != nil {
+			// Close (never indexes after a write error) and drop the
+			// truncated target so a rebuild can't mistake it for a
+			// complete run.
+			_ = rw.Close()
+			_ = os.Remove(st.runPath(meta.Run))
+			return 0, err
+		}
+	}
+	return len(keys), rw.Close()
+}
+
+// RebuildIndex reconstructs index.json from nothing but the run files:
+// complete runs are replayed in sorted run-id order (run ids are
+// timestamps, so later runs win), partial runs are skipped, and the
+// rebuilt index is written atomically. It returns the number of indexed
+// scenarios. This is the recovery path for a lost or corrupt index —
+// the JSONL run log is the system of record.
+func (st *Store) RebuildIndex() (int, error) {
+	runs, err := st.Runs()
+	if err != nil {
+		return 0, err
+	}
+	index := map[string]IndexEntry{}
+	for _, run := range runs {
+		meta, recs, err := st.ReadRun(run)
+		if err != nil {
+			return 0, fmt.Errorf("resultstore: rebuild: %w", err)
+		}
+		if meta.Partial {
+			continue
+		}
+		for _, rec := range recs {
+			index[Hash(rec.Key)] = IndexEntry{Key: rec.Key, Digest: rec.Digest, Run: run}
+		}
+	}
+	st.index = index
+	return len(index), st.writeIndex()
 }
 
 // Diff compares two digest maps and returns human-readable difference

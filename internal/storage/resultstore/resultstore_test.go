@@ -132,6 +132,166 @@ func TestCorruptLineReported(t *testing.T) {
 	}
 }
 
+// writePartial records one shard's partial run.
+func writePartial(t *testing.T, st *Store, run, shard string, recs ...Record) {
+	t.Helper()
+	rw, err := st.Begin(Meta{Run: run, Partial: true, Shard: shard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := rw.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergePartialRuns: the shard-backend storage path — per-shard
+// partial runs fold into one indexed complete run; partials never touch
+// the index; identical overlaps dedup.
+func TestMergePartialRuns(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writePartial(t, st, "m-s0", "0/2", rec("a/x=1", "d1", 11), rec("a/x=3", "d3", 13))
+	writePartial(t, st, "m-s1", "1/2", rec("a/x=2", "d2", 12),
+		// Identical overlap with shard 0 (e.g. a retried cell): legal.
+		rec("a/x=1", "d1", 11))
+	if len(st.Index()) != 0 {
+		t.Fatalf("partial runs leaked into the index: %v", st.Index())
+	}
+
+	expect := []string{"a/x=1", "a/x=2", "a/x=3"}
+	n, err := st.MergeRuns(Meta{Run: "m", Name: "demo", Seed: 7}, []string{"m-s0", "m-s1"}, expect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("merged %d cells, want 3", n)
+	}
+	meta, recs, err := st.ReadRun("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Partial || meta.Name != "demo" {
+		t.Errorf("merged meta mangled: %+v", meta)
+	}
+	if len(recs) != 3 || recs[0].Key != "a/x=1" || recs[1].Key != "a/x=2" || recs[2].Key != "a/x=3" {
+		t.Errorf("merged records wrong: %+v", recs)
+	}
+	// Only the merged run is indexed, and it wins for every key.
+	for _, k := range expect {
+		if e := st.Index()[Hash(k)]; e.Run != "m" {
+			t.Errorf("cell %s indexed from %q, want merged run", k, e.Run)
+		}
+	}
+	// The partial inputs are still on disk, untouched.
+	if runs, _ := st.Runs(); len(runs) != 3 {
+		t.Errorf("append-only violated: runs = %v", runs)
+	}
+}
+
+// TestMergeConflictsAndFailures: overlapping records that disagree on
+// digest abort the merge, as does a partial shard failure (expected
+// cells missing), and a merge target colliding with an existing run id.
+func TestMergeConflictsAndFailures(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writePartial(t, st, "c-s0", "0/2", rec("k", "digestA", 1))
+	writePartial(t, st, "c-s1", "1/2", rec("k", "digestB", 1))
+	if _, err := st.MergeRuns(Meta{Run: "c"}, []string{"c-s0", "c-s1"}, nil); err == nil ||
+		!strings.Contains(err.Error(), "conflict") {
+		t.Errorf("digest conflict not detected: %v", err)
+	}
+
+	// Partial shard failure: shard 1's cells never arrived.
+	writePartial(t, st, "p-s0", "0/2", rec("a", "d1", 1))
+	if _, err := st.MergeRuns(Meta{Run: "p"}, []string{"p-s0"}, []string{"a", "b"}); err == nil ||
+		!strings.Contains(err.Error(), "missing") {
+		t.Errorf("missing cells not detected: %v", err)
+	}
+	// The failed merges must not have produced indexed runs.
+	if len(st.Index()) != 0 {
+		t.Errorf("failed merge polluted the index: %v", st.Index())
+	}
+
+	// Overlapping run IDs: the merge target must be fresh.
+	writePartial(t, st, "o-s0", "0/1", rec("a", "d1", 1))
+	if _, err := st.MergeRuns(Meta{Run: "o-s0"}, []string{"o-s0"}, nil); err == nil {
+		t.Error("merge over an existing run id accepted")
+	}
+	// And merging nothing is an error, not an empty run.
+	if _, err := st.MergeRuns(Meta{Run: "z"}, nil, nil); err == nil {
+		t.Error("merge of no runs accepted")
+	}
+}
+
+// TestRebuildIndex: the index is fully reconstructible from the JSONL
+// run log — later runs win, partial runs are skipped, and the rebuilt
+// file survives reopening.
+func TestRebuildIndex(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []struct{ run, digest string }{{"r1", "old"}, {"r2", "new"}} {
+		rw, err := st.Begin(Meta{Run: r.run})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rw.Append(rec("k", r.digest, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := rw.Append(rec("only-"+r.run, "d-"+r.run, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := rw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writePartial(t, st, "r3-s0", "0/2", rec("k", "partial-digest", 1))
+
+	// Lose the index; rebuild must recover exactly the pre-loss state.
+	if err := os.Remove(filepath.Join(dir, "index.json")); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.Index()) != 0 {
+		t.Fatalf("index resurrected without rebuild: %v", st2.Index())
+	}
+	n, err := st2.RebuildIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("rebuilt %d entries, want 3", n)
+	}
+	if e := st2.Index()[Hash("k")]; e.Digest != "new" || e.Run != "r2" {
+		t.Errorf("rebuild did not prefer the latest run: %+v", e)
+	}
+	if e := st2.Index()[Hash("only-r1")]; e.Digest != "d-r1" {
+		t.Errorf("rebuild lost r1-only cell: %+v", e)
+	}
+	// Persisted: a fresh open sees the rebuilt index.
+	st3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st3.Index()) != 3 {
+		t.Errorf("rebuilt index not persisted: %v", st3.Index())
+	}
+}
+
 func TestDiff(t *testing.T) {
 	old := map[string]string{"a": "1", "b": "2", "c": "3"}
 	new := map[string]string{"a": "1", "b": "9", "d": "4"}

@@ -1,0 +1,163 @@
+package fleet
+
+import (
+	"context"
+	"runtime"
+	"time"
+)
+
+// Elastic is the elastic local execution backend: the segmented
+// work-stealing scheduler with a worker pool that grows and shrinks
+// mid-batch. A controller goroutine samples the pool every Interval
+// and uses the live Utilization busy counters plus the scheduler's
+// queue state as its feedback signal:
+//
+//   - grow (spawn one worker) when runnable segments are queued, no
+//     worker is idle, and the pool spent essentially the whole last
+//     interval busy — adding hands when, and only when, they would be
+//     used;
+//   - shrink (retire one worker) when workers sit idle or the pool's
+//     busy fraction collapses — typically the batch tail, where fewer
+//     devices remain runnable than workers exist to run them.
+//
+// Resizing is scheduling only: per-job results are byte-identical to
+// any fixed-size pool, because a device's whole life stays on one
+// goroutine and seeds derive from (BaseSeed, index) alone. The batch
+// starts at Min workers; Max bounds growth.
+//
+// The embedded Runner supplies the configuration (BaseSeed, ClockBatch,
+// SegmentBudget); its Workers and Segment fields are ignored — an
+// Elastic batch is always segmented, sized by Min/Max. Use Execute or
+// RunAll; the promoted Runner methods would run a fixed pool.
+type Elastic struct {
+	Runner
+	// Min and Max bound the worker pool. Min <= 0 means 1; Max <= 0
+	// means GOMAXPROCS.
+	Min, Max int
+	// Interval is the controller's sampling period (0 means 2ms).
+	Interval time.Duration
+}
+
+// NewElastic returns an elastic backend growing from min to at most max
+// workers.
+func NewElastic(min, max int) *Elastic { return &Elastic{Min: min, Max: max} }
+
+// bounds resolves the configured pool limits against the batch size.
+func (e *Elastic) bounds(jobs int) (min, max int, interval time.Duration) {
+	min, max = e.Min, e.Max
+	if min <= 0 {
+		min = 1
+	}
+	if max <= 0 {
+		max = runtime.GOMAXPROCS(0)
+	}
+	if max < min {
+		max = min
+	}
+	// A worker beyond the job count can never find a segment to run:
+	// each job's segments execute serially on its own goroutine.
+	if min > jobs {
+		min = jobs
+	}
+	if max > jobs {
+		max = jobs
+	}
+	interval = e.Interval
+	if interval <= 0 {
+		interval = 2 * time.Millisecond
+	}
+	return min, max, interval
+}
+
+// Execute implements Executor: run the batch on the elastic pool,
+// streaming results in completion order.
+func (e *Elastic) Execute(ctx context.Context, jobs []Job) <-chan Result {
+	out := make(chan Result)
+	go func() {
+		defer close(out)
+		e.run(ctx, jobs, func(res Result) { out <- res })
+	}()
+	return out
+}
+
+// RunAll executes the batch elastically and returns results in job
+// order.
+func (e *Elastic) RunAll(ctx context.Context, jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	e.run(ctx, jobs, func(res Result) { results[res.Index] = res })
+	return results
+}
+
+func (e *Elastic) run(ctx context.Context, jobs []Job, deliver func(Result)) {
+	if len(jobs) == 0 {
+		e.util.Store(&Utilization{Elastic: true, Segmented: true})
+		return
+	}
+	min, max, interval := e.bounds(len(jobs))
+	u := newUtilization(min, len(jobs), true)
+	u.Elastic = true
+	start := time.Now()
+
+	s := newSegScheduler(&e.Runner, ctx, jobs, min, u, deliver)
+	s.minW = min
+	s.start()
+	if max > min {
+		s.wg.Add(1)
+		go s.control(max, interval)
+	}
+	s.wg.Wait()
+
+	u.Wall = time.Since(start)
+	u.Workers = u.PeakWorkers
+	e.util.Store(u)
+}
+
+// control is the elastic controller goroutine: one resize decision per
+// interval, driven by queue state and the utilization busy delta. It
+// exits when the batch is done.
+func (s *segScheduler) control(max int, interval time.Duration) {
+	defer s.wg.Done()
+	lastBusy := s.u.BusyTotal()
+	for {
+		time.Sleep(interval)
+		s.mu.Lock()
+		if s.remaining == 0 {
+			s.mu.Unlock()
+			return
+		}
+		queued := 0
+		for _, q := range s.deques {
+			queued += len(q)
+		}
+		active, idle := s.active, s.idle
+		s.mu.Unlock()
+
+		busy := s.u.BusyTotal()
+		busyFrac := float64(busy-lastBusy) / (float64(interval) * float64(active))
+		lastBusy = busy
+
+		switch {
+		case queued > 0 && idle == 0 && busyFrac > 0.75 && active < max:
+			s.mu.Lock()
+			if s.remaining > 0 && s.active < max {
+				// A grow decision supersedes any retire the pool has
+				// not honoured yet — otherwise the fresh worker would
+				// consume the stale request and exit on its first
+				// take, turning the grow into a no-op.
+				s.retiring = 0
+				s.growLocked()
+				s.u.noteGrow(s.active)
+			}
+			s.mu.Unlock()
+		case active > s.minW && (idle > 0 || busyFrac < 0.5):
+			s.mu.Lock()
+			if s.active-s.retiring > s.minW {
+				s.retiring++
+				// Wake idle workers so one of them honours the
+				// retire request promptly.
+				s.cond.Broadcast()
+			}
+			s.mu.Unlock()
+		}
+	}
+}

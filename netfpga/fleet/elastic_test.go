@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestElasticDeterministic is the elastic backend's contract: growing
+// and shrinking the worker pool mid-batch is scheduling only — the
+// per-device results are byte-identical to a sequential fixed pool.
+func TestElasticDeterministic(t *testing.T) {
+	mkJobs := func() []Job {
+		jobs := make([]Job, 12)
+		for i := range jobs {
+			jobs[i] = switchJob(fmt.Sprintf("dev%d", i))
+		}
+		return jobs
+	}
+	seq := (&Runner{Workers: 1, BaseSeed: 42}).RunAll(context.Background(), mkJobs())
+	e := &Elastic{Runner: Runner{BaseSeed: 42}, Min: 1, Max: 4,
+		Interval: 500 * time.Microsecond}
+	ela := e.RunAll(context.Background(), mkJobs())
+	if len(ela) != len(seq) {
+		t.Fatalf("result count: %d vs %d", len(ela), len(seq))
+	}
+	for i := range seq {
+		if seq[i].Err != nil || ela[i].Err != nil {
+			t.Fatalf("job %d failed: seq=%v elastic=%v", i, seq[i].Err, ela[i].Err)
+		}
+		if a, b := fingerprint(seq[i]), fingerprint(ela[i]); a != b {
+			t.Errorf("job %d diverged between sequential and elastic:\n--- seq\n%s--- elastic\n%s", i, a, b)
+		}
+	}
+
+	u := e.Utilization()
+	if u == nil || !u.Elastic || !u.Segmented {
+		t.Fatalf("utilization not marked elastic+segmented: %+v", u)
+	}
+	// The controller must have actually exercised growth: 12 busy
+	// devices against a 1-worker start with a sub-millisecond control
+	// period leaves no excuse not to scale up.
+	if u.Grew == 0 {
+		t.Errorf("elastic pool never grew: %s", u)
+	}
+	if u.PeakWorkers <= 1 || u.PeakWorkers > 4 {
+		t.Errorf("peak workers %d outside (1, 4]", u.PeakWorkers)
+	}
+	if u.Segments < uint64(len(ela)) {
+		t.Errorf("segment count %d below job count", u.Segments)
+	}
+}
+
+// TestElasticStream: Execute streams each result exactly once and the
+// stream drains even when Max exceeds the job count.
+func TestElasticStream(t *testing.T) {
+	jobs := make([]Job, 5)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Name: fmt.Sprintf("s%d", i), NoDevice: true,
+			Drive: func(c *Ctx) (any, error) { return i * 3, nil }}
+	}
+	e := NewElastic(2, 16)
+	seen := map[int]any{}
+	for r := range e.Execute(context.Background(), jobs) {
+		if _, dup := seen[r.Index]; dup {
+			t.Fatalf("duplicate result %d", r.Index)
+		}
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", r.Index, r.Err)
+		}
+		seen[r.Index] = r.Value
+	}
+	for i := range jobs {
+		if seen[i] != i*3 {
+			t.Errorf("index %d: got %v", i, seen[i])
+		}
+	}
+}
+
+// TestElasticEmptyBatch: a zero-job batch completes and records an
+// elastic utilization report.
+func TestElasticEmptyBatch(t *testing.T) {
+	e := NewElastic(1, 4)
+	if res := e.RunAll(context.Background(), nil); len(res) != 0 {
+		t.Fatalf("unexpected results: %v", res)
+	}
+	if u := e.Utilization(); u == nil || !u.Elastic {
+		t.Fatalf("empty batch utilization: %+v", u)
+	}
+}
+
+// TestExecutorInterface: both local backends satisfy Executor and agree
+// on results through the interface.
+func TestExecutorInterface(t *testing.T) {
+	jobs := []Job{switchJob("a"), switchJob("b")}
+	backends := []struct {
+		name string
+		ex   Executor
+	}{
+		{"runner", &Runner{Workers: 2, BaseSeed: 7}},
+		{"segmented", &Runner{Workers: 2, BaseSeed: 7, Segment: true}},
+		{"elastic", &Elastic{Runner: Runner{BaseSeed: 7}, Min: 1, Max: 2}},
+	}
+	var want []string
+	for _, b := range backends {
+		if b.ex.SeedBase() != 7 {
+			t.Fatalf("%s: SeedBase %d", b.name, b.ex.SeedBase())
+		}
+		got := make([]string, len(jobs))
+		for r := range b.ex.Execute(context.Background(), jobs) {
+			if r.Err != nil {
+				t.Fatalf("%s job %d: %v", b.name, r.Index, r.Err)
+			}
+			got[r.Index] = fingerprint(r)
+		}
+		if b.ex.Utilization() == nil {
+			t.Errorf("%s: no utilization after Execute", b.name)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%s job %d diverged from %s:\n%s\nvs\n%s",
+					b.name, i, backends[0].name, got[i], want[i])
+			}
+		}
+	}
+}

@@ -65,6 +65,10 @@ func LoadConfig(path string) (*Config, error) {
 		if s.NoDevice {
 			return nil, fmt.Errorf("sweep: %s: scenario %q: no_device scenarios need a code-defined measure", path, s.Name)
 		}
+		if _, ok := builtinMeasure(s.Measure); !ok {
+			return nil, fmt.Errorf("sweep: %s: scenario %q: unknown measure %q (want generic or latency)",
+				path, s.Name, s.Measure)
+		}
 		if len(s.Projects) == 0 {
 			return nil, fmt.Errorf("sweep: %s: scenario %q has no projects", path, s.Name)
 		}
@@ -76,12 +80,25 @@ func LoadConfig(path string) (*Config, error) {
 	return &cfg, nil
 }
 
+// builtinMeasure resolves a spec's Measure name to the built-in it
+// selects.
+func builtinMeasure(name string) (Measure, bool) {
+	switch name {
+	case "", "generic":
+		return GenericMeasure, true
+	case "latency":
+		return LatencyMeasure, true
+	}
+	return nil, false
+}
+
 // ScenarioGroups returns the config's custom scenarios as runnable
-// groups (GenericMeasure-driven).
+// groups, each driven by the built-in measure its spec selects.
 func (cfg *Config) ScenarioGroups() []Group {
 	groups := make([]Group, len(cfg.Scenarios))
 	for i := range cfg.Scenarios {
-		groups[i] = Group{Spec: cfg.Scenarios[i], Measure: GenericMeasure}
+		m, _ := builtinMeasure(cfg.Scenarios[i].Measure)
+		groups[i] = Group{Spec: cfg.Scenarios[i], Measure: m}
 	}
 	return groups
 }

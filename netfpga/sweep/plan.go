@@ -1,0 +1,293 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/netfpga"
+	"repro/netfpga/fleet"
+)
+
+// Plan is a compiled sweep execution: every expanded cell paired with
+// its measure, plus the base seed cell seeds derive from. A plan is the
+// unit the execution backends share — execute it in-process on any
+// fleet.Executor, or partition it by canonical key (Shard) across OS
+// processes and merge the streamed records back (Merger). Because cell
+// seeds derive from (BaseSeed, key) and never from batch position,
+// every partition of a plan produces byte-identical per-cell digests.
+type Plan struct {
+	// Cells are the expanded scenarios in expansion order.
+	Cells []Cell
+	// BaseSeed is folded with each cell key to derive its seed.
+	BaseSeed uint64
+
+	measures []Measure // per cell
+	groupIdx []int     // per cell: owning group index
+	ngroups  int
+}
+
+// PlanGroups expands every group with the given filter into an
+// executable plan.
+func PlanGroups(groups []Group, filter string, baseSeed uint64) (*Plan, error) {
+	cells, off, err := ExpandGroups(groups, filter)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{Cells: cells, BaseSeed: baseSeed, ngroups: len(groups),
+		measures: make([]Measure, len(cells)), groupIdx: make([]int, len(cells))}
+	for gi := range groups {
+		for i := off[gi]; i < off[gi+1]; i++ {
+			if groups[gi].Measure == nil {
+				return nil, fmt.Errorf("sweep: group of cell %s has no measure", cells[i].Key)
+			}
+			p.measures[i] = groups[gi].Measure
+			p.groupIdx[i] = gi
+		}
+	}
+	return p, nil
+}
+
+// Keys returns the canonical cell keys in expansion order.
+func (p *Plan) Keys() []string {
+	keys := make([]string, len(p.Cells))
+	for i, c := range p.Cells {
+		keys[i] = c.Key
+	}
+	return keys
+}
+
+// groupOffsets derives Results group offsets from the per-cell group
+// indices (cells are in expansion order, so group indices are
+// nondecreasing).
+func (p *Plan) groupOffsets() []int {
+	off := make([]int, p.ngroups+1)
+	for _, gi := range p.groupIdx {
+		off[gi+1]++
+	}
+	for i := 1; i <= p.ngroups; i++ {
+		off[i] += off[i-1]
+	}
+	return off
+}
+
+// fnv64 is the 64-bit FNV-1a of a key — the one hash both seed
+// derivation (SeedForKey) and shard membership (ShardOf) fold, so the
+// two invariants can never drift apart.
+func fnv64(key string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// ShardOf maps a canonical cell key to a shard index in [0, n): the
+// key's FNV-1a, mod n. Membership is a pure function of the key alone
+// — never of expansion order, filters, or the other shards — so a
+// shard worker and its coordinator always agree on the partition, and
+// re-running one shard reproduces exactly its cells.
+func ShardOf(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(fnv64(key) % uint64(n))
+}
+
+// Shard returns the sub-plan of cells assigned to shard i of n,
+// preserving expansion order and group structure.
+func (p *Plan) Shard(i, n int) *Plan {
+	if n <= 1 {
+		return p
+	}
+	sub := &Plan{BaseSeed: p.BaseSeed, ngroups: p.ngroups}
+	for j, c := range p.Cells {
+		if ShardOf(c.Key, n) != i {
+			continue
+		}
+		sub.Cells = append(sub.Cells, c)
+		sub.measures = append(sub.measures, p.measures[j])
+		sub.groupIdx = append(sub.groupIdx, p.groupIdx[j])
+	}
+	return sub
+}
+
+// Jobs compiles every cell into a fleet job.
+func (p *Plan) Jobs() ([]fleet.Job, error) {
+	jobs := make([]fleet.Job, len(p.Cells))
+	for i, cell := range p.Cells {
+		job, err := jobFor(cell, p.measures[i], p.BaseSeed)
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = job
+	}
+	return jobs, nil
+}
+
+// Execute runs the plan on the executor and returns a channel
+// delivering each cell result as its device finishes (completion
+// order), plus the Results that will be fully populated — in expansion
+// order — once the channel closes. The caller must drain the channel.
+func (p *Plan) Execute(ctx context.Context, ex fleet.Executor) (<-chan CellResult, *Results, error) {
+	jobs, err := p.Jobs()
+	if err != nil {
+		return nil, nil, err
+	}
+	rs := &Results{
+		Cells:    make([]CellResult, len(p.Cells)),
+		groupOff: p.groupOffsets(),
+		byKey:    make(map[string]*CellResult, len(p.Cells)),
+	}
+	out := make(chan CellResult)
+	go func() {
+		defer close(out)
+		for res := range ex.Execute(ctx, jobs) {
+			cr := CellResult{
+				Cell:    p.Cells[res.Index],
+				Index:   res.Index,
+				Seed:    res.Seed,
+				SimTime: res.SimTime,
+				Events:  res.Events,
+			}
+			if res.Err != nil {
+				cr.Err = res.Err.Error()
+			} else if o, ok := res.Value.(Outcome); ok {
+				cr.Values, cr.Labels = o.Values, o.Labels
+			}
+			cr.Digest = cr.digest()
+			rs.Cells[res.Index] = cr
+			out <- cr
+		}
+		for i := range rs.Cells {
+			rs.byKey[rs.Cells[i].Cell.Key] = &rs.Cells[i]
+		}
+	}()
+	return out, rs, nil
+}
+
+// CellRecord is the flat, serializable form of a CellResult — what
+// crosses process boundaries in distributed backends and what the
+// results store persists. It carries everything the digest covers.
+type CellRecord struct {
+	Key    string             `json:"key"`
+	Seed   uint64             `json:"seed"`
+	Values map[string]float64 `json:"values,omitempty"`
+	Labels map[string]string  `json:"labels,omitempty"`
+	SimPS  int64              `json:"sim_ps,omitempty"`
+	Events uint64             `json:"events,omitempty"`
+	Err    string             `json:"err,omitempty"`
+	Digest string             `json:"digest"`
+}
+
+// Record flattens a cell result for the wire or the store.
+func (r CellResult) Record() CellRecord {
+	return CellRecord{
+		Key: r.Cell.Key, Seed: r.Seed, Values: r.Values, Labels: r.Labels,
+		SimPS: int64(r.SimTime), Events: r.Events, Err: r.Err, Digest: r.Digest,
+	}
+}
+
+// Merger folds externally executed cell records back into a plan's
+// result set, in expansion order. It is the coordinator half of the
+// shard backend: every record must belong to the plan, arrive at most
+// once, and — the wire-integrity check — reproduce its transmitted
+// digest when the digest is recomputed locally from the record's
+// content. Safe for concurrent Place calls.
+type Merger struct {
+	plan *Plan
+	rs   *Results
+
+	mu     sync.Mutex
+	pos    map[string]int
+	filled []bool
+	n      int
+}
+
+// Merger returns an empty result set for the plan, to be filled by
+// Place.
+func (p *Plan) Merger() *Merger {
+	m := &Merger{
+		plan: p,
+		rs: &Results{
+			Cells:    make([]CellResult, len(p.Cells)),
+			groupOff: p.groupOffsets(),
+			byKey:    make(map[string]*CellResult, len(p.Cells)),
+		},
+		pos:    make(map[string]int, len(p.Cells)),
+		filled: make([]bool, len(p.Cells)),
+	}
+	for i, c := range p.Cells {
+		m.pos[c.Key] = i
+	}
+	return m
+}
+
+// Place merges one record and returns the reconstructed cell result.
+func (m *Merger) Place(rec CellRecord) (CellResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i, ok := m.pos[rec.Key]
+	if !ok {
+		return CellResult{}, fmt.Errorf("sweep: merge: cell %q is not in the plan", rec.Key)
+	}
+	if m.filled[i] {
+		return CellResult{}, fmt.Errorf("sweep: merge: cell %q delivered twice", rec.Key)
+	}
+	cr := CellResult{
+		Cell:    m.plan.Cells[i],
+		Index:   i,
+		Seed:    rec.Seed,
+		Values:  rec.Values,
+		Labels:  rec.Labels,
+		SimTime: netfpga.Time(rec.SimPS),
+		Events:  rec.Events,
+		Err:     rec.Err,
+	}
+	cr.Digest = cr.digest()
+	if rec.Digest == "" {
+		// Every legitimate producer stamps the digest; an empty one is
+		// a protocol violation, not a check to skip.
+		return CellResult{}, fmt.Errorf("sweep: merge: cell %q record carries no digest", rec.Key)
+	}
+	if rec.Digest != cr.Digest {
+		return CellResult{}, fmt.Errorf("sweep: merge: cell %q digest %s does not survive the wire (recomputed %s)",
+			rec.Key, rec.Digest, cr.Digest)
+	}
+	m.filled[i] = true
+	m.n++
+	m.rs.Cells[i] = cr
+	return cr, nil
+}
+
+// Missing returns the keys of plan cells no record has filled, sorted.
+func (m *Merger) Missing() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for i, f := range m.filled {
+		if !f {
+			out = append(out, m.plan.Cells[i].Key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Results seals and returns the merged result set; it fails when any
+// plan cell is still missing (a partial shard failure must never
+// silently masquerade as a complete run).
+func (m *Merger) Results() (*Results, error) {
+	if missing := m.Missing(); len(missing) > 0 {
+		return nil, fmt.Errorf("sweep: merge incomplete: %d of %d cells missing (first: %s)",
+			len(missing), len(m.plan.Cells), missing[0])
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.rs.Cells {
+		m.rs.byKey[m.rs.Cells[i].Cell.Key] = &m.rs.Cells[i]
+	}
+	return m.rs, nil
+}

@@ -6,7 +6,6 @@ import (
 	"encoding/hex"
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 
 	"repro/netfpga"
@@ -167,12 +166,7 @@ func (rs *Results) Failed() []CellResult {
 // Independence from batch position is what keeps filtered or reordered
 // sweeps byte-identical to full ones, cell for cell.
 func SeedForKey(base uint64, key string) uint64 {
-	h := uint64(0xcbf29ce484222325)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= 0x100000001b3
-	}
-	z := h ^ base
+	z := fnv64(key) ^ base
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	z ^= z >> 31
@@ -250,11 +244,11 @@ func ExpandGroups(groups []Group, filter string) ([]Cell, []int, error) {
 	return cells, off, nil
 }
 
-// RunGroups expands and executes every group on the runner and returns
-// the full result set in cell order. Per-cell failures are recorded in
-// the results, not returned as an error.
-func RunGroups(ctx context.Context, r *fleet.Runner, groups []Group, filter string) (*Results, error) {
-	ch, rs, err := RunStreamGroups(ctx, r, groups, filter)
+// RunGroups expands and executes every group on the executor and
+// returns the full result set in cell order. Per-cell failures are
+// recorded in the results, not returned as an error.
+func RunGroups(ctx context.Context, ex fleet.Executor, groups []Group, filter string) (*Results, error) {
+	ch, rs, err := RunStreamGroups(ctx, ex, groups, filter)
 	if err != nil {
 		return nil, err
 	}
@@ -263,61 +257,16 @@ func RunGroups(ctx context.Context, r *fleet.Runner, groups []Group, filter stri
 	return rs, nil
 }
 
-// RunStreamGroups starts the batch and returns a channel delivering each
-// cell result as its device finishes (completion order), plus the
-// Results that will be fully populated — in expansion order — once the
-// channel closes. The caller must drain the channel.
-func RunStreamGroups(ctx context.Context, r *fleet.Runner, groups []Group, filter string) (<-chan CellResult, *Results, error) {
-	cells, off, err := ExpandGroups(groups, filter)
+// RunStreamGroups plans the groups against the executor's base seed and
+// starts the batch: the returned channel delivers each cell result as
+// its device finishes (completion order), and the Results is fully
+// populated — in expansion order — once the channel closes. The caller
+// must drain the channel. This is the convenience path over
+// PlanGroups + Plan.Execute.
+func RunStreamGroups(ctx context.Context, ex fleet.Executor, groups []Group, filter string) (<-chan CellResult, *Results, error) {
+	p, err := PlanGroups(groups, filter, ex.SeedBase())
 	if err != nil {
 		return nil, nil, err
 	}
-	rs := &Results{
-		Cells:    make([]CellResult, len(cells)),
-		groupOff: off,
-		byKey:    make(map[string]*CellResult, len(cells)),
-	}
-	jobs := make([]fleet.Job, len(cells))
-	measureOf := func(i int) Measure {
-		// Group index of cell i: off is sorted, one binary search.
-		gi := sort.SearchInts(off[1:], i+1)
-		return groups[gi].Measure
-	}
-	for i, cell := range cells {
-		m := measureOf(i)
-		if m == nil {
-			return nil, nil, fmt.Errorf("sweep: group of cell %s has no measure", cell.Key)
-		}
-		job, err := jobFor(cell, m, r.BaseSeed)
-		if err != nil {
-			return nil, nil, err
-		}
-		jobs[i] = job
-	}
-
-	out := make(chan CellResult)
-	go func() {
-		defer close(out)
-		for res := range r.RunStream(ctx, jobs) {
-			cr := CellResult{
-				Cell:    cells[res.Index],
-				Index:   res.Index,
-				Seed:    res.Seed,
-				SimTime: res.SimTime,
-				Events:  res.Events,
-			}
-			if res.Err != nil {
-				cr.Err = res.Err.Error()
-			} else if o, ok := res.Value.(Outcome); ok {
-				cr.Values, cr.Labels = o.Values, o.Labels
-			}
-			cr.Digest = cr.digest()
-			rs.Cells[res.Index] = cr
-			out <- cr
-		}
-		for i := range rs.Cells {
-			rs.byKey[rs.Cells[i].Cell.Key] = &rs.Cells[i]
-		}
-	}()
-	return out, rs, nil
+	return p.Execute(ctx, ex)
 }

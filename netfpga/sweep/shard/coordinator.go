@@ -1,0 +1,192 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/netfpga/sweep"
+)
+
+// Proc is one spawned worker as the coordinator sees it: the pipe to
+// its stdin, the pipe from its stdout, a Wait that reaps it, and an
+// optional Kill that terminates it early (context cancellation would
+// otherwise be unable to interrupt a blocking frame read). The
+// exec.Cmd wiring lives with the caller (cmd/nf-bench spawns its own
+// binary; tests re-exec the test binary) so the coordinator itself
+// stays process-package-free and testable over plain pipes.
+type Proc struct {
+	In   io.WriteCloser
+	Out  io.Reader
+	Wait func() error
+	Kill func() error
+}
+
+// Spawn starts worker i and returns its process handles.
+type Spawn func(shard int) (*Proc, error)
+
+// Coordinator fans a sweep plan out across Shards worker processes and
+// merges their streamed records back into one result set.
+type Coordinator struct {
+	// Shards is the partition count (>= 1).
+	Shards int
+	// Req is the request template; Shard and Shards are filled in per
+	// worker.
+	Req Request
+	// Spawn starts one worker process.
+	Spawn Spawn
+}
+
+// Run executes the plan across the shard fleet. onCell, when non-nil,
+// observes every merged cell as it arrives (completion order across all
+// shards; called from one goroutine). The merged Results is in
+// expansion order. Any worker failure, protocol violation, digest
+// mismatch, or missing cell fails the run — after every shard has been
+// given the chance to finish, so onCell has seen everything that did
+// complete (a partial harvest the caller may still persist).
+func (co *Coordinator) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.CellResult)) (*sweep.Results, error) {
+	if co.Shards < 1 {
+		return nil, fmt.Errorf("shard: coordinator needs >= 1 shards, got %d", co.Shards)
+	}
+	if co.Spawn == nil {
+		return nil, fmt.Errorf("shard: coordinator has no Spawn function")
+	}
+	m := plan.Merger()
+
+	type arrival struct {
+		rec   sweep.CellRecord
+		shard int
+	}
+	cells := make(chan arrival)
+	errs := make([]error, co.Shards)
+	var wg sync.WaitGroup
+	for i := 0; i < co.Shards; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = co.runShard(ctx, i, func(rec sweep.CellRecord) {
+				cells <- arrival{rec: rec, shard: i}
+			})
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(cells)
+	}()
+
+	// Single merge loop: Place validates membership, uniqueness and
+	// digest integrity; onCell streams progress.
+	var mergeErr error
+	for a := range cells {
+		cr, err := m.Place(a.rec)
+		if err != nil {
+			if mergeErr == nil {
+				mergeErr = fmt.Errorf("shard %d: %w", a.shard, err)
+			}
+			continue
+		}
+		if onCell != nil {
+			onCell(cr)
+		}
+	}
+
+	var all []error
+	for i, err := range errs {
+		if err != nil {
+			all = append(all, fmt.Errorf("shard %d/%d: %w", i, co.Shards, err))
+		}
+	}
+	if mergeErr != nil {
+		all = append(all, mergeErr)
+	}
+	if len(all) > 0 {
+		return nil, errors.Join(all...)
+	}
+	rs, err := m.Results()
+	if err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// runShard drives one worker process: spawn, send the request, relay
+// every cell record, verify the Done count, reap.
+func (co *Coordinator) runShard(ctx context.Context, i int, deliver func(sweep.CellRecord)) error {
+	proc, err := co.Spawn(i)
+	if err != nil {
+		return fmt.Errorf("spawn: %w", err)
+	}
+	reaped := false
+	reap := func() error {
+		if reaped || proc.Wait == nil {
+			return nil
+		}
+		reaped = true
+		return proc.Wait()
+	}
+	defer func() {
+		if !reaped {
+			// Error path: unblock a worker stuck writing to the full
+			// pipe so the reap cannot deadlock, then best-effort reap.
+			go func() { _, _ = io.Copy(io.Discard, proc.Out) }()
+			_ = reap()
+		}
+	}()
+
+	if proc.Kill != nil {
+		// ReadFrame blocks on the pipe; a cancelled context must be
+		// able to unblock it by taking the worker down.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				_ = proc.Kill()
+			case <-stop:
+			}
+		}()
+	}
+
+	req := co.Req
+	req.Shard, req.Shards = i, co.Shards
+	if err := WriteFrame(proc.In, req); err != nil {
+		return fmt.Errorf("sending request: %w", err)
+	}
+	if err := proc.In.Close(); err != nil {
+		return fmt.Errorf("closing request pipe: %w", err)
+	}
+
+	n := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var f Frame
+		if err := ReadFrame(proc.Out, &f); err != nil {
+			if err == io.EOF {
+				return fmt.Errorf("worker exited after %d cells without a done frame (wait: %v)", n, reap())
+			}
+			return err
+		}
+		switch {
+		case f.Cell != nil:
+			deliver(*f.Cell)
+			n++
+		case f.Done != nil:
+			if f.Done.Cells != n {
+				return fmt.Errorf("worker reports %d cells, coordinator saw %d", f.Done.Cells, n)
+			}
+			if err := reap(); err != nil {
+				return fmt.Errorf("worker exit: %w", err)
+			}
+			return nil
+		case f.Err != "":
+			return fmt.Errorf("worker failed: %s", f.Err)
+		default:
+			return fmt.Errorf("empty frame after %d cells", n)
+		}
+	}
+}

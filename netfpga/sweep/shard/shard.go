@@ -1,0 +1,114 @@
+// Package shard is the multi-process execution backend for scenario
+// sweeps: a coordinator partitions a compiled sweep plan by canonical
+// cell key (sweep.ShardOf), runs each partition in its own OS process,
+// and merges the streamed cell records back into one result set with
+// digests byte-identical to a single-process run.
+//
+// The wire protocol is deliberately minimal: length-prefixed JSON
+// frames over the worker's stdin/stdout. The coordinator writes exactly
+// one Request frame; the worker answers with one Frame per executed
+// cell (completion order) followed by a final Done frame, or an Err
+// frame if it cannot run at all. Anything a worker prints to stderr
+// passes through untouched for debugging.
+//
+// Determinism is inherited, not negotiated: cell seeds derive from
+// (base seed, canonical key) and shard membership is a pure function of
+// the key, so the records a worker produces are byte-identical to what
+// the same cells produce in-process — the coordinator recomputes every
+// digest from the received content and refuses records that do not
+// survive the wire.
+package shard
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/netfpga/sweep"
+)
+
+// MaxFrame bounds a frame's payload; a length prefix beyond it aborts
+// the stream (corrupt peer, not a sweep that big).
+const MaxFrame = 64 << 20
+
+// Request is the coordinator's one instruction to a worker: which
+// config to plan, how to filter and seed it, which partition to run,
+// and how to execute it locally.
+type Request struct {
+	// Config is the sweep config file path (the worker re-plans it
+	// independently; plans are pure functions of config+filter+seed).
+	Config string `json:"config"`
+	// Filter is the cell filter expression ("" = full).
+	Filter string `json:"filter,omitempty"`
+	// Seed is the base seed cell seeds derive from.
+	Seed uint64 `json:"seed"`
+	// Shard/Shards select the partition: cells with
+	// sweep.ShardOf(key, Shards) == Shard.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Workers, ClockBatch, Segment and SegmentBudget configure the
+	// worker's local pool (fleet.Runner semantics).
+	Workers       int    `json:"workers,omitempty"`
+	ClockBatch    int    `json:"clock_batch,omitempty"`
+	Segment       bool   `json:"segment,omitempty"`
+	SegmentBudget uint64 `json:"segment_budget,omitempty"`
+	// Elastic runs the worker's cells on the elastic backend instead
+	// of a fixed pool (Workers then caps growth).
+	Elastic bool `json:"elastic,omitempty"`
+}
+
+// Done is a worker's final frame: how many cells it executed.
+type Done struct {
+	Cells int `json:"cells"`
+}
+
+// Frame is the worker-to-coordinator envelope: exactly one field set —
+// a cell record, the final Done marker, or a fatal worker error.
+type Frame struct {
+	Cell *sweep.CellRecord `json:"cell,omitempty"`
+	Done *Done             `json:"done,omitempty"`
+	Err  string            `json:"err,omitempty"`
+}
+
+// WriteFrame marshals v and writes it as one length-prefixed frame.
+func WriteFrame(w io.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("shard: encoding frame: %w", err)
+	}
+	if len(data) > MaxFrame {
+		return fmt.Errorf("shard: frame of %d bytes exceeds limit", len(data))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame into v. io.EOF is returned
+// unwrapped when the stream ends cleanly between frames.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("shard: reading frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("shard: frame length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("shard: reading %d-byte frame: %w", n, err)
+	}
+	if err := json.Unmarshal(buf, v); err != nil {
+		return fmt.Errorf("shard: decoding frame: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/netfpga/fleet"
+	"repro/netfpga/sweep"
+)
+
+// PlanFunc resolves a request's config/filter/seed into the FULL sweep
+// plan (all cells, unsharded). The shard package applies the partition
+// itself so coordinator and worker can never disagree on membership.
+// cmd/nf-bench supplies the resolver that knows about the experiment
+// registry; tests supply their own.
+type PlanFunc func(req Request) (*sweep.Plan, error)
+
+// executorFor builds the worker's local execution backend from the
+// request.
+func executorFor(req Request) fleet.Executor {
+	if req.Elastic {
+		return &fleet.Elastic{
+			Runner: fleet.Runner{BaseSeed: req.Seed, ClockBatch: req.ClockBatch,
+				SegmentBudget: req.SegmentBudget},
+			Min: 1, Max: req.Workers,
+		}
+	}
+	return &fleet.Runner{Workers: req.Workers, BaseSeed: req.Seed,
+		ClockBatch: req.ClockBatch, Segment: req.Segment,
+		SegmentBudget: req.SegmentBudget}
+}
+
+// Serve runs the worker side of the protocol: read one Request from in,
+// plan it, execute this worker's partition on a local backend, and
+// stream one Cell frame per finished cell followed by Done. A planning
+// or validation failure is reported as an Err frame (and returned);
+// per-cell failures are ordinary records with Err set, exactly as
+// in-process sweeps record them.
+func Serve(ctx context.Context, in io.Reader, out io.Writer, planFor PlanFunc) error {
+	var req Request
+	if err := ReadFrame(in, &req); err != nil {
+		return fmt.Errorf("shard worker: reading request: %w", err)
+	}
+	fail := func(err error) error {
+		_ = WriteFrame(out, Frame{Err: err.Error()})
+		return err
+	}
+	if req.Shards < 1 || req.Shard < 0 || req.Shard >= req.Shards {
+		return fail(fmt.Errorf("shard worker: invalid partition %d/%d", req.Shard, req.Shards))
+	}
+	plan, err := planFor(req)
+	if err != nil {
+		return fail(fmt.Errorf("shard worker: planning: %w", err))
+	}
+	if plan.BaseSeed != req.Seed {
+		return fail(fmt.Errorf("shard worker: plan seed %d does not match request seed %d",
+			plan.BaseSeed, req.Seed))
+	}
+	sub := plan.Shard(req.Shard, req.Shards)
+
+	ch, _, err := sub.Execute(ctx, executorFor(req))
+	if err != nil {
+		return fail(fmt.Errorf("shard worker: executing: %w", err))
+	}
+	n := 0
+	for cr := range ch {
+		rec := cr.Record()
+		if err := WriteFrame(out, Frame{Cell: &rec}); err != nil {
+			// The coordinator is gone; drain so devices finish
+			// cleanly, then report.
+			for range ch {
+			}
+			return fmt.Errorf("shard worker: streaming cell %s: %w", cr.Cell.Key, err)
+		}
+		n++
+	}
+	return WriteFrame(out, Frame{Done: &Done{Cells: n}})
+}

@@ -79,6 +79,12 @@ type Spec struct {
 	// NoBuild suppresses the automatic project build for cells with a
 	// project axis (the measure constructs the project itself).
 	NoBuild bool `json:"no_build,omitempty"`
+	// Measure selects the built-in measure for config-file scenarios:
+	// "" or "generic" is GenericMeasure (saturating traffic totals),
+	// "latency" is LatencyMeasure (paced probes, per-frame latency
+	// percentiles). Code-defined groups set Group.Measure directly and
+	// ignore this field.
+	Measure string `json:"measure,omitempty"`
 	// Include/Exclude are cell-key filters applied at expansion (see
 	// Matches).
 	Include string `json:"include,omitempty"`
@@ -125,6 +131,15 @@ func (c Cell) Str(name string) string {
 		panic(fmt.Sprintf("sweep: cell %s has no param %q", c.Key, name))
 	}
 	return v
+}
+
+// ParamOr returns a generic axis value, or def when the axis is absent
+// — for measures whose knobs are optional spec axes.
+func (c Cell) ParamOr(name, def string) string {
+	if v, ok := c.Param[name]; ok {
+		return v
+	}
+	return def
 }
 
 // Int parses a generic axis value as an int.

@@ -328,6 +328,246 @@ func TestConfigAndGoldenRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPlanShardPartition: ShardOf is a pure function of the key, every
+// cell lands in exactly one shard, and sub-plans preserve expansion
+// order and group structure.
+func TestPlanShardPartition(t *testing.T) {
+	groups := []Group{matrixGroup(40)}
+	p, err := PlanGroups(groups, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cells) != 8 {
+		t.Fatalf("plan has %d cells, want 8", len(p.Cells))
+	}
+	for _, n := range []int{1, 2, 3, 5} {
+		var union []string
+		counts := map[string]int{}
+		for i := 0; i < n; i++ {
+			sub := p.Shard(i, n)
+			for _, c := range sub.Cells {
+				if ShardOf(c.Key, n) != i {
+					t.Errorf("n=%d: cell %s landed in shard %d, ShardOf says %d",
+						n, c.Key, i, ShardOf(c.Key, n))
+				}
+				counts[c.Key]++
+				union = append(union, c.Key)
+			}
+		}
+		if len(union) != len(p.Cells) {
+			t.Errorf("n=%d: shards cover %d cells, plan has %d", n, len(union), len(p.Cells))
+		}
+		for k, c := range counts {
+			if c != 1 {
+				t.Errorf("n=%d: cell %s appears in %d shards", n, k, c)
+			}
+		}
+	}
+	// A 2-way split must actually split (FNV over these keys cannot
+	// degenerate to one side without this test noticing).
+	a, b := p.Shard(0, 2), p.Shard(1, 2)
+	if len(a.Cells) == 0 || len(b.Cells) == 0 {
+		t.Errorf("degenerate 2-way split: %d / %d", len(a.Cells), len(b.Cells))
+	}
+	// Shard order is a subsequence of expansion order.
+	idx := map[string]int{}
+	for i, c := range p.Cells {
+		idx[c.Key] = i
+	}
+	last := -1
+	for _, c := range a.Cells {
+		if idx[c.Key] < last {
+			t.Fatalf("shard broke expansion order at %s", c.Key)
+		}
+		last = idx[c.Key]
+	}
+}
+
+// TestMergerRoundTrip: executing a plan's shards separately and merging
+// the flat records reproduces the single-run result set digest for
+// digest — the in-process model of the multi-process shard backend.
+func TestMergerRoundTrip(t *testing.T) {
+	groups := []Group{matrixGroup(40)}
+	p, err := PlanGroups(groups, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := RunGroups(context.Background(), fleet.New(4), groups, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := p.Merger()
+	const n = 3
+	for i := 0; i < n; i++ {
+		sub := p.Shard(i, n)
+		ch, _, err := sub.Execute(context.Background(), fleet.New(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cr := range ch {
+			if _, err := m.Place(cr.Record()); err != nil {
+				t.Fatalf("place %s: %v", cr.Cell.Key, err)
+			}
+		}
+	}
+	if missing := m.Missing(); len(missing) > 0 {
+		t.Fatalf("cells missing after merge: %v", missing)
+	}
+	merged, err := m.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Cells) != len(full.Cells) {
+		t.Fatalf("merged %d cells, full run has %d", len(merged.Cells), len(full.Cells))
+	}
+	for i := range merged.Cells {
+		if merged.Cells[i].Cell.Key != full.Cells[i].Cell.Key {
+			t.Fatalf("cell %d out of expansion order: %s vs %s",
+				i, merged.Cells[i].Cell.Key, full.Cells[i].Cell.Key)
+		}
+		if merged.Cells[i].Digest != full.Cells[i].Digest {
+			t.Errorf("cell %s: merged digest %s != single-run digest %s",
+				merged.Cells[i].Cell.Key, merged.Cells[i].Digest, full.Cells[i].Digest)
+		}
+	}
+	if merged.Get(full.Cells[0].Cell.Key) == nil {
+		t.Error("merged results not indexed by key")
+	}
+}
+
+// TestMergerRejects: unknown keys, duplicates, tampered digests, and
+// incomplete merges all fail loudly.
+func TestMergerRejects(t *testing.T) {
+	p, err := PlanGroups([]Group{matrixGroup(40)}, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, _, err := p.Execute(context.Background(), fleet.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []CellRecord
+	for cr := range ch {
+		recs = append(recs, cr.Record())
+	}
+
+	m := p.Merger()
+	if _, err := m.Place(CellRecord{Key: "nope", Digest: "x"}); err == nil {
+		t.Error("unknown key accepted")
+	}
+	if _, err := m.Place(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Place(recs[0]); err == nil {
+		t.Error("duplicate record accepted")
+	}
+	bad := recs[1]
+	bad.Events++ // content no longer matches the transmitted digest
+	if _, err := m.Place(bad); err == nil {
+		t.Error("tampered record accepted")
+	}
+	if _, err := m.Results(); err == nil {
+		t.Error("incomplete merge sealed without error")
+	}
+	if missing := m.Missing(); len(missing) != len(recs)-1 {
+		t.Errorf("missing reports %d cells, want %d", len(missing), len(recs)-1)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{100, 10, 50, 30, 20, 90, 60, 40, 80, 70} // unsorted on purpose
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {10, 10}, {50, 50}, {90, 90}, {95, 100}, {99, 100}, {100, 100},
+	}
+	for _, c := range cases {
+		if got := Percentile(s, c.p); got != c.want {
+			t.Errorf("p%g = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("single-sample p99 = %g", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty sample set did not panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+// TestLatencyMeasure: the built-in percentile measure produces ordered,
+// deterministic distributions; background load actually spreads the
+// tail, and an idle switch shows a flat one.
+func TestLatencyMeasure(t *testing.T) {
+	g := Group{
+		Spec: Spec{
+			Name:     "lat",
+			Projects: []string{"reference_switch"},
+			Params: []Axis{
+				{Name: "frame", Values: []string{"64", "512"}},
+				{Name: "bg", Values: []string{"0", "6"}},
+			},
+			WindowUS: 100,
+		},
+		Measure: LatencyMeasure,
+	}
+	run := func() *Results {
+		rs, err := RunGroups(context.Background(), fleet.New(4), []Group{g}, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range rs.Failed() {
+			t.Fatalf("cell %s failed: %s", f.Cell.Key, f.Err)
+		}
+		return rs
+	}
+	rs := run()
+	for _, c := range rs.Cells {
+		p50, p95, p99 := c.V("latency_p50_ps"), c.V("latency_p95_ps"), c.V("latency_p99_ps")
+		if !(p50 <= p95 && p95 <= p99 && p99 <= c.V("latency_max_ps")) {
+			t.Errorf("%s: percentiles out of order: p50=%g p95=%g p99=%g max=%g",
+				c.Cell.Key, p50, p95, p99, c.V("latency_max_ps"))
+		}
+		if c.V("probes") != 64 {
+			t.Errorf("%s: %g probes, want default 64", c.Cell.Key, c.V("probes"))
+		}
+		if p50 <= 0 {
+			t.Errorf("%s: nonpositive p50 %g", c.Cell.Key, p50)
+		}
+	}
+	// An idle switch serves every probe near-identically (sub-cycle
+	// pacing phase is the only jitter); under background flood the
+	// tail must separate far more.
+	idle := rs.Get("lat/project=reference_switch/frame=64/bg=0")
+	loaded := rs.Get("lat/project=reference_switch/frame=64/bg=6")
+	if idle == nil || loaded == nil {
+		t.Fatalf("expected cells missing; have %v", func() (keys []string) {
+			for _, c := range rs.Cells {
+				keys = append(keys, c.Cell.Key)
+			}
+			return
+		}())
+	}
+	idleSpread := idle.V("latency_p99_ps") - idle.V("latency_p50_ps")
+	loadedSpread := loaded.V("latency_p99_ps") - loaded.V("latency_p50_ps")
+	if loadedSpread <= idleSpread {
+		t.Errorf("background load did not spread the tail: idle p99-p50=%gps, loaded=%gps",
+			idleSpread, loadedSpread)
+	}
+	if loaded.V("latency_p50_ps") < idle.V("latency_p50_ps") {
+		t.Errorf("loaded median %g below idle median %g",
+			loaded.V("latency_p50_ps"), idle.V("latency_p50_ps"))
+	}
+	// Bit-reproducible: same digests on a second run.
+	again := run()
+	for i := range rs.Cells {
+		if rs.Cells[i].Digest != again.Cells[i].Digest {
+			t.Errorf("cell %s latency digest not reproducible", rs.Cells[i].Cell.Key)
+		}
+	}
+}
+
 func TestBoardRegistry(t *testing.T) {
 	for _, name := range BoardNames() {
 		b, ok := Board(name)
