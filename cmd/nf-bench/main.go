@@ -12,11 +12,13 @@
 //	nf-bench -json           # also write BENCH_<stamp>.json
 //	nf-bench -list           # list experiment IDs
 //	nf-bench sweep -config examples/paper.sweep   # scenario-matrix mode
+//	nf-bench shard-worker -listen :9090           # remote sweep worker
 //
 // The sweep subcommand (see sweep.go) runs declarative scenario
 // matrices from a config file, streams per-cell progress, persists
 // results into the results store, and diffs digests against goldens or
-// previous runs.
+// previous runs. The shard-worker subcommand (see worker.go) serves
+// sweep cells to a remote coordinator over TCP or stdio.
 //
 // Determinism contract: -parallel produces byte-identical tables to the
 // sequential run — devices are independent and per-device seeds are
@@ -50,6 +52,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "sweep" {
 		runSweepCmd(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "shard-worker" {
+		runShardWorkerCmd(os.Args[2:])
 		return
 	}
 	exp := flag.String("exp", "", "run a single experiment by ID (e.g. T4)")

@@ -40,8 +40,12 @@ func runSweepCmd(args []string) {
 	batch := fs.Int("batch", 0, "datapath clock batch size (0 = engine default)")
 	segment := fs.String("segment", "auto", "segment scheduler: auto, off, or an events-per-segment budget (cell digests identical in every mode)")
 	execName := fs.String("exec", "local", "execution backend: local (fixed pool) or elastic (grow/shrink workers mid-batch; digests identical)")
-	shards := fs.Int("shards", 1, "partition cells by canonical key across N OS processes (digests identical to a single-process run)")
+	shards := fs.Int("shards", 1, "partition cells by canonical key across N OS processes (digests identical to a single-process run); with -connect, N > 1 adds N local worker processes to the fleet")
 	shardWorker := fs.Bool("shard-worker", false, "internal: serve one shard over length-prefixed JSON on stdin/stdout")
+	connect := fs.String("connect", "", "comma-separated worker addresses (host:port) running `nf-bench shard-worker -listen`; cells are assigned dynamically and a dead worker's cells requeue onto survivors")
+	migrateAfter := fs.Uint64("migrate-after", 0, "force every cell to checkpoint after N executed events and resume on another worker (digests unchanged; the migration determinism gate)")
+	workerTimeout := fs.Duration("worker-timeout", 0, "kill a fleet worker silent for this long while owing cells and requeue its cells (0 = never)")
+	steal := fs.Bool("steal", false, "utilization-driven migration: when the queue drains and a fleet worker idles, the busiest worker parks a cell for it")
 	storeDir := fs.String("store", "nf-results", "results store directory")
 	noStore := fs.Bool("no-store", false, "skip the results store")
 	history := fs.String("history", "", "trend report: a cell's values across stored runs (key, scenario hash, or unique substring), then exit")
@@ -75,6 +79,14 @@ func runSweepCmd(args []string) {
 		fmt.Fprintf(os.Stderr, "nf-bench sweep: -shards must be >= 1 (got %d)\n", *shards)
 		os.Exit(2)
 	}
+	// Any dynamic-fleet knob routes the run through the session
+	// coordinator; plain -shards N keeps the static by-key partition.
+	addrs := splitAddrs(*connect)
+	fleetMode := len(addrs) > 0 || *migrateAfter > 0 || *steal || *workerTimeout > 0
+	procs := *shards
+	if len(addrs) > 0 && procs == 1 {
+		procs = 0 // remote workers only unless -shards asks for local ones
+	}
 
 	cfg, err := sweep.LoadConfig(*configPath)
 	fatal(err)
@@ -95,7 +107,11 @@ func runSweepCmd(args []string) {
 	fatal(err)
 	total := len(plan.Cells)
 	mode := *execName
-	if *shards > 1 {
+	switch {
+	case fleetMode:
+		mode = fmt.Sprintf("fleet of %d local + %d remote workers (%s per worker)",
+			procs, len(addrs), *execName)
+	case *shards > 1:
 		mode = fmt.Sprintf("%d-process shards (%s per shard)", *shards, *execName)
 	}
 	fmt.Printf("sweep %q: %d cells, %d workers, base seed %d, %s\n", cfg.Name, total, w, *seed, mode)
@@ -137,7 +153,17 @@ func runSweepCmd(args []string) {
 	}
 
 	var rs *sweep.Results
-	if *shards > 1 {
+	if fleetMode {
+		rs = runFleet(plan, st, meta, fleetConfig{
+			shardConfig: shardConfig{
+				config: *configPath, filter: *filter, seed: *seed,
+				workers: w, batch: *batch, segOn: segOn, segBudget: segBudget,
+				elastic: *execName == "elastic",
+			},
+			procs: procs, addrs: addrs, migrateAfter: *migrateAfter,
+			hangTimeout: *workerTimeout, steal: *steal, quiet: *quiet,
+		}, progress)
+	} else if *shards > 1 {
 		rs = runSharded(plan, st, meta, shardConfig{
 			shards: *shards, config: *configPath, filter: *filter, seed: *seed,
 			workers: w, batch: *batch, segOn: segOn, segBudget: segBudget,
@@ -315,6 +341,145 @@ func runSharded(plan *sweep.Plan, st *resultstore.Store, meta resultstore.Meta,
 		fmt.Printf("merged %d partial runs into %s (%d cells)\n", len(partIDs), meta.Run, n)
 	}
 	return rs
+}
+
+// splitAddrs parses the -connect list: comma-separated host:port
+// entries, empty entries dropped.
+func splitAddrs(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
+
+type fleetConfig struct {
+	shardConfig
+	procs        int
+	addrs        []string
+	migrateAfter uint64
+	hangTimeout  time.Duration
+	steal        bool
+	quiet        bool
+}
+
+// runFleet executes the plan on the dynamic session coordinator:
+// subprocess workers (spawned `nf-bench shard-worker` over stdio),
+// dialed TCP workers, or both mixed. Cells stream into one partial run
+// as they arrive — a coordinator crash loses nothing already harvested
+// — then fold into a complete, verified, indexed run whose digests are
+// byte-identical to a single-process sweep regardless of worker deaths,
+// requeues, or checkpoint migrations along the way.
+func runFleet(plan *sweep.Plan, st *resultstore.Store, meta resultstore.Meta,
+	fc fleetConfig, progress func(sweep.CellResult)) *sweep.Results {
+
+	var eps []*shard.Endpoint
+	if fc.procs > 0 {
+		exe, err := os.Executable()
+		fatal(err)
+		for i := 0; i < fc.procs; i++ {
+			cmd := exec.Command(exe, "shard-worker")
+			cmd.Stderr = os.Stderr
+			in, err := cmd.StdinPipe()
+			fatal(err)
+			out, err := cmd.StdoutPipe()
+			fatal(err)
+			fatal(cmd.Start())
+			eps = append(eps, &shard.Endpoint{
+				Name: fmt.Sprintf("proc:%d", i), In: in, Out: out,
+				Kill: cmd.Process.Kill, Wait: cmd.Wait,
+			})
+		}
+	}
+	for _, addr := range fc.addrs {
+		ep, err := shard.Dial(addr)
+		fatal(err)
+		eps = append(eps, ep)
+	}
+
+	// The streamed partial run: every adopted cell is on disk before
+	// the merge.
+	var rw *resultstore.RunWriter
+	partID := meta.Run + "-fleet"
+	if st != nil {
+		pm := meta
+		pm.Run = partID
+		pm.Partial = true
+		pm.Shard = fmt.Sprintf("fleet/%d", len(eps))
+		var err error
+		rw, err = st.Begin(pm)
+		fatal(err)
+	}
+
+	requeued := 0
+	onEvent := func(ev shard.FleetEvent) {
+		switch ev.Kind {
+		case "death", "hang":
+			// Recovery is always worth a line, even under -q: a silent
+			// requeue would hide that the run exercised the fault path.
+			requeued += ev.Cells
+			fmt.Fprintf(os.Stderr, "fleet: worker %s %s (%s), %d cells requeued\n",
+				ev.Worker, ev.Kind, ev.Detail, ev.Cells)
+		default:
+			if !fc.quiet {
+				fmt.Printf("fleet: %s %s %s\n", ev.Worker, ev.Kind, ev.Detail)
+			}
+		}
+	}
+
+	fl := &shard.Fleet{
+		Req: shard.Request{
+			Config: fc.config, Filter: fc.filter, Seed: fc.seed,
+			Workers: fc.workers, ClockBatch: fc.batch,
+			Segment: fc.segOn, SegmentBudget: fc.segBudget, Elastic: fc.elastic,
+		},
+		Endpoints:    eps,
+		MigrateAfter: fc.migrateAfter,
+		HangTimeout:  fc.hangTimeout,
+		Steal:        fc.steal,
+		OnEvent:      onEvent,
+	}
+	rs, util, runErr := fl.Run(context.Background(), plan, func(cr sweep.CellResult) {
+		if rw != nil {
+			fatal(rw.Append(storeRecord(cr)))
+		}
+		progress(cr)
+	})
+	if rw != nil {
+		fatal(rw.Close())
+	}
+	if runErr != nil {
+		if st != nil {
+			fmt.Fprintf(os.Stderr, "nf-bench sweep: partial fleet run preserved in %s: %s\n",
+				st.Dir(), partID)
+		}
+		fatal(runErr)
+	}
+	if st != nil {
+		meta.Transport = transportLabel(fc.procs, len(fc.addrs))
+		meta.Requeued = requeued
+		n, err := st.MergeRuns(meta, []string{partID}, plan.Keys())
+		fatal(err)
+		fmt.Printf("merged fleet run into %s (%d cells, %d requeued)\n", meta.Run, n, requeued)
+	}
+	fmt.Printf("fleet utilization: %d pool workers over %d endpoints, %d cells, %.0f%% efficient (busy %.0fms / wall %.0fms)\n",
+		util.Workers, len(eps), util.Jobs, 100*util.Efficiency, util.BusyMS, util.WallMS)
+	return rs
+}
+
+// transportLabel names how a fleet reached its workers for the run
+// metadata.
+func transportLabel(procs, tcps int) string {
+	switch {
+	case procs > 0 && tcps > 0:
+		return "proc+tcp"
+	case tcps > 0:
+		return "tcp"
+	default:
+		return "proc"
+	}
 }
 
 // storeRecord flattens a cell result into a store record.

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"repro/netfpga/sweep/shard"
+)
+
+// runShardWorkerCmd implements `nf-bench shard-worker`: a session-mode
+// sweep worker the fleet coordinator drives over the length-prefixed
+// JSON protocol. With no flags it serves exactly one session on
+// stdin/stdout — the shape the coordinator spawns as a subprocess. With
+// -listen it serves any number of concurrent sessions over TCP, one per
+// accepted connection, and keeps running when a coordinator vanishes —
+// the long-lived remote worker `nf-bench sweep -connect` dials.
+//
+//	nf-bench shard-worker                      # one session on stdio
+//	nf-bench shard-worker -listen :9090        # TCP workers
+//	nf-bench shard-worker -listen 127.0.0.1:0  # ephemeral port (printed)
+func runShardWorkerCmd(args []string) {
+	fs := flag.NewFlagSet("shard-worker", flag.ExitOnError)
+	listen := fs.String("listen", "", "serve sessions on this TCP address (empty = one session on stdin/stdout)")
+	quiet := fs.Bool("q", false, "suppress per-session log lines in -listen mode")
+	fs.Parse(args)
+
+	if *listen == "" {
+		if err := shard.ServeSession(context.Background(), os.Stdin, os.Stdout, workerPlan); err != nil {
+			fmt.Fprintf(os.Stderr, "nf-bench shard-worker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nf-bench shard-worker: %v\n", err)
+		os.Exit(1)
+	}
+	// The resolved address goes to stdout first: with -listen :0 the
+	// spawner (CI scripts, tests) scrapes the actual port from here.
+	fmt.Printf("shard-worker listening on %s\n", l.Addr())
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "nf-bench shard-worker: "+format+"\n", args...)
+		}
+	}
+	if err := shard.ListenAndServe(context.Background(), l, workerPlan, logf); err != nil {
+		fmt.Fprintf(os.Stderr, "nf-bench shard-worker: %v\n", err)
+		os.Exit(1)
+	}
+}

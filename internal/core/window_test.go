@@ -107,6 +107,135 @@ func TestWindowRun(t *testing.T) {
 	}
 }
 
+// TestWindowStateMigration: the checkpoint-by-replay contract. A donor
+// device parks mid-run at a segment yield and encodes its WindowState;
+// an identically built replica replayed to exactly that executed-event
+// count verifies bit-exactly against the checkpoint, and a replica that
+// continues to the end matches the donor had it never parked.
+func TestWindowStateMigration(t *testing.T) {
+	// Donor: drive until a mid-flight yield, capture the checkpoint.
+	var cp WindowState
+	parked := false
+	donor := NewDevice(SUME(), Options{Seed: 42})
+	yields := 0
+	donor.SetSegmentHook(100, func() {
+		yields++
+		if yields == 3 && !parked {
+			parked = true
+			cp = donor.EncodeState()
+		}
+	})
+	driveLoopback(donor)
+	if !parked {
+		t.Fatal("donor never reached the park yield")
+	}
+	if cp.Executed == 0 || cp.Digest == "" {
+		t.Fatalf("empty checkpoint: %+v", cp)
+	}
+
+	// Replica: replay to exactly cp.Executed events (the receiver's
+	// fast-forward), then verify the state digest.
+	replica := NewDevice(SUME(), Options{Seed: 42})
+	verified := false
+	replica.SetSegmentHook(cp.Executed, func() {
+		if !verified && replica.Sim.Executed() == cp.Executed {
+			if err := replica.VerifyState(cp); err != nil {
+				t.Fatalf("replayed replica does not verify: %v", err)
+			}
+			verified = true
+		}
+	})
+	driveLoopback(replica)
+	if !verified {
+		t.Fatal("replica never crossed the checkpoint's executed count")
+	}
+
+	// End states also agree: migration never changes results.
+	ref := NewDevice(SUME(), Options{Seed: 42})
+	driveLoopback(ref)
+	if deviceFingerprint(replica) != deviceFingerprint(ref) {
+		t.Error("replica end state diverges from an unmigrated run")
+	}
+
+	// A forged checkpoint must not verify.
+	bad := cp
+	bad.Digest = "deadbeefdeadbeefdeadbeefdeadbeef"
+	if err := ref.VerifyState(bad); err == nil {
+		t.Error("forged digest verified")
+	}
+	bad = cp
+	bad.Executed++
+	if err := ref.VerifyState(bad); err == nil {
+		t.Error("forged event count verified")
+	}
+}
+
+// TestWindowEncodeDecode: a parked Window round-trips through its
+// serialized form; decode re-verifies the device and reopens the same
+// deadline, and decoding on a diverged device fails.
+func TestWindowEncodeDecode(t *testing.T) {
+	build := func() (*Device, *Window) {
+		d := NewDevice(SUME(), Options{Seed: 9})
+		tap := d.Tap(0)
+		for i := 0; i < 512; i++ {
+			tap.Send(make([]byte, 300))
+		}
+		return d, d.Window(d.Now() + 200*hw.Microsecond)
+	}
+	d, w := build()
+	if w.Run(400) {
+		t.Fatal("window completed inside the budget — scenario too small")
+	}
+	st := w.Encode()
+	if st.DeadlinePS != int64(w.Deadline()) {
+		t.Fatalf("encoded deadline %d, window %d", st.DeadlinePS, w.Deadline())
+	}
+
+	// Same device: decode succeeds and the reopened window completes.
+	w2, err := d.DecodeWindow(st)
+	if err != nil {
+		t.Fatalf("decode on the parked device: %v", err)
+	}
+	for !w2.Run(1000) {
+	}
+	if d.Now() != hw.Time(st.DeadlinePS) {
+		t.Fatalf("resumed window ended at %d, deadline %d", d.Now(), st.DeadlinePS)
+	}
+
+	// A replica replayed to the same executed count decodes too.
+	r, rw := build()
+	for r.Sim.Executed() < st.Executed && !rw.Run(st.Executed-r.Sim.Executed()) {
+	}
+	if _, err := r.DecodeWindow(st); err != nil {
+		t.Fatalf("decode on a bit-exact replica: %v", err)
+	}
+
+	// A diverged device (different seed) must refuse the checkpoint.
+	x := NewDevice(SUME(), Options{Seed: 10})
+	if _, err := x.DecodeWindow(st); err == nil {
+		t.Error("decode verified on a diverged device")
+	}
+}
+
+// TestStateDigestCanonical: the digest is a pure function of the
+// snapshot's contents, independent of map iteration order, and
+// sensitive to any value change.
+func TestStateDigestCanonical(t *testing.T) {
+	a := map[string]uint64{"x": 1, "y": 2, "z": 3}
+	b := map[string]uint64{"z": 3, "y": 2, "x": 1}
+	if StateDigest(a) != StateDigest(b) {
+		t.Error("digest depends on construction order")
+	}
+	b["y"] = 4
+	if StateDigest(a) == StateDigest(b) {
+		t.Error("digest blind to a value change")
+	}
+	delete(b, "y")
+	if StateDigest(a) == StateDigest(b) {
+		t.Error("digest blind to a missing key")
+	}
+}
+
 // TestSegmentHookBoundedDrain: RunUntilIdle's event bound stops at the
 // identical point with and without segmentation.
 func TestSegmentHookBoundedDrain(t *testing.T) {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -19,9 +20,34 @@ import (
 // shard backend is exercised across REAL OS process boundaries — same
 // wiring as `nf-bench sweep -shard-worker`, same plan resolver
 // (GroupsForConfig), different binary.
+// Session mode (NF_SHARD_SESSION=1) serves the dynamic fleet protocol
+// on stdio; listen mode (NF_SHARD_LISTEN=1) serves it over TCP on an
+// ephemeral port announced as "LISTEN <addr>" on stdout — the worker
+// shapes `nf-bench shard-worker` exposes, re-execed for the fault
+// tests.
 func TestMain(m *testing.M) {
 	if os.Getenv("NF_SHARD_WORKER") == "1" {
 		err := shard.Serve(context.Background(), os.Stdin, os.Stdout, workerPlanForTest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	if os.Getenv("NF_SHARD_SESSION") == "1" {
+		err := shard.ServeSession(context.Background(), os.Stdin, os.Stdout, workerPlanForTest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	if os.Getenv("NF_SHARD_LISTEN") == "1" {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err == nil {
+			fmt.Printf("LISTEN %s\n", l.Addr())
+			err = shard.ListenAndServe(context.Background(), l, workerPlanForTest, nil)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

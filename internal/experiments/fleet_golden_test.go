@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"bufio"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/netfpga/sweep"
+	"repro/netfpga/sweep/shard"
+)
+
+// sessionProcSelf starts this test binary as a stdio session worker —
+// the subprocess transport of the dynamic fleet, same wiring as
+// `nf-bench shard-worker` spawned by `nf-bench sweep`.
+func sessionProcSelf(t *testing.T, name string) *shard.Endpoint {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), "NF_SHARD_SESSION=1")
+	cmd.Stderr = os.Stderr
+	in, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cmd.Process.Kill(); _ = cmd.Wait() })
+	return &shard.Endpoint{Name: name, In: in, Out: out,
+		Kill: cmd.Process.Kill, Wait: cmd.Wait}
+}
+
+// tcpWorkerSelf starts this test binary as a listening TCP worker on an
+// ephemeral port and returns its announced address plus the process —
+// the process handle is what the SIGKILL test murders mid-sweep.
+func tcpWorkerSelf(t *testing.T) (string, *os.Process) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), "NF_SHARD_LISTEN=1")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cmd.Process.Kill(); _ = cmd.Wait() })
+	sc := bufio.NewScanner(out)
+	if !sc.Scan() {
+		t.Fatalf("TCP worker exited before announcing its address: %v", sc.Err())
+	}
+	addr, ok := strings.CutPrefix(sc.Text(), "LISTEN ")
+	if !ok {
+		t.Fatalf("TCP worker announced %q, want LISTEN <addr>", sc.Text())
+	}
+	return addr, cmd.Process
+}
+
+// TestFleetGoldenFaults is the fault-injection acceptance gate of the
+// networked fleet: all 103 golden sweep digests must be byte-identical
+// to the single-process run whatever the transport and whatever goes
+// wrong mid-sweep —
+//
+//   - pipes: three subprocess stdio workers, clean run (the baseline
+//     that makes the TCP run a pipes-vs-TCP comparison),
+//   - tcp-sigkill: three real TCP worker processes, one SIGKILLed
+//     mid-sweep; its cells requeue onto the survivors,
+//   - migration: every sufficiently long cell parks at a fixed executed
+//     -event count, ships its checkpoint back, and finishes on another
+//     worker after verified replay.
+//
+// The CI sweep-fault job runs the same three scenarios through the
+// `nf-bench` binary; this test keeps them in the `go test ./...` gate.
+func TestFleetGoldenFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet fault matrix is slow")
+	}
+	groups := paperGroups(t)
+	g, err := sweep.ReadGolden(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (generate with TestGoldenSweep -update): %v", err)
+	}
+	plan, err := sweep.PlanGroups(groups, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := shard.Request{
+		Config:  filepath.Join("..", "..", "examples", "paper.sweep"),
+		Workers: 2,
+	}
+	check := func(t *testing.T, rs *sweep.Results) {
+		t.Helper()
+		for _, f := range rs.Failed() {
+			t.Errorf("cell %s failed: %s", f.Cell.Key, f.Err)
+		}
+		if diffs := sweep.DiffGolden(g, rs, false); len(diffs) > 0 {
+			for _, d := range diffs {
+				t.Errorf("golden mismatch:\n  %s", d)
+			}
+		}
+	}
+
+	t.Run("pipes", func(t *testing.T) {
+		fl := &shard.Fleet{Req: req, Endpoints: []*shard.Endpoint{
+			sessionProcSelf(t, "proc:0"),
+			sessionProcSelf(t, "proc:1"),
+			sessionProcSelf(t, "proc:2"),
+		}}
+		rs, util, err := fl.Run(context.Background(), plan, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, rs)
+		if util.Jobs != len(plan.Cells) {
+			t.Errorf("utilization saw %d jobs, want %d", util.Jobs, len(plan.Cells))
+		}
+	})
+
+	t.Run("tcp-sigkill", func(t *testing.T) {
+		var eps []*shard.Endpoint
+		var procs []*os.Process
+		for i := 0; i < 3; i++ {
+			addr, proc := tcpWorkerSelf(t)
+			ep, err := shard.Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eps = append(eps, ep)
+			procs = append(procs, proc)
+		}
+		deaths, requeued, adopted := 0, 0, 0
+		fl := &shard.Fleet{Req: req, Endpoints: eps,
+			OnEvent: func(ev shard.FleetEvent) {
+				if ev.Kind == "death" {
+					deaths++
+					requeued += ev.Cells
+				}
+			}}
+		// OnEvent and onCell both run on the coordinator goroutine, so
+		// the kill is ordered before any later adoption: genuinely
+		// mid-sweep, with the victim's remaining cells still owed.
+		rs, _, err := fl.Run(context.Background(), plan, func(sweep.CellResult) {
+			adopted++
+			if adopted == 5 {
+				_ = procs[0].Kill()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if deaths == 0 {
+			t.Error("SIGKILLed worker produced no death event")
+		}
+		t.Logf("deaths=%d cells requeued=%d", deaths, requeued)
+		check(t, rs)
+	})
+
+	t.Run("migration", func(t *testing.T) {
+		cps, resumes := 0, 0
+		fl := &shard.Fleet{
+			Req: req,
+			Endpoints: []*shard.Endpoint{
+				sessionProcSelf(t, "proc:0"),
+				sessionProcSelf(t, "proc:1"),
+				sessionProcSelf(t, "proc:2"),
+			},
+			// Far below any paper cell's event count: every fresh cell
+			// parks once and finishes on a (usually different) worker.
+			MigrateAfter: 5000,
+			OnEvent: func(ev shard.FleetEvent) {
+				switch ev.Kind {
+				case "checkpoint":
+					cps += ev.Cells
+				case "resume":
+					resumes += ev.Cells
+				}
+			},
+		}
+		rs, _, err := fl.Run(context.Background(), plan, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cps == 0 || resumes == 0 {
+			t.Errorf("forced migration produced %d checkpoints, %d resumes — want both > 0", cps, resumes)
+		}
+		t.Logf("checkpoints=%d resumes=%d over %d cells", cps, resumes, len(plan.Cells))
+		check(t, rs)
+	})
+}

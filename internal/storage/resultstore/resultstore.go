@@ -46,6 +46,13 @@ type Meta struct {
 	Partial bool `json:"partial,omitempty"`
 	// Shard labels a partial run's partition ("0/4").
 	Shard string `json:"shard,omitempty"`
+	// Transport records how a distributed run reached its workers
+	// ("proc", "tcp", "proc+tcp"); empty for in-process runs.
+	Transport string `json:"transport,omitempty"`
+	// Requeued counts cells that were reassigned after a worker died
+	// or hung mid-run. Nonzero Requeued with matching digests is the
+	// recovery path proving itself.
+	Requeued int `json:"requeued,omitempty"`
 }
 
 // Record is one executed cell.

@@ -195,6 +195,38 @@ func TestMergePartialRuns(t *testing.T) {
 	}
 }
 
+// TestMetaTransportProvenance: a distributed run's transport and
+// requeue count survive the write/read round trip and the partial-run
+// merge — the store is where "this run recovered from 2 worker deaths
+// and still matched" is provable after the fact.
+func TestMetaTransportProvenance(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writePartial(t, st, "f-part", "fleet/3", rec("a/x=1", "d1", 11))
+	n, err := st.MergeRuns(Meta{Run: "f", Name: "demo", Transport: "proc+tcp", Requeued: 2},
+		[]string{"f-part"}, []string{"a/x=1"})
+	if err != nil || n != 1 {
+		t.Fatalf("merge: n=%d err=%v", n, err)
+	}
+	meta, _, err := st.ReadRun("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Transport != "proc+tcp" || meta.Requeued != 2 {
+		t.Errorf("fleet provenance mangled: %+v", meta)
+	}
+	// In-process runs carry no transport noise in their meta lines.
+	pm, _, err := st.ReadRun("f-part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Transport != "" || pm.Requeued != 0 {
+		t.Errorf("partial grew provenance it never had: %+v", pm)
+	}
+}
+
 // TestMergeConflictsAndFailures: overlapping records that disagree on
 // digest abort the merge, as does a partial shard failure (expected
 // cells missing), and a merge target colliding with an existing run id.

@@ -1,0 +1,84 @@
+package fleet
+
+import "time"
+
+// UtilizationReport is the serializable snapshot of a Utilization —
+// what a distributed worker ships across a process or network boundary
+// so its coordinator can fold remote pool health into placement and
+// steal decisions. Durations flatten to milliseconds: the report is a
+// scheduling signal read by humans and heuristics, not an accounting
+// ledger, and a stable flat encoding keeps the wire format independent
+// of Go's duration representation.
+type UtilizationReport struct {
+	Workers     int     `json:"workers"`
+	Jobs        int     `json:"jobs"`
+	Segmented   bool    `json:"segmented,omitempty"`
+	Elastic     bool    `json:"elastic,omitempty"`
+	WallMS      float64 `json:"wall_ms"`
+	BusyMS      float64 `json:"busy_ms"`
+	Segments    uint64  `json:"segments,omitempty"`
+	Steals      uint64  `json:"steals,omitempty"`
+	LongestJob  string  `json:"longest_job,omitempty"`
+	LongestMS   float64 `json:"longest_ms,omitempty"`
+	PeakWorkers int     `json:"peak_workers,omitempty"`
+	Efficiency  float64 `json:"efficiency"`
+}
+
+// Report snapshots the utilization for the wire. Safe to call while the
+// batch is still running (a worker reports mid-batch health to its
+// coordinator); Wall and Efficiency are only meaningful once the batch
+// has completed and Wall is stamped.
+func (u *Utilization) Report() UtilizationReport {
+	if u == nil {
+		return UtilizationReport{}
+	}
+	busy := u.BusyTotal()
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return UtilizationReport{
+		Workers:     u.Workers,
+		Jobs:        u.Jobs,
+		Segmented:   u.Segmented,
+		Elastic:     u.Elastic,
+		WallMS:      float64(u.Wall) / float64(time.Millisecond),
+		BusyMS:      float64(busy) / float64(time.Millisecond),
+		Segments:    u.Segments,
+		Steals:      u.Steals,
+		LongestJob:  u.LongestJob,
+		LongestMS:   float64(u.LongestBusy) / float64(time.Millisecond),
+		PeakWorkers: u.PeakWorkers,
+		Efficiency:  efficiencyLocked(u.Wall, u.Workers, busy),
+	}
+}
+
+// Merge folds another report into r — the coordinator's aggregation of
+// per-worker reports into one fleet-wide view. Worker and job counts
+// sum; busy time sums; wall takes the max (workers run concurrently);
+// the longest job is the longest anywhere in the fleet.
+func (r *UtilizationReport) Merge(o UtilizationReport) {
+	r.Workers += o.Workers
+	r.Jobs += o.Jobs
+	r.Segmented = r.Segmented || o.Segmented
+	r.Elastic = r.Elastic || o.Elastic
+	if o.WallMS > r.WallMS {
+		r.WallMS = o.WallMS
+	}
+	r.BusyMS += o.BusyMS
+	r.Segments += o.Segments
+	r.Steals += o.Steals
+	if o.LongestMS > r.LongestMS {
+		r.LongestMS, r.LongestJob = o.LongestMS, o.LongestJob
+	}
+	r.PeakWorkers += o.PeakWorkers
+	if r.WallMS > 0 && r.Workers > 0 {
+		r.Efficiency = r.BusyMS / (r.WallMS * float64(r.Workers))
+	}
+}
+
+// efficiencyLocked computes busy / (workers x wall) without re-locking.
+func efficiencyLocked(wall time.Duration, workers int, busy time.Duration) float64 {
+	if wall <= 0 || workers == 0 {
+		return 0
+	}
+	return float64(busy) / (float64(wall) * float64(workers))
+}

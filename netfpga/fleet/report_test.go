@@ -1,0 +1,70 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// TestUtilizationWireReport: a completed batch's report round-trips through
+// JSON and carries the numbers the coordinator's steal heuristics read.
+func TestUtilizationWireReport(t *testing.T) {
+	r := &Runner{Workers: 2, Segment: true, BaseSeed: 1}
+	jobs := make([]Job, 4)
+	for i := range jobs {
+		jobs[i] = switchJob(fmt.Sprintf("r%d", i))
+	}
+	r.RunAll(context.Background(), jobs)
+	rep := r.Utilization().Report()
+	if rep.Workers != 2 || rep.Jobs != 4 || !rep.Segmented {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if rep.WallMS <= 0 || rep.BusyMS <= 0 || rep.Segments == 0 {
+		t.Fatalf("report empty: %+v", rep)
+	}
+	if rep.Efficiency <= 0 || rep.Efficiency > 1.0001 {
+		t.Fatalf("efficiency out of range: %v", rep.Efficiency)
+	}
+
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back UtilizationReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != rep {
+		t.Fatalf("report did not survive JSON: %+v vs %+v", back, rep)
+	}
+
+	var nilU *Utilization
+	if got := nilU.Report(); got != (UtilizationReport{}) {
+		t.Fatalf("nil utilization report: %+v", got)
+	}
+}
+
+// TestUtilizationReportMerge: the coordinator's fleet-wide aggregation
+// sums capacity and work, takes concurrent wall as the max, and tracks
+// the fleet-wide longest job.
+func TestUtilizationReportMerge(t *testing.T) {
+	a := UtilizationReport{Workers: 2, Jobs: 10, WallMS: 100, BusyMS: 150,
+		Segments: 20, Steals: 1, LongestJob: "a", LongestMS: 40, PeakWorkers: 2}
+	b := UtilizationReport{Workers: 4, Jobs: 6, WallMS: 80, BusyMS: 200,
+		Segments: 12, LongestJob: "b", LongestMS: 70, PeakWorkers: 4, Elastic: true}
+	a.Merge(b)
+	if a.Workers != 6 || a.Jobs != 16 || a.PeakWorkers != 6 {
+		t.Fatalf("capacity sums: %+v", a)
+	}
+	if a.WallMS != 100 || a.BusyMS != 350 || a.Segments != 32 || a.Steals != 1 {
+		t.Fatalf("work totals: %+v", a)
+	}
+	if a.LongestJob != "b" || a.LongestMS != 70 || !a.Elastic {
+		t.Fatalf("longest/flags: %+v", a)
+	}
+	want := 350.0 / (100.0 * 6)
+	if diff := a.Efficiency - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("efficiency %v, want %v", a.Efficiency, want)
+	}
+}

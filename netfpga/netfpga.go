@@ -44,6 +44,11 @@ type (
 	// Window is a checkpointable run of a device toward a deadline,
 	// resumable in bit-exact segments (the fleet scheduler's unit).
 	Window = core.Window
+	// WindowState is a parked window's serializable checkpoint
+	// identity — what migrates a partially executed device between
+	// processes or machines (resumed by deterministic replay, proven
+	// by state-digest verification).
+	WindowState = core.WindowState
 	// Time is simulated time in picoseconds.
 	Time = hw.Time
 )

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -9,6 +10,14 @@ import (
 	"repro/netfpga"
 	"repro/netfpga/fleet"
 )
+
+// ErrDiverged marks two completions of the same cell whose digests
+// disagree — a determinism violation, distinct from every recoverable
+// merge failure (a corrupt record, a duplicate, an unknown key). A
+// distributed coordinator maps recoverable failures to
+// requeue-and-retry but must abort on ErrDiverged: the fleet is
+// producing different answers for the same cell.
+var ErrDiverged = errors.New("sweep: determinism violation")
 
 // Plan is a compiled sweep execution: every expanded cell paired with
 // its measure, plus the base seed cell seeds derive from. A plan is the
@@ -26,6 +35,23 @@ type Plan struct {
 	measures []Measure // per cell
 	groupIdx []int     // per cell: owning group index
 	ngroups  int
+	byKey    map[string]int // canonical key -> cell index (read-only after build)
+}
+
+// index (re)builds the key lookup; called once at construction, so
+// concurrent readers (RunCell from many worker goroutines) never see it
+// mutate.
+func (p *Plan) index() {
+	p.byKey = make(map[string]int, len(p.Cells))
+	for i, c := range p.Cells {
+		p.byKey[c.Key] = i
+	}
+}
+
+// Lookup returns the plan index of a canonical cell key.
+func (p *Plan) Lookup(key string) (int, bool) {
+	i, ok := p.byKey[key]
+	return i, ok
 }
 
 // PlanGroups expands every group with the given filter into an
@@ -46,6 +72,7 @@ func PlanGroups(groups []Group, filter string, baseSeed uint64) (*Plan, error) {
 			p.groupIdx[i] = gi
 		}
 	}
+	p.index()
 	return p, nil
 }
 
@@ -111,6 +138,7 @@ func (p *Plan) Shard(i, n int) *Plan {
 		sub.measures = append(sub.measures, p.measures[j])
 		sub.groupIdx = append(sub.groupIdx, p.groupIdx[j])
 	}
+	sub.index()
 	return sub
 }
 
@@ -145,19 +173,7 @@ func (p *Plan) Execute(ctx context.Context, ex fleet.Executor) (<-chan CellResul
 	go func() {
 		defer close(out)
 		for res := range ex.Execute(ctx, jobs) {
-			cr := CellResult{
-				Cell:    p.Cells[res.Index],
-				Index:   res.Index,
-				Seed:    res.Seed,
-				SimTime: res.SimTime,
-				Events:  res.Events,
-			}
-			if res.Err != nil {
-				cr.Err = res.Err.Error()
-			} else if o, ok := res.Value.(Outcome); ok {
-				cr.Values, cr.Labels = o.Values, o.Labels
-			}
-			cr.Digest = cr.digest()
+			cr := p.sealResult(res.Index, res)
 			rs.Cells[res.Index] = cr
 			out <- cr
 		}
@@ -166,6 +182,51 @@ func (p *Plan) Execute(ctx context.Context, ex fleet.Executor) (<-chan CellResul
 		}
 	}()
 	return out, rs, nil
+}
+
+// sealResult maps one executed fleet result onto cell i's sealed
+// CellResult (outcome extracted, digest stamped).
+func (p *Plan) sealResult(i int, res fleet.Result) CellResult {
+	cr := CellResult{
+		Cell:    p.Cells[i],
+		Index:   i,
+		Seed:    res.Seed,
+		SimTime: res.SimTime,
+		Events:  res.Events,
+	}
+	if res.Err != nil {
+		cr.Err = res.Err.Error()
+	} else if o, ok := res.Value.(Outcome); ok {
+		cr.Values, cr.Labels = o.Values, o.Labels
+	}
+	cr.Digest = cr.digest()
+	return cr
+}
+
+// RunCell compiles and executes a single cell of the plan and returns
+// its sealed result. wrap, when non-nil, may decorate the compiled job
+// before it runs — the hook distributed workers use to install
+// checkpoint/park instrumentation around the job's Drive. The cell's
+// seed, digest and semantics are identical to batch execution (seeds
+// derive from (BaseSeed, key), never from batch position), so a cell
+// run alone — on any process, any machine — is byte-identical to the
+// same cell inside a full sweep. Safe to call concurrently for
+// different keys.
+func (p *Plan) RunCell(ctx context.Context, key string, clockBatch int, wrap func(fleet.Job) fleet.Job) (CellResult, error) {
+	i, ok := p.byKey[key]
+	if !ok {
+		return CellResult{}, fmt.Errorf("sweep: cell %q is not in the plan", key)
+	}
+	job, err := jobFor(p.Cells[i], p.measures[i], p.BaseSeed)
+	if err != nil {
+		return CellResult{}, err
+	}
+	if wrap != nil {
+		job = wrap(job)
+	}
+	r := &fleet.Runner{Workers: 1, BaseSeed: p.BaseSeed, ClockBatch: clockBatch}
+	res := r.RunAll(ctx, []fleet.Job{job})[0]
+	return p.sealResult(i, res), nil
 }
 
 // CellRecord is the flat, serializable form of a CellResult — what
@@ -229,6 +290,10 @@ func (p *Plan) Merger() *Merger {
 func (m *Merger) Place(rec CellRecord) (CellResult, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.placeLocked(rec)
+}
+
+func (m *Merger) placeLocked(rec CellRecord) (CellResult, error) {
 	i, ok := m.pos[rec.Key]
 	if !ok {
 		return CellResult{}, fmt.Errorf("sweep: merge: cell %q is not in the plan", rec.Key)
@@ -260,6 +325,45 @@ func (m *Merger) Place(rec CellRecord) (CellResult, error) {
 	m.n++
 	m.rs.Cells[i] = cr
 	return cr, nil
+}
+
+// Adopt places one record like Place, but tolerates the duplicate a
+// recovering fleet can legitimately produce: when a cell is requeued
+// off a presumed-dead worker whose in-flight result still arrives, the
+// same cell completes twice. An exact duplicate — identical digest,
+// which by the digest's construction means identical content — is
+// reported as dup=true with no error and no state change. Two
+// completions that disagree are a determinism violation and fail
+// exactly like Place's integrity errors.
+func (m *Merger) Adopt(rec CellRecord) (cr CellResult, dup bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if i, ok := m.pos[rec.Key]; ok && m.filled[i] {
+		prev := m.rs.Cells[i]
+		if rec.Digest == prev.Digest {
+			return prev, true, nil
+		}
+		return CellResult{}, false, fmt.Errorf(
+			"sweep: merge: cell %q completed twice with diverging digests (%s then %s): %w",
+			rec.Key, prev.Digest, rec.Digest, ErrDiverged)
+	}
+	cr, err = m.placeLocked(rec)
+	return cr, false, err
+}
+
+// Filled reports whether the cell for key has already been merged.
+func (m *Merger) Filled(key string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i, ok := m.pos[key]
+	return ok && m.filled[i]
+}
+
+// Placed returns the number of cells merged so far.
+func (m *Merger) Placed() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n
 }
 
 // Missing returns the keys of plan cells no record has filled, sorted.

@@ -1,0 +1,519 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/netfpga/fleet"
+	"repro/netfpga/sweep"
+)
+
+// Fleet is the dynamic coordinator: it opens sessions on a set of
+// pre-connected worker endpoints (spawned subprocesses, TCP dials, or
+// both mixed), feeds the plan's cells out in chunks as workers drain
+// them, and merges the streamed records into one result set with
+// digests byte-identical to a single-process run.
+//
+// Unlike the static Coordinator, the fleet survives its workers:
+//
+//   - Death/disconnect: a worker whose stream breaks (process killed,
+//     connection lost, malformed frames) is discarded and every cell it
+//     still owed is requeued onto the survivors. The Merger's
+//     missing-cell accounting proves nothing was lost, and its
+//     duplicate tolerance absorbs the race where a presumed-dead
+//     worker's in-flight result still lands.
+//   - Hangs: a worker that owes cells (or has never said Hello) and
+//     goes silent past HangTimeout is killed and treated as dead.
+//   - Migration: a worker can park a running cell between two events
+//     and ship it back as a Checkpoint (forced by MigrateAfter, or
+//     requested by a Steal when the queue is empty and a peer idles);
+//     the fleet resumes it on another worker, which replays to the park
+//     point, verifies the state digest bit-exactly, and finishes the
+//     cell.
+//
+// A run fails only on determinism violations (sweep.ErrDiverged), on
+// losing every worker, or on a cell that exhausts its requeue budget —
+// never on an individual worker failure.
+type Fleet struct {
+	// Req is the session template sent in each Open: config, filter,
+	// seed, and local-pool tuning. Shard/Shards are ignored — the fleet
+	// assigns cells dynamically.
+	Req Request
+	// Endpoints are the connected workers (>= 1).
+	Endpoints []*Endpoint
+	// Chunk is the number of cells per assignment; 0 auto-sizes from
+	// plan and fleet width.
+	Chunk int
+	// MigrateAfter, when non-zero, forces every fresh cell to park at
+	// that cumulative executed-event count and migrate — the
+	// determinism gate for the checkpoint path.
+	MigrateAfter uint64
+	// HangTimeout kills a worker that owes cells but has sent nothing
+	// for this long (0 = never). It must comfortably exceed the
+	// longest single cell's execution time.
+	HangTimeout time.Duration
+	// Steal enables utilization-driven migration: when the pending
+	// queue is empty and a worker idles, the busiest worker owing >= 2
+	// cells is asked to park one.
+	Steal bool
+	// OnEvent, when non-nil, observes fleet lifecycle events (deaths,
+	// requeues, migrations) from the coordinator goroutine.
+	OnEvent func(FleetEvent)
+}
+
+// FleetEvent is one coordinator observation: what happened, on which
+// worker, and how many cells it moved.
+type FleetEvent struct {
+	Worker string
+	Kind   string // hello, death, hang, checkpoint, resume, reject, steal, duplicate, done
+	Detail string
+	Cells  int
+}
+
+// closeGrace bounds the Close/Done handshake at the end of a run; a
+// worker that cannot acknowledge within it is killed (its cells are
+// already merged, so nothing is lost).
+const closeGrace = 15 * time.Second
+
+// fleetWorker is the coordinator's per-endpoint state.
+type fleetWorker struct {
+	ep          *Endpoint
+	send        chan Command
+	outstanding map[string]sessionItem
+	lastFrame   time.Time
+	alive       bool
+	helloed     bool
+	closed      bool
+	done        bool
+	recvCells   int
+	stealsOut   int
+}
+
+type fleetEvent struct {
+	w     int
+	frame *SessionFrame
+	err   error
+}
+
+// Run executes the plan across the fleet. onCell, when non-nil,
+// observes every first-adopted cell in completion order from the
+// coordinator goroutine. The merged Results is in expansion order with
+// every digest recomputed and verified on arrival; the report
+// aggregates every worker's session utilization.
+func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.CellResult)) (*sweep.Results, fleet.UtilizationReport, error) {
+	var util fleet.UtilizationReport
+	if len(f.Endpoints) == 0 {
+		return nil, util, fmt.Errorf("shard: fleet has no endpoints")
+	}
+	emit := func(ev FleetEvent) {
+		if f.OnEvent != nil {
+			f.OnEvent(ev)
+		}
+	}
+
+	m := plan.Merger()
+	total := len(plan.Cells)
+	chunk := f.Chunk
+	if chunk <= 0 {
+		chunk = total / (4 * len(f.Endpoints))
+		if chunk < 1 {
+			chunk = 1
+		}
+		if chunk > 16 {
+			chunk = 16
+		}
+	}
+
+	// pending holds every cell not yet assigned to a live worker:
+	// initially the whole plan, later requeues and checkpoints.
+	pending := make([]sessionItem, 0, total)
+	for _, key := range plan.Keys() {
+		pending = append(pending, sessionItem{key: key})
+	}
+	// donor[key] remembers who shipped a pending checkpoint so the
+	// resume lands elsewhere when the fleet allows it.
+	donor := make(map[string]int)
+	requeues := make(map[string]int)
+	maxRequeue := 2 * len(f.Endpoints)
+	if maxRequeue < 4 {
+		maxRequeue = 4
+	}
+
+	events := make(chan fleetEvent)
+	finished := make(chan struct{})
+	workers := make([]*fleetWorker, len(f.Endpoints))
+	now := time.Now()
+	for i, ep := range f.Endpoints {
+		w := &fleetWorker{
+			ep:          ep,
+			send:        make(chan Command, 4*total+16),
+			outstanding: make(map[string]sessionItem),
+			lastFrame:   now,
+			alive:       true,
+		}
+		workers[i] = w
+		go func(w *fleetWorker) { // writer
+			for cmd := range w.send {
+				if err := WriteFrame(w.ep.In, cmd); err != nil {
+					// The reader observes the broken transport; just
+					// drain so the coordinator never blocks.
+					for range w.send {
+					}
+					return
+				}
+			}
+		}(w)
+		go func(i int, w *fleetWorker) { // reader
+			for {
+				var fr SessionFrame
+				ev := fleetEvent{w: i}
+				if err := ReadFrame(w.ep.Out, &fr); err != nil {
+					ev.err = err
+				} else {
+					ev.frame = &fr
+				}
+				select {
+				case events <- ev:
+				case <-finished:
+					return
+				}
+				if ev.err != nil {
+					return
+				}
+			}
+		}(i, w)
+		req := f.Req
+		req.Shard, req.Shards = 0, 0
+		w.send <- Command{Open: &req}
+	}
+	defer func() {
+		close(finished)
+		for _, w := range workers {
+			if w.ep.Kill != nil {
+				_ = w.ep.Kill()
+			}
+		}
+		for _, w := range workers {
+			close(w.send)
+			if w.ep.Wait != nil {
+				_ = w.ep.Wait()
+			}
+		}
+	}()
+
+	// ready counts workers that can accept work right now.
+	ready := func() (n int) {
+		for _, w := range workers {
+			if w.alive && w.helloed && !w.closed {
+				n++
+			}
+		}
+		return n
+	}
+	alive := func() (n int) {
+		for _, w := range workers {
+			if w.alive {
+				n++
+			}
+		}
+		return n
+	}
+
+	// feed tops worker i up to 2*chunk outstanding cells, batching
+	// fresh keys into one Assign and sending resumes individually. A
+	// resume prefers any worker other than its donor; the donor takes
+	// it back only when it is the fleet's only ready worker.
+	feed := func(i int) {
+		w := workers[i]
+		if !w.alive || !w.helloed || w.closed {
+			return
+		}
+		var keys []string
+		var skipped []sessionItem
+		for len(pending) > 0 && len(w.outstanding)+len(keys) < 2*chunk {
+			it := pending[0]
+			pending = pending[1:]
+			if it.resume != nil {
+				if d, ok := donor[it.key]; ok && d == i && ready() > 1 {
+					skipped = append(skipped, it)
+					continue
+				}
+				delete(donor, it.key)
+				w.outstanding[it.key] = it
+				w.send <- Command{Resume: it.resume}
+				emit(FleetEvent{Worker: w.ep.Name, Kind: "resume", Detail: it.key, Cells: 1})
+				continue
+			}
+			w.outstanding[it.key] = it
+			keys = append(keys, it.key)
+		}
+		if len(skipped) > 0 {
+			pending = append(skipped, pending...)
+		}
+		if len(keys) > 0 {
+			w.send <- Command{Assign: &Assign{Keys: keys, MigrateAfter: f.MigrateAfter}}
+		}
+	}
+	feedAll := func() {
+		for i := range workers {
+			feed(i)
+		}
+	}
+
+	requeue := func(it sessionItem, why string) error {
+		if m.Filled(it.key) {
+			return nil
+		}
+		requeues[it.key]++
+		if requeues[it.key] > maxRequeue {
+			return fmt.Errorf("shard: cell %s failed %d workers (last: %s)", it.key, requeues[it.key], why)
+		}
+		// Requeued cells restart fresh: a dead donor's checkpoint is
+		// still valid anywhere, but a clean restart has one less moving
+		// part and the digest guarantee makes both equivalent.
+		delete(donor, it.key)
+		pending = append(pending, sessionItem{key: it.key})
+		return nil
+	}
+
+	markDead := func(i int, kind, why string) error {
+		w := workers[i]
+		if !w.alive {
+			return nil
+		}
+		w.alive = false
+		if w.ep.Kill != nil {
+			_ = w.ep.Kill()
+		}
+		n := 0
+		var err error
+		for _, it := range w.outstanding {
+			if e := requeue(it, why); e != nil && err == nil {
+				err = e
+			}
+			n++
+		}
+		w.outstanding = map[string]sessionItem{}
+		emit(FleetEvent{Worker: w.ep.Name, Kind: kind, Detail: why, Cells: n})
+		if err != nil {
+			return err
+		}
+		if alive() == 0 && m.Placed() < total {
+			return fmt.Errorf("shard: all %d workers dead with %d of %d cells unfinished (last: %s: %s)",
+				len(workers), total-m.Placed(), total, w.ep.Name, why)
+		}
+		feedAll()
+		return nil
+	}
+
+	// maybeSteal migrates backlog toward idle workers once the pending
+	// queue is dry: the busiest worker owing at least two cells parks
+	// one. Single-cell victims are left alone — replay-migrating a
+	// worker's only cell buys nothing.
+	maybeSteal := func() {
+		if !f.Steal || len(pending) > 0 {
+			return
+		}
+		idle, victim, most := false, -1, 1
+		for i, w := range workers {
+			if !w.alive || !w.helloed || w.closed {
+				continue
+			}
+			if len(w.outstanding) == 0 {
+				idle = true
+				w.stealsOut = 0
+			}
+			if len(w.outstanding) > most && w.stealsOut == 0 {
+				victim, most = i, len(w.outstanding)
+			}
+		}
+		if idle && victim >= 0 {
+			workers[victim].stealsOut++
+			workers[victim].send <- Command{Steal: true}
+			emit(FleetEvent{Worker: workers[victim].ep.Name, Kind: "steal", Cells: most})
+		}
+	}
+
+	tick := 250 * time.Millisecond
+	if f.HangTimeout > 0 && f.HangTimeout/4 < tick {
+		tick = f.HangTimeout / 4
+	}
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+
+	var closeAt time.Time
+	closing := false
+	startClose := func() {
+		closing = true
+		closeAt = time.Now()
+		for _, w := range workers {
+			if w.alive && !w.closed {
+				w.closed = true
+				w.send <- Command{Close: true}
+			}
+		}
+	}
+	closeDone := func() bool {
+		for _, w := range workers {
+			if w.alive && !w.done {
+				return false
+			}
+		}
+		return true
+	}
+
+	for {
+		if !closing && m.Placed() == total {
+			startClose()
+		}
+		if closing && closeDone() {
+			break
+		}
+
+		select {
+		case <-ctx.Done():
+			return nil, util, ctx.Err()
+		case <-ticker.C:
+			if closing {
+				if time.Since(closeAt) > closeGrace {
+					for i, w := range workers {
+						if w.alive && !w.done {
+							if err := markDead(i, "death", "no done frame within close grace"); err != nil {
+								return nil, util, err
+							}
+						}
+					}
+				}
+				continue
+			}
+			if f.HangTimeout > 0 {
+				for i, w := range workers {
+					owes := len(w.outstanding) > 0 || !w.helloed
+					if w.alive && owes && time.Since(w.lastFrame) > f.HangTimeout {
+						if err := markDead(i, "hang", fmt.Sprintf("silent for over %v with %d cells outstanding",
+							f.HangTimeout, len(w.outstanding))); err != nil {
+							return nil, util, err
+						}
+					}
+				}
+			}
+			maybeSteal()
+		case ev := <-events:
+			w := workers[ev.w]
+			w.lastFrame = time.Now()
+			if ev.err != nil {
+				if !w.alive {
+					continue
+				}
+				if closing && w.closed {
+					// A worker tearing its stream down after Close is
+					// orderly enough; it owes nothing.
+					w.alive, w.done = false, true
+					continue
+				}
+				why := ev.err.Error()
+				if ev.err == io.EOF {
+					why = "stream closed"
+				}
+				var fe *FrameError
+				if errors.As(ev.err, &fe) {
+					why = "malformed frames: " + fe.Error()
+				}
+				if err := markDead(ev.w, "death", why); err != nil {
+					return nil, util, err
+				}
+				continue
+			}
+			fr := ev.frame
+			switch {
+			case fr.Hello != nil:
+				if fr.Hello.Cells != total {
+					if err := markDead(ev.w, "death", fmt.Sprintf("plan disagreement: worker sees %d cells, plan has %d",
+						fr.Hello.Cells, total)); err != nil {
+						return nil, util, err
+					}
+					continue
+				}
+				w.helloed = true
+				emit(FleetEvent{Worker: w.ep.Name, Kind: "hello", Cells: fr.Hello.Cells})
+				feed(ev.w)
+			case fr.Cell != nil:
+				w.recvCells++
+				cr, dup, err := m.Adopt(*fr.Cell)
+				if err != nil {
+					if errors.Is(err, sweep.ErrDiverged) {
+						return nil, util, err
+					}
+					// Corrupt record (tampered digest, unknown key):
+					// the worker is untrustworthy — kill it; markDead
+					// requeues everything it owed, this cell included.
+					if err := markDead(ev.w, "death", "corrupt record: "+err.Error()); err != nil {
+						return nil, util, err
+					}
+					continue
+				}
+				delete(w.outstanding, fr.Cell.Key)
+				if dup {
+					emit(FleetEvent{Worker: w.ep.Name, Kind: "duplicate", Detail: fr.Cell.Key, Cells: 1})
+					continue
+				}
+				if onCell != nil {
+					onCell(cr)
+				}
+				feed(ev.w)
+			case fr.Checkpoint != nil:
+				delete(w.outstanding, fr.Checkpoint.Key)
+				if w.stealsOut > 0 {
+					w.stealsOut--
+				}
+				if m.Filled(fr.Checkpoint.Key) {
+					emit(FleetEvent{Worker: w.ep.Name, Kind: "checkpoint", Detail: fr.Checkpoint.Key + " (stale)", Cells: 0})
+					continue
+				}
+				cp := *fr.Checkpoint
+				pending = append(pending, sessionItem{key: cp.Key, resume: &cp})
+				donor[cp.Key] = ev.w
+				emit(FleetEvent{Worker: w.ep.Name, Kind: "checkpoint", Detail: cp.Key, Cells: 1})
+				feedAll()
+			case fr.Reject != nil:
+				it, owed := w.outstanding[fr.Reject.Key]
+				delete(w.outstanding, fr.Reject.Key)
+				emit(FleetEvent{Worker: w.ep.Name, Kind: "reject", Detail: fr.Reject.Key + ": " + fr.Reject.Reason, Cells: 1})
+				if owed {
+					if err := requeue(it, "rejected: "+fr.Reject.Reason); err != nil {
+						return nil, util, err
+					}
+					feedAll()
+				}
+			case fr.Done != nil:
+				w.done = true
+				util.Merge(fr.Done.Util)
+				detail := ""
+				if fr.Done.Cells != w.recvCells {
+					detail = fmt.Sprintf("worker counted %d cells, coordinator received %d", fr.Done.Cells, w.recvCells)
+				}
+				emit(FleetEvent{Worker: w.ep.Name, Kind: "done", Detail: detail, Cells: fr.Done.Cells})
+			case fr.Err != "":
+				if err := markDead(ev.w, "death", "worker failed: "+fr.Err); err != nil {
+					return nil, util, err
+				}
+			default:
+				if err := markDead(ev.w, "death", "empty frame"); err != nil {
+					return nil, util, err
+				}
+			}
+		}
+	}
+
+	rs, err := m.Results()
+	if err != nil {
+		return nil, util, err
+	}
+	return rs, util, nil
+}

@@ -22,6 +22,7 @@ package shard
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -29,8 +30,33 @@ import (
 )
 
 // MaxFrame bounds a frame's payload; a length prefix beyond it aborts
-// the stream (corrupt peer, not a sweep that big).
+// the stream (corrupt peer, not a sweep that big). The bound is checked
+// before any allocation, so a corrupt or hostile prefix can never make
+// the reader allocate an attacker-sized buffer.
 const MaxFrame = 64 << 20
+
+// FrameError marks a malformed frame stream: a length prefix over
+// MaxFrame, a truncated payload, or bytes that do not decode. It is a
+// peer-integrity failure, not an execution failure — a coordinator maps
+// it to "this worker is corrupt: kill it and requeue its cells", never
+// to aborting the whole run.
+type FrameError struct {
+	Reason string
+	Err    error
+}
+
+func (e *FrameError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("shard: %s: %v", e.Reason, e.Err)
+	}
+	return "shard: " + e.Reason
+}
+
+func (e *FrameError) Unwrap() error { return e.Err }
+
+// ErrFrameTooLarge is the FrameError cause for a length prefix beyond
+// MaxFrame.
+var ErrFrameTooLarge = errors.New("frame length exceeds limit")
 
 // Request is the coordinator's one instruction to a worker: which
 // config to plan, how to filter and seed it, which partition to run,
@@ -90,7 +116,9 @@ func WriteFrame(w io.Writer, v any) error {
 }
 
 // ReadFrame reads one length-prefixed frame into v. io.EOF is returned
-// unwrapped when the stream ends cleanly between frames.
+// unwrapped when the stream ends cleanly between frames; every
+// malformed-stream failure (oversized prefix, truncated payload,
+// undecodable bytes) is a *FrameError.
 func ReadFrame(r io.Reader, v any) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -101,14 +129,14 @@ func ReadFrame(r io.Reader, v any) error {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return fmt.Errorf("shard: frame length %d exceeds limit", n)
+		return &FrameError{Reason: fmt.Sprintf("frame length %d", n), Err: ErrFrameTooLarge}
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return fmt.Errorf("shard: reading %d-byte frame: %w", n, err)
+		return &FrameError{Reason: fmt.Sprintf("reading %d-byte frame", n), Err: err}
 	}
 	if err := json.Unmarshal(buf, v); err != nil {
-		return fmt.Errorf("shard: decoding frame: %w", err)
+		return &FrameError{Reason: "decoding frame", Err: err}
 	}
 	return nil
 }

@@ -28,6 +28,14 @@ func TestMain(m *testing.M) {
 		}
 		os.Exit(0)
 	}
+	if os.Getenv("NF_SHARD_SESSION") == "1" {
+		err := ServeSession(context.Background(), os.Stdin, os.Stdout, testPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
 	os.Exit(m.Run())
 }
 

@@ -475,6 +475,120 @@ func TestMergerRejects(t *testing.T) {
 	}
 }
 
+// TestRunCellMatchesBatch: a cell run alone through RunCell is
+// byte-identical (same digest, seed, events) to the same cell inside a
+// full batch execution — the invariant the networked worker's per-cell
+// pull model stands on. The wrap hook decorates the job without
+// changing the result, and unknown keys are rejected.
+func TestRunCellMatchesBatch(t *testing.T) {
+	groups := []Group{matrixGroup(40)}
+	p, err := PlanGroups(groups, "", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := RunGroups(context.Background(), fleet.New(4), groups, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Cells[0].Digest == "" {
+		t.Fatal("batch run produced no digests")
+	}
+	// RunGroups uses BaseSeed 0; re-run the batch at seed 7 to compare.
+	ch, rs, err := p.Execute(context.Background(), fleet.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range ch {
+	}
+
+	wrapped := 0
+	for _, want := range rs.Cells {
+		got, err := p.RunCell(context.Background(), want.Cell.Key, 0, func(j fleet.Job) fleet.Job {
+			wrapped++
+			return j
+		})
+		if err != nil {
+			t.Fatalf("RunCell %s: %v", want.Cell.Key, err)
+		}
+		if got.Digest != want.Digest {
+			t.Errorf("cell %s: solo digest %s != batch digest %s", want.Cell.Key, got.Digest, want.Digest)
+		}
+		if got.Seed != want.Seed || got.Events != want.Events {
+			t.Errorf("cell %s: solo (seed=%d events=%d) != batch (seed=%d events=%d)",
+				want.Cell.Key, got.Seed, got.Events, want.Seed, want.Events)
+		}
+	}
+	if wrapped != len(rs.Cells) {
+		t.Errorf("wrap hook ran %d times for %d cells", wrapped, len(rs.Cells))
+	}
+	if _, err := p.RunCell(context.Background(), "no/such=cell", 0, nil); err == nil {
+		t.Error("RunCell accepted a key outside the plan")
+	}
+	if i, ok := p.Lookup(rs.Cells[0].Cell.Key); !ok || i != 0 {
+		t.Errorf("Lookup(%s) = (%d, %v), want (0, true)", rs.Cells[0].Cell.Key, i, ok)
+	}
+}
+
+// TestMergerAdopt: Adopt tolerates the exact duplicate a recovering
+// fleet produces (requeued cell racing its dead sender's in-flight
+// result) but still rejects diverging completions and everything Place
+// rejects.
+func TestMergerAdopt(t *testing.T) {
+	p, err := PlanGroups([]Group{matrixGroup(40)}, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, _, err := p.Execute(context.Background(), fleet.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []CellRecord
+	for cr := range ch {
+		recs = append(recs, cr.Record())
+	}
+
+	m := p.Merger()
+	cr, dup, err := m.Adopt(recs[0])
+	if err != nil || dup {
+		t.Fatalf("first adopt: dup=%v err=%v", dup, err)
+	}
+	if !m.Filled(recs[0].Key) || m.Placed() != 1 {
+		t.Fatalf("after first adopt: filled=%v placed=%d", m.Filled(recs[0].Key), m.Placed())
+	}
+	// The benign duplicate: identical digest, no error, no state change.
+	again, dup, err := m.Adopt(recs[0])
+	if err != nil || !dup {
+		t.Fatalf("identical duplicate: dup=%v err=%v", dup, err)
+	}
+	if again.Digest != cr.Digest || m.Placed() != 1 {
+		t.Fatalf("duplicate adopt changed state: digest %s vs %s, placed=%d", again.Digest, cr.Digest, m.Placed())
+	}
+	// A diverging completion of the same cell is a determinism violation.
+	div := recs[0]
+	div.Events++
+	div.Digest = "0000000000000000"
+	if _, _, err := m.Adopt(div); err == nil || !strings.Contains(err.Error(), "diverging") {
+		t.Errorf("diverging duplicate: err=%v, want diverging-digest error", err)
+	}
+	// Adopt still enforces Place's integrity checks on fresh cells.
+	bad := recs[1]
+	bad.Events++
+	if _, _, err := m.Adopt(bad); err == nil {
+		t.Error("tampered fresh record adopted")
+	}
+	if _, _, err := m.Adopt(CellRecord{Key: "nope", Digest: "x"}); err == nil {
+		t.Error("unknown key adopted")
+	}
+	for _, r := range recs[1:] {
+		if _, _, err := m.Adopt(r); err != nil {
+			t.Fatalf("adopt %s: %v", r.Key, err)
+		}
+	}
+	if _, err := m.Results(); err != nil {
+		t.Fatalf("complete merge rejected: %v", err)
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	s := []float64{100, 10, 50, 30, 20, 90, 60, 40, 80, 70} // unsorted on purpose
 	cases := []struct{ p, want float64 }{
