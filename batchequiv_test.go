@@ -19,9 +19,10 @@ import (
 // runSwitchIMIX drives one reference switch with deterministic IMIX
 // traffic at the given clock batch size and returns its full counter
 // snapshot plus everything the taps captured.
-func runSwitchIMIX(t *testing.T, clockBatch int) (map[string]uint64, []netfpga.RxFrame) {
+func runSwitchIMIX(t *testing.T, clockBatch, frameBurst int) (map[string]uint64, []netfpga.RxFrame) {
 	t.Helper()
-	dev := netfpga.NewDevice(netfpga.SUME(), netfpga.Options{ClockBatch: clockBatch})
+	dev := netfpga.NewDevice(netfpga.SUME(),
+		netfpga.Options{ClockBatch: clockBatch, FrameBurst: frameBurst})
 	if err := switchp.New(switchp.Config{}).Build(dev); err != nil {
 		t.Fatal(err)
 	}
@@ -48,29 +49,42 @@ func runSwitchIMIX(t *testing.T, clockBatch int) (map[string]uint64, []netfpga.R
 }
 
 func TestDeviceBatchEquivalence(t *testing.T) {
-	refSnap, refRx := runSwitchIMIX(t, 1)
+	refSnap, refRx := runSwitchIMIX(t, 1, 1)
 	if refSnap["sim.events"] == 0 || len(refRx) == 0 {
 		t.Fatal("reference run did nothing")
 	}
+	check := func(t *testing.T, clockBatch, frameBurst int) {
+		snap, rx := runSwitchIMIX(t, clockBatch, frameBurst)
+		if len(snap) != len(refSnap) {
+			t.Fatalf("snapshot has %d counters, want %d", len(snap), len(refSnap))
+		}
+		for k, want := range refSnap {
+			if got := snap[k]; got != want {
+				t.Errorf("counter %s = %d, want %d", k, got, want)
+			}
+		}
+		if len(rx) != len(refRx) {
+			t.Fatalf("captured %d frames, want %d", len(rx), len(refRx))
+		}
+		for i := range rx {
+			if rx[i].At != refRx[i].At || !bytes.Equal(rx[i].Data, refRx[i].Data) {
+				t.Fatalf("captured frame %d differs (at %d vs %d)", i, rx[i].At, refRx[i].At)
+			}
+		}
+	}
 	for _, batch := range []int{2, 16, 0 /* DefaultBatch */, 512} {
 		t.Run(fmt.Sprintf("batch=%d", batch), func(t *testing.T) {
-			snap, rx := runSwitchIMIX(t, batch)
-			if len(snap) != len(refSnap) {
-				t.Fatalf("snapshot has %d counters, want %d", len(snap), len(refSnap))
-			}
-			for k, want := range refSnap {
-				if got := snap[k]; got != want {
-					t.Errorf("counter %s = %d, want %d", k, got, want)
-				}
-			}
-			if len(rx) != len(refRx) {
-				t.Fatalf("captured %d frames, want %d", len(rx), len(refRx))
-			}
-			for i := range rx {
-				if rx[i].At != refRx[i].At || !bytes.Equal(rx[i].Data, refRx[i].Data) {
-					t.Fatalf("captured frame %d differs (at %d vs %d)", i, rx[i].At, refRx[i].At)
-				}
-			}
+			check(t, batch, 1)
+		})
+	}
+	// Frame-burst windows compose with clock batching; every combination
+	// must reproduce the unbatched, unbursted run exactly.
+	for _, burst := range []int{8, 64, 0 /* adaptive */} {
+		t.Run(fmt.Sprintf("burst=%d", burst), func(t *testing.T) {
+			check(t, 1, burst)
+		})
+		t.Run(fmt.Sprintf("batch=0/burst=%d", burst), func(t *testing.T) {
+			check(t, 0, burst)
 		})
 	}
 }

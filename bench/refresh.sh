@@ -9,7 +9,7 @@
 # a silently truncated baseline.
 set -eo pipefail
 cd "$(dirname "$0")/.."
-go test -bench 'BenchmarkDatapathMinFrames10G$|BenchmarkSwitchIMIXWorkload$|BenchmarkSimEventThroughput$' \
+go test -bench 'BenchmarkDatapathMinFrames10G$|BenchmarkDatapathBurst10G$|BenchmarkSwitchIMIXWorkload$|BenchmarkSimEventThroughput$' \
   -benchtime=1000x -count=10 -run '^$' . | tee bench/baseline.txt
 # The fleet tail-heavy batch and multicast flood are macro/steady-state
 # benchmarks: far fewer, longer iterations keep total time sane while
@@ -18,3 +18,12 @@ go test -bench 'BenchmarkFleetTailHeavyBatch(WholeJob)?$' \
   -benchtime=2x -count=6 -run '^$' . | grep Benchmark | tee -a bench/baseline.txt
 go test -bench 'BenchmarkMulticastFlood$' \
   -benchtime=2000x -count=10 -benchmem -run '^$' . | grep Benchmark | tee -a bench/baseline.txt
+# The million-flow CAM lookup is a sub-100ns micro: lots of fixed
+# iterations per run keep the median meaningful.
+go test -bench 'BenchmarkSwitchMillionFlows$' \
+  -benchtime=200000x -count=10 -benchmem -run '^$' . | grep Benchmark | tee -a bench/baseline.txt
+# Frames/sec headline from the refreshed medians (self-compare: the
+# interesting before/after is old-vs-new baseline in the commit diff).
+go run ./cmd/benchgate -old bench/baseline.txt -new bench/baseline.txt \
+  -gate BenchmarkSwitchIMIXWorkload \
+  -headline BenchmarkSwitchIMIXWorkload,BenchmarkDatapathMinFrames10G,BenchmarkDatapathBurst10G

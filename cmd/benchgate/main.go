@@ -81,6 +81,8 @@ func main() {
 	newPath := flag.String("new", "", "fresh `go test -bench` output")
 	gate := flag.String("gate", "", "comma-separated benchmark names that must not regress")
 	maxRegress := flag.Float64("max-regress", 20, "maximum allowed regression in percent")
+	headline := flag.String("headline", "",
+		"comma-separated per-frame benchmarks to report as frames/sec throughput")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" || *gate == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -old, -new and -gate are required")
@@ -117,6 +119,24 @@ func main() {
 			failed = true
 		}
 		fmt.Printf("%-40s %14.1f %14.1f %+8.1f%%%s\n", name, o, n, delta, verdict)
+	}
+	// The throughput headline: per-frame benchmarks inverted to
+	// frames/sec, the paper-facing number (informational, never gated —
+	// the ns/op gate above is the enforcement point).
+	for _, name := range strings.Split(*headline, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		n, ok := newB[name]
+		if !ok || n <= 0 {
+			continue
+		}
+		line := fmt.Sprintf("headline %s: %.0f frames/sec", name, 1e9/n)
+		if o, ok := oldB[name]; ok && o > 0 {
+			line += fmt.Sprintf(" (baseline %.0f, %+.1f%%)", 1e9/o, (o-n)/o*100)
+		}
+		fmt.Println(line)
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchgate: FAIL (threshold %+.0f%%)\n", *maxRegress)

@@ -40,10 +40,13 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/storage/resultstore"
 	"repro/netfpga"
 	"repro/netfpga/fleet"
 	"repro/netfpga/sweep"
@@ -64,10 +67,13 @@ func main() {
 	workers := flag.Int("workers", 0, "fleet worker count for -parallel (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 0, "base seed for per-device RNG derivation")
 	batch := flag.Int("batch", 0, "datapath clock batch size (0 = engine default, 1 = unbatched)")
+	burst := flag.String("burst", "adaptive", "vectorized frame-burst window: adaptive, off, or a max cycles-per-window cap (results identical in every mode)")
 	segment := flag.String("segment", "auto", "segment scheduler: auto, off, or an events-per-segment budget (results identical in every mode)")
 	execName := flag.String("exec", "local", "execution backend: local (fixed pool) or elastic (grow/shrink workers mid-batch; results identical)")
 	jsonOut := flag.Bool("json", false, "write per-experiment metrics and wall-clock to BENCH_<stamp>.json")
 	jsonPath := flag.String("json-out", "", "override the -json output path")
+	storeDir := flag.String("store", "nf-results", "results store directory -json runs are also indexed into (sweep -history then covers perf trajectories)")
+	noStore := flag.Bool("no-store", false, "skip persisting -json runs into the results store")
 	flag.Parse()
 
 	if *list {
@@ -88,6 +94,7 @@ func main() {
 	}
 
 	segOn, segBudget := parseSegment(*segment)
+	burstN := parseBurst(*burst)
 	if *execName != "local" && *execName != "elastic" {
 		fmt.Fprintf(os.Stderr, "nf-bench: -exec must be local or elastic (got %q)\n", *execName)
 		os.Exit(2)
@@ -99,13 +106,17 @@ func main() {
 		os.Exit(2)
 	}
 	mkExec := func(w int) fleet.Executor {
-		return buildExecutor(*execName, w, *seed, *batch, segOn, segBudget)
+		return buildExecutor(*execName, w, *seed, *batch, burstN, segOn, segBudget)
+	}
+	store := ""
+	if !*noStore {
+		store = *storeDir
 	}
 
 	if !*parallel {
 		walls, tables := runSuite(todo, mkExec(1), os.Stdout)
 		if *jsonOut || *jsonPath != "" {
-			writeJSON(*jsonPath, todo, walls, tables, 1, *seed)
+			writeJSON(*jsonPath, todo, walls, tables, 1, *seed, store)
 		}
 		return
 	}
@@ -117,7 +128,8 @@ func main() {
 	// Sequential reference pass first (tables discarded — they are
 	// byte-identical to the parallel pass by the fleet's determinism
 	// contract), then the parallel pass that prints.
-	seqWalls, _ := runSuite(todo, &fleet.Runner{Workers: 1, BaseSeed: *seed, ClockBatch: *batch}, io.Discard)
+	seqWalls, _ := runSuite(todo, &fleet.Runner{Workers: 1, BaseSeed: *seed,
+		ClockBatch: *batch, FrameBurst: burstN}, io.Discard)
 	parWalls, parTables := runSuite(todo, mkExec(w), os.Stdout)
 
 	fmt.Printf("==== fleet speedup (%d workers, GOMAXPROCS=%d) ====\n\n", w, runtime.GOMAXPROCS(0))
@@ -135,30 +147,49 @@ func main() {
 		speedup(seqTotal, parTotal))
 
 	if *jsonOut || *jsonPath != "" {
-		writeJSON(*jsonPath, todo, parWalls, parTables, w, *seed)
+		writeJSON(*jsonPath, todo, parWalls, parTables, w, *seed, store)
 	}
 
-	fleetDemo(w, *seed, *batch)
+	fleetDemo(w, *seed, *batch, burstN)
 	if !segOn {
 		fmt.Println("tail-heavy demo skipped (-segment off)")
 		return
 	}
-	tailDemo(w, *seed, *batch, segBudget)
+	tailDemo(w, *seed, *batch, burstN, segBudget)
+}
+
+// parseBurst maps the -burst flag: "adaptive" sizes vectorized windows
+// from module state alone, "off" forces per-cycle ticking, and a number
+// caps windows at that many cycles. Results are identical in every
+// mode.
+func parseBurst(v string) int {
+	switch v {
+	case "adaptive", "":
+		return 0
+	case "off":
+		return 1
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		fmt.Fprintf(os.Stderr, "nf-bench: -burst must be adaptive, off, or a positive window cap (got %q)\n", v)
+		os.Exit(2)
+	}
+	return n
 }
 
 // buildExecutor constructs the chosen local execution backend from the
 // shared CLI knobs — the one place the main and sweep modes agree on
 // what "local" and "elastic" mean. name must already be validated.
-func buildExecutor(name string, w int, seed uint64, batch int, segOn bool, segBudget uint64) fleet.Executor {
+func buildExecutor(name string, w int, seed uint64, batch, burst int, segOn bool, segBudget uint64) fleet.Executor {
 	if name == "elastic" {
 		return &fleet.Elastic{
 			Runner: fleet.Runner{BaseSeed: seed, ClockBatch: batch,
-				SegmentBudget: segBudget},
+				FrameBurst: burst, SegmentBudget: segBudget},
 			Min: 1, Max: w,
 		}
 	}
 	return &fleet.Runner{Workers: w, BaseSeed: seed, ClockBatch: batch,
-		Segment: segOn, SegmentBudget: segBudget}
+		FrameBurst: burst, Segment: segOn, SegmentBudget: segBudget}
 }
 
 // parseSegment maps the -segment flag: "off" disables the segment
@@ -235,8 +266,11 @@ type benchExpJSON struct {
 }
 
 // writeJSON records the run's metrics and timings. An empty path means
-// BENCH_<stamp>.json in the working directory.
-func writeJSON(path string, todo []experiments.Def, walls []time.Duration, tables [][]*experiments.Table, workers int, seed uint64) {
+// BENCH_<stamp>.json in the working directory. A non-empty storeDir
+// additionally indexes the run into the results store, one record per
+// experiment, so `nf-bench sweep -history bench/<ID>` charts the perf
+// trajectory across commits.
+func writeJSON(path string, todo []experiments.Def, walls []time.Duration, tables [][]*experiments.Table, workers int, seed uint64, storeDir string) {
 	stamp := time.Now().UTC().Format("20060102-150405")
 	if path == "" {
 		path = "BENCH_" + stamp + ".json"
@@ -271,6 +305,55 @@ func writeJSON(path string, todo []experiments.Def, walls []time.Duration, table
 	}
 	fmt.Printf("wrote %s (%d experiments, total wall %v)\n\n", path,
 		len(doc.Experiments), time.Duration(doc.TotalWallNs).Round(time.Millisecond))
+	if storeDir != "" {
+		if err := persistBench(storeDir, doc, seed, workers); err != nil {
+			fmt.Fprintf(os.Stderr, "nf-bench: results store: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("indexed run bench-%s into %s (%d experiments)\n\n", stamp, storeDir, len(doc.Experiments))
+	}
+}
+
+// persistBench indexes a BENCH_*.json run into the results store: one
+// record per experiment under key "bench/<ID>", values carrying the
+// experiment's metrics plus its wall-clock. The record digest covers
+// only the simulated metrics — never wall-clock or timestamps — so the
+// history view's change markers track real result movement while the
+// timing columns chart the perf trajectory.
+func persistBench(dir string, doc benchJSON, seed uint64, workers int) error {
+	st, err := resultstore.Open(dir)
+	if err != nil {
+		return err
+	}
+	rw, err := st.Begin(resultstore.Meta{
+		Run: "bench-" + doc.Stamp, Name: "bench", Seed: seed,
+		Workers: workers, Stamp: doc.Stamp,
+	})
+	if err != nil {
+		return err
+	}
+	for _, e := range doc.Experiments {
+		values := make(map[string]float64, len(e.Metrics)+1)
+		keys := make([]string, 0, len(e.Metrics))
+		for k, v := range e.Metrics {
+			values[k] = v
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var canon strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&canon, "%s=%v;", k, e.Metrics[k])
+		}
+		values["wall_ns"] = float64(e.WallNs)
+		if err := rw.Append(resultstore.Record{
+			Key: "bench/" + e.ID, Seed: seed, Values: values,
+			Labels: map[string]string{"title": e.Title},
+			Digest: resultstore.Hash(canon.String()),
+		}); err != nil {
+			return err
+		}
+	}
+	return rw.Close()
 }
 
 func speedup(seq, par time.Duration) float64 {
@@ -294,38 +377,44 @@ func sameResult(a, b fleet.Result) bool {
 // fleetDemo runs the canonical 8-device suite — eight independent
 // reference-switch devices under seeded IMIX load for a fixed simulated
 // window — once on one worker and once on the pool, then once more
-// fully unbatched (clock batch 1), verifying all three produce
-// byte-identical per-device results: the end-to-end gate for both the
-// fleet's scheduling determinism and the clock engine's batching
-// equivalence.
-func fleetDemo(workers int, seed uint64, batch int) {
+// fully unbatched (clock batch 1) and once with the frame-burst window
+// flipped, verifying all four produce byte-identical per-device
+// results: the end-to-end gate for the fleet's scheduling determinism,
+// the clock engine's batching equivalence, and the vectorized
+// TickBatch equivalence.
+func fleetDemo(workers int, seed uint64, batch, burst int) {
 	const devices = 8
 	mkJobs := func() []fleet.Job {
 		return experiments.SwitchFleetJobs(devices, 200*netfpga.Microsecond)
 	}
-	run := func(w, clockBatch int) ([]fleet.Result, time.Duration) {
+	run := func(w, clockBatch, frameBurst int) ([]fleet.Result, time.Duration) {
 		start := time.Now()
-		res := (&fleet.Runner{Workers: w, BaseSeed: seed, ClockBatch: clockBatch}).
-			RunAll(context.Background(), mkJobs())
+		res := (&fleet.Runner{Workers: w, BaseSeed: seed, ClockBatch: clockBatch,
+			FrameBurst: frameBurst}).RunAll(context.Background(), mkJobs())
 		return res, time.Since(start)
 	}
-	seqRes, seqWall := run(1, batch)
-	parRes, parWall := run(workers, batch)
-	// The equivalence run must use a genuinely different batch size:
-	// fully unbatched normally, the engine default when the main run is
-	// itself unbatched (-batch 1).
+	seqRes, seqWall := run(1, batch, burst)
+	parRes, parWall := run(workers, batch, burst)
+	// The equivalence runs must use genuinely different knob values:
+	// fully unbatched / per-cycle normally, the engine defaults when the
+	// main run already is (-batch 1 / -burst off).
 	altBatch := 1
 	if batch == 1 {
 		altBatch = 0
 	}
-	unbatchedRes, _ := run(workers, altBatch)
+	unbatchedRes, _ := run(workers, altBatch, burst)
+	altBurst := 1
+	if burst == 1 {
+		altBurst = 0
+	}
+	unburstRes, _ := run(workers, batch, altBurst)
 
 	fmt.Printf("==== fleet demo: %d reference-switch devices, IMIX at line rate ====\n\n", devices)
 	fmt.Printf("%-9s %-18s %12s %10s\n", "device", "result", "sim events", "status")
 	identical, failed := true, false
 	for i := range seqRes {
 		status := "ok"
-		for _, r := range []fleet.Result{seqRes[i], parRes[i], unbatchedRes[i]} {
+		for _, r := range []fleet.Result{seqRes[i], parRes[i], unbatchedRes[i], unburstRes[i]} {
 			if r.Err != nil {
 				failed = true
 				status = "ERR " + r.Err.Error()
@@ -339,9 +428,13 @@ func fleetDemo(workers int, seed uint64, batch int) {
 			identical = false
 			status = "DIVERGED(batch)"
 		}
+		if !sameResult(seqRes[i], unburstRes[i]) {
+			identical = false
+			status = "DIVERGED(burst)"
+		}
 		fmt.Printf("%-9s %-18v %12d %10s\n", seqRes[i].Name, parRes[i].Value, parRes[i].Events, status)
 	}
-	match := "byte-identical (across workers and batch sizes)"
+	match := "byte-identical (across workers, batch sizes and burst windows)"
 	if !identical {
 		match = "MISMATCH (determinism bug)"
 	}
@@ -364,11 +457,11 @@ func fleetDemo(workers int, seed uint64, batch int) {
 // jobs is exactly what segmentation removes, so on a machine with as
 // many cores as workers the segmented run lands near
 // max(long cell, total/workers) — about 1.5-1.8x faster here.
-func tailDemo(workers int, seed uint64, batch int, segBudget uint64) {
+func tailDemo(workers int, seed uint64, batch, burst int, segBudget uint64) {
 	const scale = 4 * netfpga.Millisecond
 	run := func(segment bool) ([]fleet.Result, *fleet.Utilization, time.Duration) {
 		r := &fleet.Runner{Workers: workers, BaseSeed: seed, ClockBatch: batch,
-			Segment: segment, SegmentBudget: segBudget}
+			FrameBurst: burst, Segment: segment, SegmentBudget: segBudget}
 		start := time.Now()
 		res := r.RunAll(context.Background(), experiments.TailHeavyJobs(scale))
 		return res, r.Utilization(), time.Since(start)

@@ -38,6 +38,7 @@ func runSweepCmd(args []string) {
 	workers := fs.Int("workers", 0, "fleet worker count per process (0 = GOMAXPROCS)")
 	seed := fs.Uint64("seed", 0, "base seed for per-cell seed derivation")
 	batch := fs.Int("batch", 0, "datapath clock batch size (0 = engine default)")
+	burst := fs.String("burst", "adaptive", "vectorized frame-burst window: adaptive, off, or a max cycles-per-window cap (cell digests identical in every mode)")
 	segment := fs.String("segment", "auto", "segment scheduler: auto, off, or an events-per-segment budget (cell digests identical in every mode)")
 	execName := fs.String("exec", "local", "execution backend: local (fixed pool) or elastic (grow/shrink workers mid-batch; digests identical)")
 	shards := fs.Int("shards", 1, "partition cells by canonical key across N OS processes (digests identical to a single-process run); with -connect, N > 1 adds N local worker processes to the fleet")
@@ -98,6 +99,7 @@ func runSweepCmd(args []string) {
 		w = runtime.GOMAXPROCS(0)
 	}
 	segOn, segBudget := parseSegment(*segment)
+	burstN := parseBurst(*burst)
 	if *execName == "elastic" && !segOn {
 		fmt.Fprintln(os.Stderr, "nf-bench sweep: -exec elastic requires the segment scheduler (-segment off conflicts)")
 		os.Exit(2)
@@ -157,7 +159,8 @@ func runSweepCmd(args []string) {
 		rs = runFleet(plan, st, meta, fleetConfig{
 			shardConfig: shardConfig{
 				config: *configPath, filter: *filter, seed: *seed,
-				workers: w, batch: *batch, segOn: segOn, segBudget: segBudget,
+				workers: w, batch: *batch, burst: burstN,
+				segOn: segOn, segBudget: segBudget,
 				elastic: *execName == "elastic",
 			},
 			procs: procs, addrs: addrs, migrateAfter: *migrateAfter,
@@ -166,11 +169,12 @@ func runSweepCmd(args []string) {
 	} else if *shards > 1 {
 		rs = runSharded(plan, st, meta, shardConfig{
 			shards: *shards, config: *configPath, filter: *filter, seed: *seed,
-			workers: w, batch: *batch, segOn: segOn, segBudget: segBudget,
+			workers: w, batch: *batch, burst: burstN,
+			segOn: segOn, segBudget: segBudget,
 			elastic: *execName == "elastic",
 		}, progress)
 	} else {
-		ex := buildExecutor(*execName, w, *seed, *batch, segOn, segBudget)
+		ex := buildExecutor(*execName, w, *seed, *batch, burstN, segOn, segBudget)
 		ch, streamed, err := plan.Execute(context.Background(), ex)
 		fatal(err)
 		for cr := range ch {
@@ -261,6 +265,7 @@ type shardConfig struct {
 	config, filter string
 	seed           uint64
 	workers, batch int
+	burst          int
 	segOn          bool
 	segBudget      uint64
 	elastic        bool
@@ -314,7 +319,7 @@ func runSharded(plan *sweep.Plan, st *resultstore.Store, meta resultstore.Meta,
 		Shards: sc.shards,
 		Req: shard.Request{
 			Config: sc.config, Filter: sc.filter, Seed: sc.seed,
-			Workers: sc.workers, ClockBatch: sc.batch,
+			Workers: sc.workers, ClockBatch: sc.batch, FrameBurst: sc.burst,
 			Segment: sc.segOn, SegmentBudget: sc.segBudget, Elastic: sc.elastic,
 		},
 		Spawn: spawn,
@@ -432,7 +437,7 @@ func runFleet(plan *sweep.Plan, st *resultstore.Store, meta resultstore.Meta,
 	fl := &shard.Fleet{
 		Req: shard.Request{
 			Config: fc.config, Filter: fc.filter, Seed: fc.seed,
-			Workers: fc.workers, ClockBatch: fc.batch,
+			Workers: fc.workers, ClockBatch: fc.batch, FrameBurst: fc.burst,
 			Segment: fc.segOn, SegmentBudget: fc.segBudget, Elastic: fc.elastic,
 		},
 		Endpoints:    eps,

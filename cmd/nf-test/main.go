@@ -15,6 +15,7 @@ import (
 
 	"repro/netfpga"
 	"repro/netfpga/hw"
+	"repro/netfpga/lib"
 	"repro/netfpga/pkt"
 	"repro/netfpga/projects/blueswitch"
 	"repro/netfpga/projects/iotest"
@@ -115,15 +116,15 @@ func routerSuite() error {
 	peerMAC := pkt.MustMAC("02:bb:00:00:00:01")
 
 	p := router.New(router.Config{})
-	seed := func(fib *router.Trie, arp map[pkt.IP4]pkt.MAC) {
+	seed := func(fib *router.Trie, arp *lib.FlowTable[pkt.IP4, pkt.MAC]) {
 		for i := 0; i < 4; i++ {
 			fib.Insert(router.Route{
 				Prefix: pkt.Prefix{Addr: pkt.IP4{10, 0, byte(i), 0}, Bits: 24},
 				Port:   uint8(i),
 			})
 		}
-		arp[hostIP] = hostMAC
-		arp[peerIP] = peerMAC
+		arp.Put(hostIP, hostMAC)
+		arp.Put(peerIP, peerMAC)
 	}
 	fwd, _ := pkt.BuildUDP(pkt.UDPSpec{
 		SrcMAC: hostMAC, DstMAC: ifs[0].MAC, SrcIP: hostIP, DstIP: peerIP,

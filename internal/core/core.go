@@ -106,6 +106,10 @@ type Options struct {
 	// Results are identical for every value; this is a performance and
 	// equivalence-testing knob.
 	ClockBatch int
+	// FrameBurst caps the design's vectorized tick window (0 = adaptive,
+	// 1 = per-cycle ticking only, N > 1 = at most N cycles per window).
+	// Like ClockBatch, results are identical for every value.
+	FrameBurst int
 }
 
 // NewDevice instantiates a board.
@@ -130,6 +134,9 @@ func NewDevice(board BoardSpec, opts Options) *Device {
 		Dsn:     hw.NewDesign(board.Name, clk, bus),
 		Regs:    hw.NewAddressMap(),
 		regNext: 0x0000,
+	}
+	if opts.FrameBurst != 0 {
+		d.Dsn.SetFrameBurst(opts.FrameBurst)
 	}
 	for i := 0; i < board.Ports; i++ {
 		cfg := board.PortConfig(i)
@@ -312,6 +319,12 @@ type PortTap struct {
 	// they stay alive exactly as long as some RxFrame still references
 	// them.
 	chunk []byte
+	// counting, when set, replaces frame capture with counter updates:
+	// arrivals bump rxFrames/rxBytes and recycle immediately, skipping
+	// the arena copy. Throughput measures that only need totals use this
+	// to avoid paying a memcpy per delivered frame.
+	counting          bool
+	rxFrames, rxBytes uint64
 	// OnRx, when set, intercepts arrivals instead of buffering them.
 	OnRx func(f *hw.Frame, at hw.Time)
 }
@@ -360,6 +373,12 @@ func (d *Device) Tap(i int) *PortTap {
 				f = g
 			}
 			t.OnRx(f, d.Sim.Now())
+			return
+		}
+		if t.counting {
+			t.rxFrames++
+			t.rxBytes += uint64(len(f.Data))
+			pool.Put(f)
 			return
 		}
 		t.appendRx(RxFrame{Data: t.retain(f.Data), At: d.Sim.Now()})
@@ -438,3 +457,19 @@ func (t *PortTap) Received() []RxFrame {
 
 // Pending returns the number of captured-but-undrained frames.
 func (t *PortTap) Pending() int { return t.rxCount }
+
+// SetCounting switches the tap between buffered capture (the default)
+// and counting mode. In counting mode arrivals are tallied — frame and
+// byte totals readable through Counts — and recycled without the
+// per-frame arena copy buffered capture pays, which is the dominant
+// cost of high-rate throughput measures that never look at payloads.
+// Switching modes does not disturb frames already captured or counted;
+// it only selects how future arrivals are handled. Counting mode is
+// host-side bookkeeping only: the simulated traffic, timing and every
+// device counter are bit-identical in either mode.
+func (t *PortTap) SetCounting(on bool) { t.counting = on }
+
+// Counts returns the totals accumulated while the tap was in counting
+// mode: frames and bytes delivered to the tap (FCS excluded, matching
+// RxFrame.Data elsewhere).
+func (t *PortTap) Counts() (frames, bytes uint64) { return t.rxFrames, t.rxBytes }

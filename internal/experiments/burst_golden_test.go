@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"repro/netfpga/fleet"
+	"repro/netfpga/sweep"
+)
+
+// TestBurstDeterministicAcrossWindows is the frame-burst gate: every
+// cell of the paper sweep runs with the burst window forced off (1),
+// pinned small (8), pinned large (64), and adaptive (0), and each run's
+// digests must match the checked-in golden table byte for byte. The
+// burst window only changes how many datapath edges execute per
+// scheduler visit — collapsing it, capping it, or letting the design
+// negotiate it must be observable by nothing.
+func TestBurstDeterministicAcrossWindows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep matrix is slow")
+	}
+	groups := paperGroups(t)
+	g, err := sweep.ReadGolden(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (generate with TestGoldenSweep -update): %v", err)
+	}
+
+	for _, burst := range []int{1, 8, 64, 0} {
+		r := &fleet.Runner{Workers: 8, BaseSeed: 0, FrameBurst: burst}
+		rs, err := sweep.RunGroups(context.Background(), r, groups, "")
+		if err != nil {
+			t.Fatalf("burst=%d: %v", burst, err)
+		}
+		for _, f := range rs.Failed() {
+			t.Errorf("burst=%d: cell %s failed: %s", burst, f.Cell.Key, f.Err)
+		}
+		if diffs := sweep.DiffGolden(g, rs, false); len(diffs) > 0 {
+			for _, d := range diffs {
+				t.Errorf("burst=%d: golden mismatch:\n  %s", burst, d)
+			}
+		}
+	}
+}

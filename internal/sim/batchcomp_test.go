@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// vecWorker is a BatchComponent modelling the shape real batching
+// datapaths have: it grinds through jobs of several cycles each, can
+// absorb any number of mid-job cycles as one TickBatch, but must make
+// job-boundary decisions (finish, fetch next, go idle) on an exact
+// per-edge cycle because those decisions are externally observable.
+type vecWorker struct {
+	s   *Sim
+	clk *Clock
+	tr  *trace
+
+	jobs      []int // remaining cycle counts of queued jobs
+	remaining int   // cycles left of the current job (0 = between jobs)
+	batched   uint64
+}
+
+func (w *vecWorker) step() bool {
+	if w.remaining == 0 {
+		if len(w.jobs) == 0 {
+			w.tr.hit("idle", w.s)
+			return false
+		}
+		w.remaining = w.jobs[0]
+		w.jobs = w.jobs[1:]
+		w.tr.hit(fmt.Sprintf("start%d@c%d", w.remaining, w.clk.Cycle()), w.s)
+	}
+	w.remaining--
+	if w.remaining == 0 {
+		w.tr.hit(fmt.Sprintf("done@c%d", w.clk.Cycle()), w.s)
+	}
+	return true
+}
+
+func (w *vecWorker) Tick() bool { return w.step() }
+
+// BatchLimit allows a window only strictly inside a job: the final cycle
+// (completion) and the fetch cycle are decisions.
+func (w *vecWorker) BatchLimit() int {
+	if w.remaining > 1 {
+		return w.remaining - 1
+	}
+	return 1
+}
+
+func (w *vecWorker) TickBatch(n int) (int, bool) {
+	w.remaining -= n
+	w.batched += uint64(n)
+	return n, true
+}
+
+// feed enqueues a job and wakes the worker, as a foreign event would.
+func (w *vecWorker) feed(cycles int) {
+	w.jobs = append(w.jobs, cycles)
+	w.clk.Wake()
+}
+
+// plainComp hides the BatchComponent interface, forcing per-edge
+// execution of the same worker: the equivalence reference.
+type plainComp struct{ w *vecWorker }
+
+func (p plainComp) Tick() bool { return p.w.step() }
+
+// vecScenario runs the worker through busy/idle stretches with timers
+// landing mid-window and uneven run deadlines. batched selects whether
+// the clock sees the BatchComponent interface.
+func vecScenario(t *testing.T, batched bool, clockBatch int, run func(s *Sim)) ([]string, uint64, uint64, uint64) {
+	t.Helper()
+	s := New()
+	clk := s.NewClock("dp", 3*Nanosecond)
+	clk.SetBatch(clockBatch)
+	w := &vecWorker{s: s, clk: clk, tr: &trace{}, jobs: []int{17, 1, 2, 40, 3}}
+	if batched {
+		clk.Register(w)
+	} else {
+		clk.Register(plainComp{w})
+	}
+
+	// A repeating 11 ns timer that lands inside would-be windows and
+	// occasionally refeeds the idle worker.
+	n := 0
+	var rep *Timer
+	rep = s.NewTimer(func() {
+		w.tr.hit("t", s)
+		n++
+		if n == 6 || n == 13 {
+			w.feed(25)
+		}
+		if n < 30 {
+			rep.ScheduleAfter(11 * Nanosecond)
+		}
+	})
+	rep.ScheduleAfter(11 * Nanosecond)
+
+	run(s)
+	return w.tr.events, s.Executed(), clk.Ticks(), w.batched
+}
+
+// TestBatchComponentEquivalence checks that vectorized windows are
+// trace-identical to per-edge execution — same callback interleaving,
+// same times, same Executed counts, same total edges — across clock
+// batch sizes and awkward run deadlines, while actually batching.
+func TestBatchComponentEquivalence(t *testing.T) {
+	runner := func(s *Sim) {
+		for _, d := range []Time{10 * Nanosecond, 1, 29 * Nanosecond, 400 * Nanosecond} {
+			s.RunFor(d)
+		}
+		s.Drain(0)
+	}
+	ref, refExec, refTicks, _ := vecScenario(t, false, DefaultBatch, runner)
+	if len(ref) == 0 {
+		t.Fatal("scenario produced no events")
+	}
+	for _, k := range []int{2, 3, DefaultBatch, 1000} {
+		got, exec, ticks, batchedCycles := vecScenario(t, true, k, runner)
+		if exec != refExec {
+			t.Errorf("batch=%d executed %d events, want %d", k, exec, refExec)
+		}
+		if ticks != refTicks {
+			t.Errorf("batch=%d ran %d edges, want %d", k, ticks, refTicks)
+		}
+		if batchedCycles == 0 {
+			t.Errorf("batch=%d executed no vectorized cycles; windows never opened", k)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			for i := range ref {
+				if i >= len(got) || got[i] != ref[i] {
+					t.Fatalf("batch=%d first divergence at %d: got %q want %q",
+						k, i, got[min(i, len(got)-1):min(i+3, len(got))], ref[i:min(i+3, len(ref))])
+				}
+			}
+			t.Errorf("batch=%d trace diverges (length %d vs %d)", k, len(got), len(ref))
+		}
+	}
+}
+
+// TestBatchComponentDrainLimit checks that event fences land vectorized
+// execution on exactly the same event as per-edge execution.
+func TestBatchComponentDrainLimit(t *testing.T) {
+	for _, limit := range []uint64{1, 5, 23, 64, 200} {
+		runner := func(s *Sim) { s.Drain(limit) }
+		ref, refExec, _, _ := vecScenario(t, false, DefaultBatch, runner)
+		got, exec, _, _ := vecScenario(t, true, DefaultBatch, runner)
+		if exec != refExec {
+			t.Errorf("Drain(%d): vectorized executed %d events, want %d", limit, exec, refExec)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("Drain(%d): vectorized trace diverges", limit)
+		}
+	}
+}
+
+// TestBatchComponentSecondRegistrationDisables checks that a second
+// component on the domain disables vectorized windows (ordering between
+// components inside an edge would otherwise be unobservable).
+func TestBatchComponentSecondRegistrationDisables(t *testing.T) {
+	s := New()
+	clk := s.NewClock("dp", 2*Nanosecond)
+	w := &vecWorker{s: s, clk: clk, tr: &trace{}, jobs: []int{50}}
+	clk.Register(w)
+	clk.RegisterFunc(func() bool { return false })
+	s.Drain(0)
+	if w.batched != 0 {
+		t.Fatalf("multi-component domain executed %d vectorized cycles, want 0", w.batched)
+	}
+	if w.remaining != 0 || len(w.jobs) != 0 {
+		t.Fatalf("worker did not finish: remaining=%d jobs=%d", w.remaining, len(w.jobs))
+	}
+}

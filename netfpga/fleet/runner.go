@@ -26,6 +26,11 @@ type Runner struct {
 	// win). Per-device results are identical for every value; nf-bench
 	// uses it to prove batching equivalence end to end.
 	ClockBatch int
+	// FrameBurst, when non-zero, overrides every device's vectorized
+	// tick window cap (1 = per-cycle ticking, N > 1 = at most N cycles
+	// per window; jobs that set their own Options.FrameBurst win). Like
+	// ClockBatch, per-device results are identical for every value.
+	FrameBurst int
 	// Segment enables the segmented work-stealing scheduler: each
 	// device executes in resumable windows of at most SegmentBudget
 	// simulation events, parked bit-exactly between segments, and the
@@ -193,6 +198,9 @@ func (r *Runner) runJob(ctx context.Context, job Job, index int, segBudget uint6
 		opts.Seed = seed
 		if opts.ClockBatch == 0 {
 			opts.ClockBatch = r.ClockBatch
+		}
+		if opts.FrameBurst == 0 {
+			opts.FrameBurst = r.FrameBurst
 		}
 		dev := netfpga.NewDevice(job.Board, opts)
 		if segBudget > 0 && yield != nil {

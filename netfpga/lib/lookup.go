@@ -53,6 +53,7 @@ type OutputPortLookup struct {
 	emit  streamFrame
 
 	lookups, drops, punts uint64
+	stats                 map[string]uint64 // reused by Stats
 	cpu                   *hw.FrameQueue
 }
 
@@ -173,11 +174,14 @@ func (l *OutputPortLookup) Tick() bool {
 	return busy || l.emit.active() || len(l.pending) > 0 || len(l.ready) > 0 || l.in.CanPop()
 }
 
-// Stats implements hw.StatsProvider.
+// Stats implements hw.StatsProvider. The returned map is reused across
+// calls; callers must not retain it.
 func (l *OutputPortLookup) Stats() map[string]uint64 {
-	return map[string]uint64{
-		"lookups": l.lookups,
-		"drops":   l.drops,
-		"punts":   l.punts,
+	if l.stats == nil {
+		l.stats = make(map[string]uint64, 3)
 	}
+	l.stats["lookups"] = l.lookups
+	l.stats["drops"] = l.drops
+	l.stats["punts"] = l.punts
+	return l.stats
 }

@@ -36,17 +36,17 @@ func TestARPAgingExpiresDynamicEntries(t *testing.T) {
 	}
 	dev.Tap(0).Send(udpXtoY(t, 64, []byte("trigger-arp")))
 	dev.RunFor(2 * netfpga.Millisecond)
-	if _, ok := p.Engine().ARP[hostYIP]; !ok {
+	if _, ok := p.Engine().ARP.Get(hostYIP); !ok {
 		t.Fatal("dynamic entry not learned")
 	}
 
 	// Idle past the timeout: the dynamic entry ages out, the static one
 	// stays.
 	dev.RunFor(20 * netfpga.Millisecond)
-	if _, ok := p.Engine().ARP[hostYIP]; ok {
+	if _, ok := p.Engine().ARP.Get(hostYIP); ok {
 		t.Fatal("dynamic ARP entry survived aging")
 	}
-	if _, ok := p.Engine().ARP[hostXIP]; !ok {
+	if _, ok := p.Engine().ARP.Get(hostXIP); !ok {
 		t.Fatal("static ARP entry aged out")
 	}
 }
@@ -84,7 +84,7 @@ func TestARPAgingRefreshedByTraffic(t *testing.T) {
 		tapY.Send(pkt.PadToMin(reply))
 		dev.RunFor(3 * netfpga.Millisecond)
 	}
-	if _, ok := p.Engine().ARP[hostYIP]; !ok {
+	if _, ok := p.Engine().ARP.Get(hostYIP); !ok {
 		t.Fatal("refreshed entry aged out")
 	}
 }
@@ -99,10 +99,10 @@ func TestAgeARPDirect(t *testing.T) {
 	if removed := e.AgeARP(50); removed != 1 {
 		t.Fatalf("aged %d entries, want 1", removed)
 	}
-	if _, ok := e.ARP[hostYIP]; ok {
+	if _, ok := e.ARP.Get(hostYIP); ok {
 		t.Fatal("old entry survived")
 	}
-	if _, ok := e.ARP[hostXIP]; !ok {
+	if _, ok := e.ARP.Get(hostXIP); !ok {
 		t.Fatal("fresh entry removed")
 	}
 }

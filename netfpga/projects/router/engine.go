@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"repro/netfpga"
+	"repro/netfpga/lib"
 	"repro/netfpga/pkt"
 )
 
@@ -51,18 +52,21 @@ type Counters struct {
 type Engine struct {
 	Ifs []IfConfig
 	FIB *Trie
-	ARP map[pkt.IP4]pkt.MAC
+	// ARP is the next-hop resolution table, an open-addressing arena
+	// (lib.FlowTable) so large deployments resolve in O(1) with no
+	// per-lookup allocation. Seed static entries with Put.
+	ARP *lib.FlowTable[pkt.IP4, pkt.MAC]
 	C   Counters
 
 	// arpSeen records when each ARP entry was learned/refreshed, for
 	// aging; entries added directly to ARP (static seeds) never age.
-	arpSeen map[pkt.IP4]int64
+	arpSeen *lib.FlowTable[pkt.IP4, int64]
 	// nowFn timestamps dynamic learns; nil disables aging (behavioral
 	// models are timeless).
 	nowFn func() int64
 
 	// pending parks packets awaiting ARP resolution, per next hop.
-	pending    map[pkt.IP4][][]byte
+	pending    *lib.FlowTable[pkt.IP4, [][]byte]
 	pendingCap int
 }
 
@@ -70,15 +74,18 @@ type Engine struct {
 // returns how many were removed — the agent's periodic cache
 // maintenance, matching the reference router's software behaviour.
 func (e *Engine) AgeARP(cutoff int64) int {
-	removed := 0
-	for ip, seen := range e.arpSeen {
+	var expired []pkt.IP4
+	e.arpSeen.Range(func(ip pkt.IP4, seen int64) bool {
 		if seen < cutoff {
-			delete(e.ARP, ip)
-			delete(e.arpSeen, ip)
-			removed++
+			expired = append(expired, ip)
 		}
+		return true
+	})
+	for _, ip := range expired {
+		e.ARP.Delete(ip)
+		e.arpSeen.Delete(ip)
 	}
-	return removed
+	return len(expired)
 }
 
 // NewEngine builds an engine for the given interfaces.
@@ -86,9 +93,9 @@ func NewEngine(ifs []IfConfig) *Engine {
 	return &Engine{
 		Ifs:        ifs,
 		FIB:        NewTrie(),
-		ARP:        make(map[pkt.IP4]pkt.MAC),
-		arpSeen:    make(map[pkt.IP4]int64),
-		pending:    make(map[pkt.IP4][][]byte),
+		ARP:        lib.NewFlowTable[pkt.IP4, pkt.MAC](lib.HashIP4, 256),
+		arpSeen:    lib.NewFlowTable[pkt.IP4, int64](lib.HashIP4, 256),
+		pending:    lib.NewFlowTable[pkt.IP4, [][]byte](lib.HashIP4, 16),
 		pendingCap: 16,
 	}
 }
@@ -156,7 +163,7 @@ func (e *Engine) Forward(data []byte, ingress uint8) (FwdResult, uint8) {
 	if nh.IsZero() {
 		nh = ip.Dst // directly connected
 	}
-	dstMAC, ok := e.ARP[nh]
+	dstMAC, ok := e.ARP.Get(nh)
 	if !ok {
 		e.C.ARPMiss++
 		return FwdToCPU, 0
@@ -218,19 +225,19 @@ func (e *Engine) learnARP(ip pkt.IP4, mac pkt.MAC) {
 	if ip.IsZero() || mac.IsZero() {
 		return
 	}
-	e.ARP[ip] = mac
+	e.ARP.Put(ip, mac)
 	if e.nowFn != nil {
-		e.arpSeen[ip] = e.nowFn()
+		e.arpSeen.Put(ip, e.nowFn())
 	}
 }
 
 // flushPending re-forwards packets that were waiting on nh.
 func (e *Engine) flushPending(nh pkt.IP4) []netfpga.Emit {
-	parked := e.pending[nh]
+	parked, _ := e.pending.Get(nh)
 	if len(parked) == 0 {
 		return nil
 	}
-	delete(e.pending, nh)
+	e.pending.Delete(nh)
 	var out []netfpga.Emit
 	for _, data := range parked {
 		if res, port := e.Forward(data, 0xFF); res == FwdForward {
@@ -259,17 +266,17 @@ func (e *Engine) handleIP(p *pkt.Packet, data []byte, ingress uint8) []netfpga.E
 	if nh.IsZero() {
 		nh = ip.Dst
 	}
-	if _, ok := e.ARP[nh]; !ok {
+	if _, ok := e.ARP.Get(nh); !ok {
 		// Park the packet and ARP for the next hop.
 		e.C.ARPPunt++
-		q := e.pending[nh]
+		q, _ := e.pending.Get(nh)
 		if len(q) >= e.pendingCap {
 			q = q[1:]
 			e.C.PendingDrops++
 		}
 		cp := make([]byte, len(data))
 		copy(cp, data)
-		e.pending[nh] = append(q, cp)
+		e.pending.Put(nh, append(q, cp))
 		req, err := pkt.BuildARPRequest(e.Ifs[route.Port].MAC, e.Ifs[route.Port].IP, nh)
 		if err != nil {
 			return nil

@@ -174,7 +174,7 @@ func (a *agent) Start(dev *netfpga.Device) {
 func (p *Project) AddRoute(r Route) { p.eng.FIB.Insert(r) }
 
 // AddARP seeds an ARP entry.
-func (p *Project) AddARP(ip pkt.IP4, mac pkt.MAC) { p.eng.ARP[ip] = mac }
+func (p *Project) AddARP(ip pkt.IP4, mac pkt.MAC) { p.eng.ARP.Put(ip, mac) }
 
 // registers builds the router's control block, including the
 // write-side-effect table interface of the reference design: software
@@ -207,7 +207,7 @@ func (p *Project) registers() *hw.RegisterFile {
 	rf.AddCounter64(0x38, "icmp_sent", &p.eng.C.ICMPSent)
 	rf.AddCounter64(0x40, "bad_checksum", &p.eng.C.BadChecksum)
 	rf.AddRO(0x48, "fib_size", func() uint32 { return uint32(p.eng.FIB.Len()) })
-	rf.AddRO(0x4C, "arp_size", func() uint32 { return uint32(len(p.eng.ARP)) })
+	rf.AddRO(0x4C, "arp_size", func() uint32 { return uint32(p.eng.ARP.Len()) })
 	return rf
 }
 

@@ -131,7 +131,7 @@ func TestARPResolutionEndToEnd(t *testing.T) {
 	if out.Eth.Dst != hostYMAC || out.IPv4 == nil || out.IPv4.TTL != 63 {
 		t.Fatal("flushed packet not properly forwarded")
 	}
-	if _, ok := p.Engine().ARP[hostYIP]; !ok {
+	if _, ok := p.Engine().ARP.Get(hostYIP); !ok {
 		t.Fatal("router did not learn Y's ARP entry")
 	}
 }
@@ -287,8 +287,8 @@ func TestUnifiedSimVsBehavioral(t *testing.T) {
 		for i := 0; i < 4; i++ {
 			eng.FIB.Insert(Route{Prefix: pkt.Prefix{Addr: pkt.IP4{10, 0, byte(i), 0}, Bits: 24}, Port: uint8(i)})
 		}
-		eng.ARP[hostXIP] = hostXMAC
-		eng.ARP[hostYIP] = hostYMAC
+		eng.ARP.Put(hostXIP, hostXMAC)
+		eng.ARP.Put(hostYIP, hostYMAC)
 		return nil
 	}
 	fwd := udpXtoY(t, 64, []byte("equiv"))

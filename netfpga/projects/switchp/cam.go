@@ -1,6 +1,9 @@
 package switchp
 
-import "repro/netfpga/pkt"
+import (
+	"repro/netfpga/lib"
+	"repro/netfpga/pkt"
+)
 
 // camEntry is one learned address.
 type camEntry struct {
@@ -11,14 +14,17 @@ type camEntry struct {
 // CAM is the learning table of the reference switch — a bounded
 // MAC→port map with optional aging, shared verbatim between the
 // cycle-level lookup stage and the behavioral model so the unified tests
-// compare two pipelines, not two table implementations.
+// compare two pipelines, not two table implementations. Entries live in
+// an open-addressing arena (lib.FlowTable) so the table holds
+// million-flow working sets with allocation-free, cache-local lookups.
 type CAM struct {
-	entries  map[pkt.MAC]camEntry
+	entries  *lib.FlowTable[pkt.MAC, camEntry]
 	capacity int
 	ageAfter int64 // 0 disables aging
 
 	lookups, hits, misses  uint64
 	learns, evicts, ageOut uint64
+	stats                  map[string]uint64 // reused by Stats
 }
 
 // NewCAM builds a table bounded to capacity entries. ageAfter (in the
@@ -28,7 +34,11 @@ func NewCAM(capacity int, ageAfter int64) *CAM {
 	if capacity <= 0 {
 		capacity = 16384
 	}
-	return &CAM{entries: make(map[pkt.MAC]camEntry), capacity: capacity, ageAfter: ageAfter}
+	return &CAM{
+		entries:  lib.NewFlowTable[pkt.MAC, camEntry](lib.HashMAC, capacity),
+		capacity: capacity,
+		ageAfter: ageAfter,
+	}
 }
 
 // Learn records src on port. Re-learning refreshes the timestamp and
@@ -38,30 +48,28 @@ func (c *CAM) Learn(src pkt.MAC, port uint8, now int64) {
 	if src.IsMulticast() || src.IsZero() {
 		return
 	}
-	if e, ok := c.entries[src]; ok {
-		e.port = port
-		e.lastSeen = now
-		c.entries[src] = e
+	if _, ok := c.entries.Get(src); ok {
+		c.entries.Put(src, camEntry{port: port, lastSeen: now})
 		return
 	}
-	if len(c.entries) >= c.capacity {
+	if c.entries.Len() >= c.capacity {
 		c.evicts++ // counted as a failed learn
 		return
 	}
-	c.entries[src] = camEntry{port: port, lastSeen: now}
+	c.entries.Put(src, camEntry{port: port, lastSeen: now})
 	c.learns++
 }
 
 // Lookup resolves dst to a port. Expired entries miss (and are removed).
 func (c *CAM) Lookup(dst pkt.MAC, now int64) (uint8, bool) {
 	c.lookups++
-	e, ok := c.entries[dst]
+	e, ok := c.entries.Get(dst)
 	if !ok {
 		c.misses++
 		return 0, false
 	}
 	if c.ageAfter > 0 && now-e.lastSeen > c.ageAfter {
-		delete(c.entries, dst)
+		c.entries.Delete(dst)
 		c.ageOut++
 		c.misses++
 		return 0, false
@@ -76,25 +84,25 @@ func (c *CAM) Sweep(now int64) int {
 	if c.ageAfter == 0 {
 		return 0
 	}
-	removed := 0
-	for m, e := range c.entries {
-		if now-e.lastSeen > c.ageAfter {
-			delete(c.entries, m)
-			removed++
-		}
-	}
+	removed := c.entries.DeleteIf(func(_ pkt.MAC, e camEntry) bool {
+		return now-e.lastSeen > c.ageAfter
+	})
 	c.ageOut += uint64(removed)
 	return removed
 }
 
 // Len returns the number of live entries.
-func (c *CAM) Len() int { return len(c.entries) }
+func (c *CAM) Len() int { return c.entries.Len() }
 
-// Stats exports table counters.
+// Stats exports table counters. The returned map is reused across
+// calls; callers must not retain it.
 func (c *CAM) Stats() map[string]uint64 {
-	return map[string]uint64{
-		"lookups": c.lookups, "hits": c.hits, "misses": c.misses,
-		"learns": c.learns, "failed_learns": c.evicts, "aged_out": c.ageOut,
-		"entries": uint64(len(c.entries)),
+	if c.stats == nil {
+		c.stats = make(map[string]uint64, 7)
 	}
+	m := c.stats
+	m["lookups"], m["hits"], m["misses"] = c.lookups, c.hits, c.misses
+	m["learns"], m["failed_learns"], m["aged_out"] = c.learns, c.evicts, c.ageOut
+	m["entries"] = uint64(c.entries.Len())
+	return m
 }

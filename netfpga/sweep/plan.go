@@ -212,7 +212,7 @@ func (p *Plan) sealResult(i int, res fleet.Result) CellResult {
 // run alone — on any process, any machine — is byte-identical to the
 // same cell inside a full sweep. Safe to call concurrently for
 // different keys.
-func (p *Plan) RunCell(ctx context.Context, key string, clockBatch int, wrap func(fleet.Job) fleet.Job) (CellResult, error) {
+func (p *Plan) RunCell(ctx context.Context, key string, clockBatch, frameBurst int, wrap func(fleet.Job) fleet.Job) (CellResult, error) {
 	i, ok := p.byKey[key]
 	if !ok {
 		return CellResult{}, fmt.Errorf("sweep: cell %q is not in the plan", key)
@@ -224,7 +224,7 @@ func (p *Plan) RunCell(ctx context.Context, key string, clockBatch int, wrap fun
 	if wrap != nil {
 		job = wrap(job)
 	}
-	r := &fleet.Runner{Workers: 1, BaseSeed: p.BaseSeed, ClockBatch: clockBatch}
+	r := &fleet.Runner{Workers: 1, BaseSeed: p.BaseSeed, ClockBatch: clockBatch, FrameBurst: frameBurst}
 	res := r.RunAll(ctx, []fleet.Job{job})[0]
 	return p.sealResult(i, res), nil
 }

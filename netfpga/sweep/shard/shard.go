@@ -73,10 +73,11 @@ type Request struct {
 	// sweep.ShardOf(key, Shards) == Shard.
 	Shard  int `json:"shard"`
 	Shards int `json:"shards"`
-	// Workers, ClockBatch, Segment and SegmentBudget configure the
-	// worker's local pool (fleet.Runner semantics).
+	// Workers, ClockBatch, FrameBurst, Segment and SegmentBudget
+	// configure the worker's local pool (fleet.Runner semantics).
 	Workers       int    `json:"workers,omitempty"`
 	ClockBatch    int    `json:"clock_batch,omitempty"`
+	FrameBurst    int    `json:"frame_burst,omitempty"`
 	Segment       bool   `json:"segment,omitempty"`
 	SegmentBudget uint64 `json:"segment_budget,omitempty"`
 	// Elastic runs the worker's cells on the elastic backend instead

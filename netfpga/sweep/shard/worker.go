@@ -22,13 +22,13 @@ func executorFor(req Request) fleet.Executor {
 	if req.Elastic {
 		return &fleet.Elastic{
 			Runner: fleet.Runner{BaseSeed: req.Seed, ClockBatch: req.ClockBatch,
-				SegmentBudget: req.SegmentBudget},
+				FrameBurst: req.FrameBurst, SegmentBudget: req.SegmentBudget},
 			Min: 1, Max: req.Workers,
 		}
 	}
 	return &fleet.Runner{Workers: req.Workers, BaseSeed: req.Seed,
-		ClockBatch: req.ClockBatch, Segment: req.Segment,
-		SegmentBudget: req.SegmentBudget}
+		ClockBatch: req.ClockBatch, FrameBurst: req.FrameBurst,
+		Segment: req.Segment, SegmentBudget: req.SegmentBudget}
 }
 
 // Serve runs the worker side of the protocol: read one Request from in,

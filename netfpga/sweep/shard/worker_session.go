@@ -273,7 +273,7 @@ func runSessionItem(ctx context.Context, plan *sweep.Plan, req Request, it sessi
 	segEvery uint64, stealReq *atomic.Int64, send func(SessionFrame) error, cells *atomic.Int64) {
 	if it.resume != nil {
 		var verifyErr error
-		cr, err := plan.RunCell(ctx, it.key, req.ClockBatch, resumeWrap(it.resume.State, &verifyErr))
+		cr, err := plan.RunCell(ctx, it.key, req.ClockBatch, req.FrameBurst, resumeWrap(it.resume.State, &verifyErr))
 		switch {
 		case err != nil:
 			_ = send(SessionFrame{Reject: &Reject{Key: it.key, Reason: err.Error()}})
@@ -288,7 +288,7 @@ func runSessionItem(ctx context.Context, plan *sweep.Plan, req Request, it sessi
 	}
 
 	var parked netfpga.WindowState
-	cr, err := plan.RunCell(ctx, it.key, req.ClockBatch, parkWrap(it.migrateAfter, segEvery, stealReq, &parked))
+	cr, err := plan.RunCell(ctx, it.key, req.ClockBatch, req.FrameBurst, parkWrap(it.migrateAfter, segEvery, stealReq, &parked))
 	if err != nil {
 		_ = send(SessionFrame{Reject: &Reject{Key: it.key, Reason: err.Error()}})
 		return

@@ -79,7 +79,8 @@ type Generator struct {
 
 	// Reused serialization state: one buffer, one set of layer structs
 	// and one zero-payload scratch serve every Next call, so generating
-	// a frame costs exactly one allocation (the returned copy).
+	// a frame costs exactly one allocation (the returned copy), and a
+	// NextView call costs none.
 	sbuf    *pkt.SerializeBuffer
 	eth     pkt.Ethernet
 	ip      pkt.IPv4
@@ -87,7 +88,20 @@ type Generator struct {
 	payload pkt.Payload
 	layers  []pkt.SerializableLayer
 	scratch []byte
+	pad     []byte // zero-padding buffer for sub-minimum NextView frames
+
+	// cache holds the serialized frame for each (flow, size) pair once
+	// built: a frame's bytes depend only on those two draws, so after
+	// the first serialization of a pair every later emission is a plain
+	// lookup — no header writes, no checksum folds. Indexed
+	// flowIdx*len(Sizes)+sizeIdx; nil when the flow set is large enough
+	// that the cache would outgrow the working set.
+	cache [][]byte
 }
+
+// cacheMaxEntries bounds the (flow, size) frame cache; flow sets large
+// enough to blow past it serialize every frame instead.
+const cacheMaxEntries = 1 << 14
 
 // serializeOpts mirrors pkt's convenience-builder options.
 var serializeOpts = pkt.SerializeOptions{FixLengths: true, ComputeChecksums: true}
@@ -151,6 +165,10 @@ func New(cfg Config) (*Generator, error) {
 	// overwrites the struct wholesale.
 	g.layers = []pkt.SerializableLayer{&g.eth, &g.ip, &g.udp, &g.payload}
 	g.scratch = make([]byte, maxSize) // zeros; payloads slice into it
+	g.pad = make([]byte, pkt.MinFrameSize)
+	if n := cfg.Flows * len(cfg.Sizes); n <= cacheMaxEntries {
+		g.cache = make([][]byte, n)
+	}
 	return g, nil
 }
 
@@ -159,8 +177,48 @@ func New(cfg Config) (*Generator, error) {
 // freshly allocated and owned by the caller; all intermediate
 // serialization state is reused across calls.
 func (g *Generator) Next() []byte {
-	f := &g.flows[g.rng.Intn(len(g.flows))]
-	size := g.cfg.Sizes[g.wheel[g.rng.Intn(len(g.wheel))]].Bytes
+	b := g.nextView()
+	frame := make([]byte, len(b))
+	copy(frame, b)
+	return frame
+}
+
+// NextView is the allocation-free variant of Next: it produces exactly
+// the same byte sequence from exactly the same RNG draws, but returns a
+// view into the generator's reused serialization buffer. The view is
+// valid only until the next Next or NextView call — callers that inject
+// it immediately (PortTap.Send copies into a pooled frame) never need
+// the allocation Next pays for.
+func (g *Generator) NextView() []byte { return g.nextView() }
+
+func (g *Generator) nextView() []byte {
+	fi := g.rng.Intn(len(g.flows))
+	si := g.wheel[g.rng.Intn(len(g.wheel))]
+	if g.cache != nil {
+		if b := g.cache[fi*len(g.cfg.Sizes)+si]; b != nil {
+			g.frames++
+			g.bytes += uint64(len(b))
+			return b
+		}
+	}
+	b := g.serialize(fi, si)
+	if g.cache != nil {
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		g.cache[fi*len(g.cfg.Sizes)+si] = cp
+		b = cp
+	}
+	g.frames++
+	g.bytes += uint64(len(b))
+	return b
+}
+
+// serialize builds the frame of flow fi at size index si in the reused
+// serialization state and returns a view of it (valid until the next
+// serialize call).
+func (g *Generator) serialize(fi, si int) []byte {
+	f := &g.flows[fi]
+	size := g.cfg.Sizes[si].Bytes
 	payload := size - 42 // Eth(14)+IPv4(20)+UDP(8)
 	if payload < 0 {
 		payload = 0
@@ -174,15 +232,15 @@ func (g *Generator) Next() []byte {
 		panic(err) // sizes validated at New
 	}
 	b := g.sbuf.Bytes()
-	n := len(b)
-	if n < pkt.MinFrameSize {
-		n = pkt.MinFrameSize
+	if len(b) < pkt.MinFrameSize {
+		// Zero-pad to the Ethernet minimum in the reused pad buffer; the
+		// tail beyond the serialized bytes must be re-zeroed because a
+		// previous shorter frame leaves stale bytes there.
+		n := copy(g.pad, b)
+		clear(g.pad[n:])
+		b = g.pad
 	}
-	frame := make([]byte, n) // zero-padded to the Ethernet minimum
-	copy(frame, b)
-	g.frames++
-	g.bytes += uint64(len(frame))
-	return frame
+	return b
 }
 
 // Frames returns the count of frames generated so far.
