@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/storage/resultstore"
+	"repro/netfpga/fleet"
 	"repro/netfpga/sweep"
 	"repro/netfpga/sweep/shard"
 )
@@ -47,6 +48,7 @@ func runSweepCmd(args []string) {
 	migrateAfter := fs.Uint64("migrate-after", 0, "force every cell to checkpoint after N executed events and resume on another worker (digests unchanged; the migration determinism gate)")
 	workerTimeout := fs.Duration("worker-timeout", 0, "kill a fleet worker silent for this long while owing cells and requeue its cells (0 = never)")
 	steal := fs.Bool("steal", false, "utilization-driven migration: when the queue drains and a fleet worker idles, the busiest worker parks a cell for it")
+	sched := fs.String("sched", "seeded", "scheduling policy: seeded (weight workers and elastic sizing by the latest matching run's persisted utilization; falls back to uniform when none exists) or uniform (digests identical either way)")
 	storeDir := fs.String("store", "nf-results", "results store directory")
 	noStore := fs.Bool("no-store", false, "skip the results store")
 	history := fs.String("history", "", "trend report: a cell's values across stored runs (key, scenario hash, or unique substring), then exit")
@@ -74,6 +76,10 @@ func runSweepCmd(args []string) {
 	}
 	if *execName != "local" && *execName != "elastic" {
 		fmt.Fprintf(os.Stderr, "nf-bench sweep: -exec must be local or elastic (got %q)\n", *execName)
+		os.Exit(2)
+	}
+	if *sched != "seeded" && *sched != "uniform" {
+		fmt.Fprintf(os.Stderr, "nf-bench sweep: -sched must be seeded or uniform (got %q)\n", *sched)
 		os.Exit(2)
 	}
 	if *shards < 1 {
@@ -142,6 +148,7 @@ func runSweepCmd(args []string) {
 	meta := resultstore.Meta{
 		Run: runID, Name: cfg.Name, Config: *configPath, Filter: *filter,
 		Seed: *seed, Workers: w, Stamp: time.Now().UTC().Format(time.RFC3339),
+		Sched: *sched, PlanHash: resultstore.PlanHash(plan.Keys()),
 	}
 
 	start := time.Now()
@@ -165,6 +172,7 @@ func runSweepCmd(args []string) {
 			},
 			procs: procs, addrs: addrs, migrateAfter: *migrateAfter,
 			hangTimeout: *workerTimeout, steal: *steal, quiet: *quiet,
+			sched: *sched,
 		}, progress)
 	} else if *shards > 1 {
 		rs = runSharded(plan, st, meta, shardConfig{
@@ -175,6 +183,9 @@ func runSweepCmd(args []string) {
 		}, progress)
 	} else {
 		ex := buildExecutor(*execName, w, *seed, *batch, burstN, segOn, segBudget)
+		if el, ok := ex.(*fleet.Elastic); ok && *sched == "seeded" && st != nil {
+			seedElastic(el, st, &meta)
+		}
 		ch, streamed, err := plan.Execute(context.Background(), ex)
 		fatal(err)
 		for cr := range ch {
@@ -182,6 +193,8 @@ func runSweepCmd(args []string) {
 		}
 		rs = streamed
 		if st != nil {
+			rep := ex.Utilization().Report()
+			meta.Util = &rep
 			rw, err := st.Begin(meta)
 			fatal(err)
 			for _, cr := range rs.Cells {
@@ -368,6 +381,29 @@ type fleetConfig struct {
 	hangTimeout  time.Duration
 	steal        bool
 	quiet        bool
+	sched        string
+}
+
+// seedElastic seeds an elastic pool from the latest in-process run of
+// the same plan: the measured mean concurrency becomes the starting
+// worker count, and the hysteresis band narrows so the controller
+// holds the measured size instead of re-learning it. Pool size is
+// scheduling only; digests cannot change.
+func seedElastic(el *fleet.Elastic, st *resultstore.Store, meta *resultstore.Meta) {
+	cap, err := st.LatestCapacity(meta.PlanHash, "")
+	fatal(err)
+	if cap == nil || cap.Util == nil {
+		return
+	}
+	min := fleet.SeededWorkers(*cap.Util, el.Max)
+	if min == 0 {
+		return
+	}
+	el.Min = min
+	el.Grow, el.Shrink = 0.85, 0.65
+	meta.SchedFrom = cap.Run
+	fmt.Printf("sched: elastic seeded from run %s: start at %d workers (measured concurrency %.1f)\n",
+		cap.Run, min, cap.Util.BusyMS/cap.Util.WallMS)
 }
 
 // runFleet executes the plan on the dynamic session coordinator:
@@ -402,6 +438,25 @@ func runFleet(plan *sweep.Plan, st *resultstore.Store, meta resultstore.Meta,
 		ep, err := shard.Dial(addr)
 		fatal(err)
 		eps = append(eps, ep)
+	}
+
+	// Seeded scheduling: the latest stored run of this exact plan over
+	// this exact transport donates its per-worker utilization, which
+	// becomes capacity weights for the coordinator. No donor (first
+	// run, new topology) means uniform — the seeded path must always
+	// degrade to the uniform one, never block on history.
+	transport := transportLabel(fc.procs, len(fc.addrs))
+	var weights map[string]float64
+	if fc.sched == "seeded" && st != nil {
+		cap, err := st.LatestCapacity(meta.PlanHash, transport)
+		fatal(err)
+		if w := fleet.CapacityWeights(cap.WorkerReports()); w != nil {
+			weights = w
+			meta.SchedFrom = cap.Run
+			fmt.Printf("sched: seeded from run %s: %s\n", cap.Run, fleet.FormatWeights(weights))
+		} else if !fc.quiet {
+			fmt.Println("sched: no prior utilization for this plan+transport, running uniform")
+		}
 	}
 
 	// The streamed partial run: every adopted cell is on disk before
@@ -444,6 +499,7 @@ func runFleet(plan *sweep.Plan, st *resultstore.Store, meta resultstore.Meta,
 		MigrateAfter: fc.migrateAfter,
 		HangTimeout:  fc.hangTimeout,
 		Steal:        fc.steal,
+		Weights:      weights,
 		OnEvent:      onEvent,
 	}
 	rs, util, runErr := fl.Run(context.Background(), plan, func(cr sweep.CellResult) {
@@ -463,8 +519,10 @@ func runFleet(plan *sweep.Plan, st *resultstore.Store, meta resultstore.Meta,
 		fatal(runErr)
 	}
 	if st != nil {
-		meta.Transport = transportLabel(fc.procs, len(fc.addrs))
+		meta.Transport = transport
 		meta.Requeued = requeued
+		meta.Util = &util
+		meta.WorkerUtil = workerUtilMeta(fl.Reports, weights)
 		n, err := st.MergeRuns(meta, []string{partID}, plan.Keys())
 		fatal(err)
 		fmt.Printf("merged fleet run into %s (%d cells, %d requeued)\n", meta.Run, n, requeued)
@@ -472,6 +530,22 @@ func runFleet(plan *sweep.Plan, st *resultstore.Store, meta resultstore.Meta,
 	fmt.Printf("fleet utilization: %d pool workers over %d endpoints, %d cells, %.0f%% efficient (busy %.0fms / wall %.0fms)\n",
 		util.Workers, len(eps), util.Jobs, 100*util.Efficiency, util.BusyMS, util.WallMS)
 	return rs
+}
+
+// workerUtilMeta flattens the coordinator's per-worker reports into
+// the persisted meta form (sorted by worker name), recording the
+// capacity weight each worker was scheduled at (1.0 under uniform).
+func workerUtilMeta(reports []shard.WorkerReport, weights map[string]float64) []resultstore.WorkerUtil {
+	out := make([]resultstore.WorkerUtil, 0, len(reports))
+	for _, r := range reports {
+		w := 1.0
+		if v, ok := weights[r.Name]; ok {
+			w = v
+		}
+		out = append(out, resultstore.WorkerUtil{Name: r.Name, Cells: r.Cells, Weight: w, Util: r.Util})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // transportLabel names how a fleet reached its workers for the run
@@ -496,12 +570,20 @@ func storeRecord(cr sweep.CellResult) resultstore.Record {
 	}
 }
 
-// runHistory implements -history: resolve the query to one cell and
-// report its digest and values across every stored (non-partial) run,
+// runHistory implements -history: resolve the query to one cell via
+// the store's index (exact key or hash wins outright, a substring must
+// be unique — ambiguity errors out listing every candidate) and report
+// the cell's digest and values across every stored (non-partial) run,
 // oldest first — the store-backed trend view of a scenario.
 func runHistory(storeDir, query string) {
 	st, err := resultstore.Open(storeDir)
 	fatal(err)
+	entry, err := st.Resolve(query)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nf-bench sweep: %v\n", err)
+		os.Exit(1)
+	}
+	key := entry.Key
 	runs, err := st.Runs()
 	fatal(err)
 
@@ -510,8 +592,6 @@ func runHistory(storeDir, query string) {
 		rec resultstore.Record
 	}
 	var hits []hit
-	keys := map[string]bool{}
-	exact := false
 	for _, run := range runs {
 		m, recs, err := st.ReadRun(run)
 		fatal(err)
@@ -519,44 +599,15 @@ func runHistory(storeDir, query string) {
 			continue // shard fragments; their cells live in the merged run
 		}
 		for _, rec := range recs {
-			isExact := rec.Key == query || resultstore.Hash(rec.Key) == query
-			if !isExact && !strings.Contains(rec.Key, query) {
-				continue
-			}
-			if isExact && !exact {
-				// An exact key or hash match outranks substring hits:
-				// a full key must never be "ambiguous" just because it
-				// prefixes another key (frame=64 vs frame=640).
-				exact = true
-				hits = hits[:0]
-				keys = map[string]bool{}
-			}
-			if exact == isExact {
+			if rec.Key == key {
 				hits = append(hits, hit{run: run, rec: rec})
-				keys[rec.Key] = true
 			}
 		}
 	}
-	if len(keys) == 0 {
+	if len(hits) == 0 {
 		fmt.Fprintf(os.Stderr, "nf-bench sweep: no stored cell matches %q in %s\n", query, storeDir)
 		os.Exit(1)
 	}
-	if len(keys) > 1 {
-		// Substring queries must resolve to exactly one scenario; an
-		// exact key or hash always does.
-		list := make([]string, 0, len(keys))
-		for k := range keys {
-			list = append(list, k)
-		}
-		sort.Strings(list)
-		fmt.Fprintf(os.Stderr, "nf-bench sweep: %q matches %d cells; narrow it:\n", query, len(list))
-		for _, k := range list {
-			fmt.Fprintf(os.Stderr, "  %s  (hash %s)\n", k, resultstore.Hash(k))
-		}
-		os.Exit(1)
-	}
-
-	key := hits[0].rec.Key
 	fmt.Printf("history of %s (hash %s): %d stored runs\n\n", key, resultstore.Hash(key), len(hits))
 	// Column set is the union across runs: a measure that renamed its
 	// values mid-history still shows every metric that ever existed.

@@ -1,0 +1,124 @@
+package resultstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/netfpga/fleet"
+)
+
+// PlanHash fingerprints a scenario set: the Hash of the sorted,
+// newline-joined cell keys. Two runs share a PlanHash exactly when
+// they executed the same cells, which is the precondition for one
+// run's utilization to say anything about the next one's scheduling.
+func PlanHash(keys []string) string {
+	sorted := make([]string, len(keys))
+	copy(sorted, keys)
+	sort.Strings(sorted)
+	return Hash(strings.Join(sorted, "\n"))
+}
+
+// Capacity is a previous run's persisted utilization, as found by
+// LatestCapacity: the raw material for seeding the next run's
+// scheduling weights.
+type Capacity struct {
+	// Run is the donor run's id.
+	Run string
+	// Sched is the policy the donor run used.
+	Sched string
+	// Util is the donor's merged fleet report (nil if absent).
+	Util *fleet.UtilizationReport
+	// WorkerUtil is the donor's per-worker breakdown.
+	WorkerUtil []WorkerUtil
+}
+
+// WorkerReports converts the per-worker breakdown into the map
+// fleet.CapacityWeights consumes.
+func (c *Capacity) WorkerReports() map[string]fleet.UtilizationReport {
+	if c == nil || len(c.WorkerUtil) == 0 {
+		return nil
+	}
+	out := make(map[string]fleet.UtilizationReport, len(c.WorkerUtil))
+	for _, wu := range c.WorkerUtil {
+		out[wu.Name] = wu.Util
+	}
+	return out
+}
+
+// LatestCapacity scans complete runs newest-first for the most recent
+// one matching the plan hash and transport that persisted utilization,
+// and returns it (nil, nil when no run qualifies — the caller falls
+// back to uniform scheduling). Matching on both plan hash and
+// transport keeps the signal honest: a TCP fleet's worker timings say
+// nothing about subprocess pipes, and a different plan's cells say
+// nothing about this one's load.
+func (st *Store) LatestCapacity(planHash, transport string) (*Capacity, error) {
+	runs, err := st.Runs()
+	if err != nil {
+		return nil, err
+	}
+	for i := len(runs) - 1; i >= 0; i-- {
+		meta, _, err := st.ReadRun(runs[i])
+		if err != nil {
+			return nil, fmt.Errorf("resultstore: capacity scan: %w", err)
+		}
+		if meta.Partial || meta.PlanHash != planHash || meta.Transport != transport {
+			continue
+		}
+		if meta.Util == nil && len(meta.WorkerUtil) == 0 {
+			continue
+		}
+		return &Capacity{
+			Run:        meta.Run,
+			Sched:      meta.Sched,
+			Util:       meta.Util,
+			WorkerUtil: meta.WorkerUtil,
+		}, nil
+	}
+	return nil, nil
+}
+
+// AmbiguousError reports a scenario query that matched more than one
+// indexed scenario. Matches are sorted by cell key; Error lists every
+// candidate with its hash so the user can pick one exactly.
+type AmbiguousError struct {
+	Query   string
+	Matches []IndexEntry
+}
+
+func (e *AmbiguousError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query %q matches %d scenarios:", e.Query, len(e.Matches))
+	for _, m := range e.Matches {
+		fmt.Fprintf(&b, "\n  %s  %s", Hash(m.Key), m.Key)
+	}
+	b.WriteString("\nuse the full key or scenario hash to select one")
+	return b.String()
+}
+
+// Resolve maps a scenario query to a unique index entry. An exact cell
+// key or exact scenario hash always wins, even when it is also a
+// substring of other keys — the escape hatch for prefixy key spaces.
+// Otherwise the query matches as a substring of either the key or the
+// hash; more than one hit is an *AmbiguousError, zero hits an error
+// naming the query.
+func (st *Store) Resolve(query string) (IndexEntry, error) {
+	var subs []IndexEntry
+	for hash, e := range st.index {
+		if e.Key == query || hash == query {
+			return e, nil
+		}
+		if strings.Contains(e.Key, query) || strings.Contains(hash, query) {
+			subs = append(subs, e)
+		}
+	}
+	switch len(subs) {
+	case 0:
+		return IndexEntry{}, fmt.Errorf("no scenario matches %q", query)
+	case 1:
+		return subs[0], nil
+	}
+	sort.Slice(subs, func(i, j int) bool { return subs[i].Key < subs[j].Key })
+	return IndexEntry{}, &AmbiguousError{Query: query, Matches: subs}
+}

@@ -36,7 +36,21 @@ type Elastic struct {
 	Min, Max int
 	// Interval is the controller's sampling period (0 means 2ms).
 	Interval time.Duration
+	// Grow and Shrink are the controller's busy-fraction hysteresis
+	// thresholds: the pool grows when the last interval's busy fraction
+	// exceeds Grow (with work queued and nobody idle) and retires a
+	// worker when it falls below Shrink. Zero means the defaults (0.75
+	// and 0.5). Utilization-seeded scheduling narrows the band when a
+	// previous run's report shows the pool converged, so the controller
+	// holds the measured size instead of hunting.
+	Grow, Shrink float64
 }
+
+// Default elastic controller hysteresis.
+const (
+	DefaultGrowThreshold   = 0.75
+	DefaultShrinkThreshold = 0.5
+)
 
 // NewElastic returns an elastic backend growing from min to at most max
 // workers.
@@ -98,12 +112,19 @@ func (e *Elastic) run(ctx context.Context, jobs []Job, deliver func(Result)) {
 	u.Elastic = true
 	start := time.Now()
 
+	grow, shrink := e.Grow, e.Shrink
+	if grow <= 0 {
+		grow = DefaultGrowThreshold
+	}
+	if shrink <= 0 {
+		shrink = DefaultShrinkThreshold
+	}
 	s := newSegScheduler(&e.Runner, ctx, jobs, min, u, deliver)
 	s.minW = min
 	s.start()
 	if max > min {
 		s.wg.Add(1)
-		go s.control(max, interval)
+		go s.control(max, interval, grow, shrink)
 	}
 	s.wg.Wait()
 
@@ -113,9 +134,10 @@ func (e *Elastic) run(ctx context.Context, jobs []Job, deliver func(Result)) {
 }
 
 // control is the elastic controller goroutine: one resize decision per
-// interval, driven by queue state and the utilization busy delta. It
-// exits when the batch is done.
-func (s *segScheduler) control(max int, interval time.Duration) {
+// interval, driven by queue state and the utilization busy delta
+// against the grow/shrink hysteresis thresholds. It exits when the
+// batch is done.
+func (s *segScheduler) control(max int, interval time.Duration, grow, shrink float64) {
 	defer s.wg.Done()
 	lastBusy := s.u.BusyTotal()
 	for {
@@ -137,7 +159,7 @@ func (s *segScheduler) control(max int, interval time.Duration) {
 		lastBusy = busy
 
 		switch {
-		case queued > 0 && idle == 0 && busyFrac > 0.75 && active < max:
+		case queued > 0 && idle == 0 && busyFrac > grow && active < max:
 			s.mu.Lock()
 			if s.remaining > 0 && s.active < max {
 				// A grow decision supersedes any retire the pool has
@@ -149,7 +171,7 @@ func (s *segScheduler) control(max int, interval time.Duration) {
 				s.u.noteGrow(s.active)
 			}
 			s.mu.Unlock()
-		case active > s.minW && (idle > 0 || busyFrac < 0.5):
+		case active > s.minW && (idle > 0 || busyFrac < shrink):
 			s.mu.Lock()
 			if s.active-s.retiring > s.minW {
 				s.retiring++

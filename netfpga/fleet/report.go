@@ -10,12 +10,19 @@ import "time"
 // ledger, and a stable flat encoding keeps the wire format independent
 // of Go's duration representation.
 type UtilizationReport struct {
-	Workers     int     `json:"workers"`
-	Jobs        int     `json:"jobs"`
-	Segmented   bool    `json:"segmented,omitempty"`
-	Elastic     bool    `json:"elastic,omitempty"`
-	WallMS      float64 `json:"wall_ms"`
-	BusyMS      float64 `json:"busy_ms"`
+	Workers   int     `json:"workers"`
+	Jobs      int     `json:"jobs"`
+	Segmented bool    `json:"segmented,omitempty"`
+	Elastic   bool    `json:"elastic,omitempty"`
+	WallMS    float64 `json:"wall_ms"`
+	BusyMS    float64 `json:"busy_ms"`
+	// CapacityMS is the worker-milliseconds this report had available:
+	// workers x wall for a single pool, and the sum of the sources'
+	// capacities after a Merge. It is the efficiency denominator — kept
+	// explicit so merging reports with different lifetimes stays
+	// duration-weighted instead of charging every pool for the longest
+	// pool's wall.
+	CapacityMS  float64 `json:"capacity_ms,omitempty"`
 	Segments    uint64  `json:"segments,omitempty"`
 	Steals      uint64  `json:"steals,omitempty"`
 	LongestJob  string  `json:"longest_job,omitempty"`
@@ -35,12 +42,14 @@ func (u *Utilization) Report() UtilizationReport {
 	busy := u.BusyTotal()
 	u.mu.Lock()
 	defer u.mu.Unlock()
+	wallMS := float64(u.Wall) / float64(time.Millisecond)
 	return UtilizationReport{
 		Workers:     u.Workers,
 		Jobs:        u.Jobs,
 		Segmented:   u.Segmented,
 		Elastic:     u.Elastic,
-		WallMS:      float64(u.Wall) / float64(time.Millisecond),
+		WallMS:      wallMS,
+		CapacityMS:  wallMS * float64(u.Workers),
 		BusyMS:      float64(busy) / float64(time.Millisecond),
 		Segments:    u.Segments,
 		Steals:      u.Steals,
@@ -54,8 +63,12 @@ func (u *Utilization) Report() UtilizationReport {
 // Merge folds another report into r — the coordinator's aggregation of
 // per-worker reports into one fleet-wide view. Worker and job counts
 // sum; busy time sums; wall takes the max (workers run concurrently);
-// the longest job is the longest anywhere in the fleet.
+// the longest job is the longest anywhere in the fleet. Efficiency is
+// duration-weighted: each source contributes its own workers x wall
+// capacity, so a worker that joined late (or died early) is not charged
+// idle time for intervals in which it did not exist.
 func (r *UtilizationReport) Merge(o UtilizationReport) {
+	cap := r.capacityMS() + o.capacityMS()
 	r.Workers += o.Workers
 	r.Jobs += o.Jobs
 	r.Segmented = r.Segmented || o.Segmented
@@ -64,15 +77,26 @@ func (r *UtilizationReport) Merge(o UtilizationReport) {
 		r.WallMS = o.WallMS
 	}
 	r.BusyMS += o.BusyMS
+	r.CapacityMS = cap
 	r.Segments += o.Segments
 	r.Steals += o.Steals
 	if o.LongestMS > r.LongestMS {
 		r.LongestMS, r.LongestJob = o.LongestMS, o.LongestJob
 	}
 	r.PeakWorkers += o.PeakWorkers
-	if r.WallMS > 0 && r.Workers > 0 {
-		r.Efficiency = r.BusyMS / (r.WallMS * float64(r.Workers))
+	if cap > 0 {
+		r.Efficiency = r.BusyMS / cap
 	}
+}
+
+// capacityMS resolves the report's worker-millisecond capacity, falling
+// back to workers x wall for reports written before CapacityMS existed
+// (or hand-built fixtures that leave it zero).
+func (r *UtilizationReport) capacityMS() float64 {
+	if r.CapacityMS > 0 {
+		return r.CapacityMS
+	}
+	return r.WallMS * float64(r.Workers)
 }
 
 // efficiencyLocked computes busy / (workers x wall) without re-locking.

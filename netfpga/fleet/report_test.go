@@ -63,8 +63,103 @@ func TestUtilizationReportMerge(t *testing.T) {
 	if a.LongestJob != "b" || a.LongestMS != 70 || !a.Elastic {
 		t.Fatalf("longest/flags: %+v", a)
 	}
-	want := 350.0 / (100.0 * 6)
+	// Duration-weighted: each source contributes its own workers x wall
+	// capacity (2x100 + 4x80), not max-wall x total-workers.
+	if a.CapacityMS != 2*100.0+4*80.0 {
+		t.Fatalf("capacity %v, want 520", a.CapacityMS)
+	}
+	want := 350.0 / 520.0
 	if diff := a.Efficiency - want; diff > 1e-9 || diff < -1e-9 {
 		t.Fatalf("efficiency %v, want %v", a.Efficiency, want)
+	}
+}
+
+// TestUtilizationMergeDurationWeighted is the asymmetric-load fixture:
+// worker A runs 100ms fully busy, worker B lives only 10ms at half
+// load. The merged efficiency must weight each worker by its own
+// lifetime — charging B for A's whole wall (the old behaviour) would
+// report 105/200 = 0.525 for a fleet that was in fact 105/110 busy.
+func TestUtilizationMergeDurationWeighted(t *testing.T) {
+	a := UtilizationReport{Workers: 1, Jobs: 8, WallMS: 100, BusyMS: 100, Efficiency: 1}
+	b := UtilizationReport{Workers: 1, Jobs: 1, WallMS: 10, BusyMS: 5, Efficiency: 0.5}
+	a.Merge(b)
+	want := 105.0 / 110.0
+	if diff := a.Efficiency - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("efficiency %v, want %v (duration-weighted)", a.Efficiency, want)
+	}
+	if a.WallMS != 100 || a.Workers != 2 || a.Jobs != 9 {
+		t.Fatalf("merged header: %+v", a)
+	}
+
+	// Merging into a zero report preserves the source's own weighting.
+	var z UtilizationReport
+	z.Merge(UtilizationReport{Workers: 2, WallMS: 50, BusyMS: 60})
+	if diff := z.Efficiency - 0.6; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("zero-merge efficiency %v, want 0.6", z.Efficiency)
+	}
+}
+
+// TestCapacityWeights: the seeded-scheduling weight derivation
+// normalizes busy-fraction x rate scores to mean 1, clamps outliers,
+// and defaults signal-free workers to 1.0.
+func TestCapacityWeights(t *testing.T) {
+	reports := map[string]UtilizationReport{
+		"fast": {Workers: 1, WallMS: 100, BusyMS: 100, Segments: 300},
+		"slow": {Workers: 1, WallMS: 100, BusyMS: 100, Segments: 100},
+	}
+	w := CapacityWeights(reports)
+	if w == nil {
+		t.Fatal("weights nil despite signal")
+	}
+	// Scores 3.0 and 1.0 segments/ms -> mean 2 -> weights 1.5 and 0.5.
+	if diff := w["fast"] - 1.5; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("fast weight %v, want 1.5", w["fast"])
+	}
+	if diff := w["slow"] - 0.5; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("slow weight %v, want 0.5", w["slow"])
+	}
+
+	// An extreme outlier clamps to 4x / 0.25x the mean.
+	reports = map[string]UtilizationReport{
+		"turbo": {Workers: 1, WallMS: 100, BusyMS: 100, Segments: 100000},
+	}
+	for _, name := range []string{"a", "b", "c", "d"} {
+		reports[name] = UtilizationReport{Workers: 1, WallMS: 100, BusyMS: 100, Segments: 100}
+	}
+	w = CapacityWeights(reports)
+	if w["turbo"] != 4.0 || w["a"] != 0.25 {
+		t.Fatalf("clamp: turbo=%v a=%v", w["turbo"], w["a"])
+	}
+
+	// A worker with no signal rides along at 1.0; all-dead input is nil.
+	reports = map[string]UtilizationReport{
+		"ok":   {Workers: 1, WallMS: 100, BusyMS: 50, Jobs: 10},
+		"dead": {},
+	}
+	w = CapacityWeights(reports)
+	if w["dead"] != 1.0 {
+		t.Fatalf("signal-free worker weight %v, want 1.0", w["dead"])
+	}
+	if CapacityWeights(map[string]UtilizationReport{"dead": {}}) != nil {
+		t.Fatal("all-dead weights should be nil (uniform fallback)")
+	}
+	if got := FormatWeights(w); got != "dead=1.00 ok=1.00" {
+		t.Fatalf("FormatWeights = %q", got)
+	}
+}
+
+// TestSeededWorkers: elastic pools seed from measured mean concurrency.
+func TestSeededWorkers(t *testing.T) {
+	if got := SeededWorkers(UtilizationReport{WallMS: 100, BusyMS: 620}, 16); got != 6 {
+		t.Fatalf("SeededWorkers = %d, want 6", got)
+	}
+	if got := SeededWorkers(UtilizationReport{WallMS: 100, BusyMS: 3200}, 8); got != 8 {
+		t.Fatalf("clamped SeededWorkers = %d, want 8", got)
+	}
+	if got := SeededWorkers(UtilizationReport{WallMS: 100, BusyMS: 10}, 8); got != 1 {
+		t.Fatalf("floor SeededWorkers = %d, want 1", got)
+	}
+	if got := SeededWorkers(UtilizationReport{}, 8); got != 0 {
+		t.Fatalf("empty SeededWorkers = %d, want 0", got)
 	}
 }

@@ -85,30 +85,42 @@ func (t *FlowTable[K, V]) Put(key K, val V) {
 	if t.n >= t.Cap() {
 		t.grow()
 	}
-	for !t.insert(key, val) {
+	for {
+		k, v, ok := t.insert(key, val)
+		if ok {
+			return
+		}
 		// A probe sequence overflowed maxProbe (pathological
-		// clustering): grow and retry.
+		// clustering): grow and retry with the entry still in hand.
+		// After displacement swaps that entry is NOT the original
+		// argument — the original already took a slot and we carry the
+		// resident it evicted, which would be silently lost if the
+		// retry re-inserted the argument instead.
 		t.grow()
+		key, val = k, v
 	}
 }
 
 // insert places key/val, displacing richer entries robin-hood style.
-// It reports false if a probe distance would overflow a slot.
-func (t *FlowTable[K, V]) insert(key K, val V) bool {
+// On success ok is true. If a probe distance would overflow a slot it
+// returns ok false along with the entry left in hand, which after
+// swaps may be a displaced resident rather than the argument; the
+// caller must grow and re-insert that returned pair.
+func (t *FlowTable[K, V]) insert(key K, val V) (K, V, bool) {
 	idx := t.hash(key) & t.mask
 	for d := 1; ; d++ {
 		if d >= maxProbe {
-			return false
+			return key, val, false
 		}
 		s := &t.slots[idx]
 		if s.dist == 0 {
 			s.key, s.val, s.dist = key, val, uint8(d)
 			t.n++
-			return true
+			return key, val, true
 		}
 		if int(s.dist) == d && s.key == key {
 			s.val = val
-			return true
+			return key, val, true
 		}
 		if int(s.dist) < d {
 			// The resident is closer to home than we are: take the
@@ -191,8 +203,16 @@ func (t *FlowTable[K, V]) grow() {
 	t.n = 0
 	for i := range old {
 		if old[i].dist != 0 {
-			for !t.insert(old[i].key, old[i].val) {
+			key, val := old[i].key, old[i].val
+			for {
+				k, v, ok := t.insert(key, val)
+				if ok {
+					break
+				}
+				// Same carry rule as Put: continue with the displaced
+				// entry, not the one we started reinserting.
 				t.grow()
+				key, val = k, v
 			}
 		}
 	}

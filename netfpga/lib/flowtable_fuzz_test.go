@@ -1,0 +1,182 @@
+package lib
+
+import (
+	"testing"
+)
+
+// identity is the adversarial hash for clustering tests: every key
+// lands exactly where its low bits say, so colliding keys form one
+// long robin-hood cluster.
+func identity(k uint64) uint64 { return k }
+
+// TestFlowTableOverflowCarry is the regression test for a silent-loss
+// bug in the maxProbe overflow path. Construct a cluster where a fresh
+// insert displaces a resident (robin-hood swap) and the displaced
+// entry's onward walk overflows maxProbe: at that point the entry in
+// hand is the resident, not the argument. The broken code retried the
+// argument after growing, dropping the resident from the table without
+// any error.
+//
+// Fixture (identity hash, 512-slot arena): 240 keys homed at slot 10
+// fill slots 10..249 with probe distances 1..240. Keys homed at slot 0
+// then fill slots 0..9; each further one swaps into the front of the
+// home-10 cluster and pushes a displaced resident to the far end, at
+// probe distance 241, 242, ... The 15th such push would need distance
+// 255 = maxProbe and fails mid-carry — exactly the lost-resident
+// window.
+func TestFlowTableOverflowCarry(t *testing.T) {
+	ft := NewFlowTable[uint64, int](identity, 384) // 512 slots
+	type kv struct {
+		k uint64
+		v int
+	}
+	var all []kv
+	for i := 0; i < 240; i++ {
+		all = append(all, kv{10 + 512*uint64(i), i})
+	}
+	for j := 1; j <= 31; j++ {
+		all = append(all, kv{512 * uint64(j), 1000 + j})
+	}
+	for _, e := range all {
+		ft.Put(e.k, e.v)
+	}
+	if ft.Len() != len(all) {
+		t.Fatalf("Len = %d after %d distinct Puts — an overflow carry lost entries", ft.Len(), len(all))
+	}
+	for _, e := range all {
+		v, ok := ft.Get(e.k)
+		if !ok {
+			t.Fatalf("key %d vanished across the overflow grow", e.k)
+		}
+		if v != e.v {
+			t.Fatalf("key %d = %d, want %d", e.k, v, e.v)
+		}
+	}
+	// The table must also still agree with itself: Range yields each
+	// surviving entry exactly once.
+	seen := make(map[uint64]int, len(all))
+	ft.Range(func(k uint64, v int) bool {
+		if _, dup := seen[k]; dup {
+			t.Fatalf("key %d appears twice in Range — duplicate slot after carry", k)
+		}
+		seen[k] = v
+		return true
+	})
+	if len(seen) != len(all) {
+		t.Fatalf("Range saw %d entries, want %d", len(seen), len(all))
+	}
+}
+
+// TestFlowTableRangeOrderStable: Range order is a documented function
+// of insertion history, not of map iteration or allocation addresses.
+// Two tables fed the identical op sequence — including grows and
+// backward-shift deletes — must enumerate in the identical order.
+func TestFlowTableRangeOrderStable(t *testing.T) {
+	build := func() *FlowTable[uint64, int] {
+		ft := NewFlowTable[uint64, int](func(k uint64) uint64 { return mix64(k) }, 8)
+		for i := 0; i < 3000; i++ { // crosses several grows
+			ft.Put(uint64(i*7), i)
+		}
+		for i := 0; i < 3000; i += 3 { // backward-shift deletions
+			ft.Delete(uint64(i * 7))
+		}
+		for i := 0; i < 500; i++ { // reinsert into the shifted arena
+			ft.Put(uint64(i*7), -i)
+		}
+		return ft
+	}
+	collect := func(ft *FlowTable[uint64, int]) []uint64 {
+		var keys []uint64
+		ft.Range(func(k uint64, _ int) bool {
+			keys = append(keys, k)
+			return true
+		})
+		return keys
+	}
+	a, b := collect(build()), collect(build())
+	if len(a) != len(b) {
+		t.Fatalf("same history, different sizes: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Range order diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// FuzzFlowTableOps interleaves Put/Delete/Get/DeleteIf against a
+// reference map under an adversarial identity hash and a tiny key
+// space, so fuzzed histories constantly collide, displace, grow and
+// backward-shift. After every op the table must agree with the map on
+// length, and at the end on exact contents.
+func FuzzFlowTableOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{0x00, 0x00, 0x01, 0x01, 0x02, 0x03, 0xff, 0xfe, 0x40, 0x41})
+	seq := make([]byte, 300)
+	for i := range seq {
+		seq[i] = byte(i * 7)
+	}
+	f.Add(seq)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ft := NewFlowTable[uint64, int](identity, 4) // 8 slots: grows early
+		ref := make(map[uint64]int)
+		for i, b := range data {
+			key := uint64(b >> 2) // 64-key space: heavy collision pressure
+			switch b & 3 {
+			case 0:
+				ft.Put(key, i)
+				ref[key] = i
+			case 1:
+				got := ft.Delete(key)
+				_, want := ref[key]
+				if got != want {
+					t.Fatalf("op %d: Delete(%d) = %v, map says %v", i, key, got, want)
+				}
+				delete(ref, key)
+			case 2:
+				v, ok := ft.Get(key)
+				rv, rok := ref[key]
+				if ok != rok || v != rv {
+					t.Fatalf("op %d: Get(%d) = %d,%v, map says %d,%v", i, key, v, ok, rv, rok)
+				}
+			case 3:
+				if i%16 == 3 { // occasional bulk delete of odd values
+					n := ft.DeleteIf(func(_ uint64, v int) bool { return v%2 == 1 })
+					rn := 0
+					for k, v := range ref {
+						if v%2 == 1 {
+							delete(ref, k)
+							rn++
+						}
+					}
+					if n != rn {
+						t.Fatalf("op %d: DeleteIf removed %d, map says %d", i, n, rn)
+					}
+				} else {
+					ft.Put(key, -i)
+					ref[key] = -i
+				}
+			}
+			if ft.Len() != len(ref) {
+				t.Fatalf("op %d: Len = %d, map has %d", i, ft.Len(), len(ref))
+			}
+		}
+		got := make(map[uint64]int, ft.Len())
+		ft.Range(func(k uint64, v int) bool {
+			if _, dup := got[k]; dup {
+				t.Fatalf("key %d enumerated twice", k)
+			}
+			got[k] = v
+			return true
+		})
+		if len(got) != len(ref) {
+			t.Fatalf("final contents: %d entries, map has %d", len(got), len(ref))
+		}
+		for k, v := range ref {
+			if gv, ok := got[k]; !ok || gv != v {
+				t.Fatalf("key %d: table %d,%v, map %d", k, gv, ok, v)
+			}
+		}
+	})
+}

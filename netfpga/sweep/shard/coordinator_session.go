@@ -59,9 +59,31 @@ type Fleet struct {
 	// queue is empty and a worker idles, the busiest worker owing >= 2
 	// cells is asked to park one.
 	Steal bool
+	// Weights are per-endpoint capacity weights (keyed by Endpoint.Name,
+	// 1.0 = fleet average; missing names default to 1.0), typically
+	// derived from a previous run's persisted utilization via
+	// fleet.CapacityWeights. A weight scales the worker's outstanding
+	// top-up (fast workers hold more cells in flight) and its steal
+	// threshold (slow workers shed backlog earlier). Weights change only
+	// placement: digests are byte-identical with and without them.
+	Weights map[string]float64
 	// OnEvent, when non-nil, observes fleet lifecycle events (deaths,
 	// requeues, migrations) from the coordinator goroutine.
 	OnEvent func(FleetEvent)
+
+	// Reports holds each worker's session utilization after Run returns
+	// (workers that died without a Done frame are absent) — the raw
+	// material the next run's Weights are derived from.
+	Reports []WorkerReport
+}
+
+// WorkerReport is one endpoint's session outcome: how many cells it
+// completed and its own pool utilization. The coordinator persists
+// these so the next run can weight scheduling by measured capacity.
+type WorkerReport struct {
+	Name  string                  `json:"name"`
+	Cells int                     `json:"cells"`
+	Util  fleet.UtilizationReport `json:"util"`
 }
 
 // FleetEvent is one coordinator observation: what happened, on which
@@ -90,6 +112,8 @@ type fleetWorker struct {
 	done        bool
 	recvCells   int
 	stealsOut   int
+	weight      float64 // capacity weight (1.0 = uniform)
+	limit       int     // outstanding top-up target, weight-scaled
 }
 
 type fleetEvent struct {
@@ -147,12 +171,29 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 	workers := make([]*fleetWorker, len(f.Endpoints))
 	now := time.Now()
 	for i, ep := range f.Endpoints {
+		weight := 1.0
+		if w, ok := f.Weights[ep.Name]; ok && w > 0 {
+			weight = w
+		}
+		// The top-up target scales with capacity: a weight-1.0 worker
+		// holds the classic 2*chunk in flight, faster workers up to
+		// 4*chunk, slower ones as little as one cell so the tail of the
+		// plan is not trapped behind a slow queue.
+		limit := int(2*float64(chunk)*weight + 0.5)
+		if limit < 1 {
+			limit = 1
+		}
+		if limit > 4*chunk {
+			limit = 4 * chunk
+		}
 		w := &fleetWorker{
 			ep:          ep,
 			send:        make(chan Command, 4*total+16),
 			outstanding: make(map[string]sessionItem),
 			lastFrame:   now,
 			alive:       true,
+			weight:      weight,
+			limit:       limit,
 		}
 		workers[i] = w
 		go func(w *fleetWorker) { // writer
@@ -189,6 +230,10 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 		req.Shard, req.Shards = 0, 0
 		w.send <- Command{Open: &req}
 	}
+	if len(f.Weights) > 0 {
+		emit(FleetEvent{Kind: "sched", Detail: "weights " + fleet.FormatWeights(f.Weights), Cells: len(f.Weights)})
+	}
+	f.Reports = f.Reports[:0]
 	defer func() {
 		close(finished)
 		for _, w := range workers {
@@ -222,10 +267,11 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 		return n
 	}
 
-	// feed tops worker i up to 2*chunk outstanding cells, batching
-	// fresh keys into one Assign and sending resumes individually. A
-	// resume prefers any worker other than its donor; the donor takes
-	// it back only when it is the fleet's only ready worker.
+	// feed tops worker i up to its weight-scaled outstanding limit
+	// (2*chunk at weight 1.0), batching fresh keys into one Assign and
+	// sending resumes individually. A resume prefers any worker other
+	// than its donor; the donor takes it back only when it is the
+	// fleet's only ready worker.
 	feed := func(i int) {
 		w := workers[i]
 		if !w.alive || !w.helloed || w.closed {
@@ -233,7 +279,10 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 		}
 		var keys []string
 		var skipped []sessionItem
-		for len(pending) > 0 && len(w.outstanding)+len(keys) < 2*chunk {
+		// Each taken item lands in w.outstanding immediately (fresh keys
+		// and resumes alike), so outstanding alone is the in-flight count
+		// the limit applies to.
+		for len(pending) > 0 && len(w.outstanding) < w.limit {
 			it := pending[0]
 			pending = pending[1:]
 			if it.resume != nil {
@@ -310,14 +359,16 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 	}
 
 	// maybeSteal migrates backlog toward idle workers once the pending
-	// queue is dry: the busiest worker owing at least two cells parks
-	// one. Single-cell victims are left alone — replay-migrating a
-	// worker's only cell buys nothing.
+	// queue is dry: the worker with the highest weighted load
+	// (outstanding / capacity weight) owing at least two cells parks
+	// one, so a slow worker sheds backlog before a fast one with the
+	// same queue depth. Single-cell victims are left alone —
+	// replay-migrating a worker's only cell buys nothing.
 	maybeSteal := func() {
 		if !f.Steal || len(pending) > 0 {
 			return
 		}
-		idle, victim, most := false, -1, 1
+		idle, victim, most := false, -1, 0.0
 		for i, w := range workers {
 			if !w.alive || !w.helloed || w.closed {
 				continue
@@ -326,14 +377,17 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 				idle = true
 				w.stealsOut = 0
 			}
-			if len(w.outstanding) > most && w.stealsOut == 0 {
-				victim, most = i, len(w.outstanding)
+			if len(w.outstanding) < 2 || w.stealsOut != 0 {
+				continue
+			}
+			if load := float64(len(w.outstanding)) / w.weight; load > most {
+				victim, most = i, load
 			}
 		}
 		if idle && victim >= 0 {
 			workers[victim].stealsOut++
 			workers[victim].send <- Command{Steal: true}
-			emit(FleetEvent{Worker: workers[victim].ep.Name, Kind: "steal", Cells: most})
+			emit(FleetEvent{Worker: workers[victim].ep.Name, Kind: "steal", Cells: len(workers[victim].outstanding)})
 		}
 	}
 
@@ -494,6 +548,11 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 			case fr.Done != nil:
 				w.done = true
 				util.Merge(fr.Done.Util)
+				f.Reports = append(f.Reports, WorkerReport{
+					Name:  w.ep.Name,
+					Cells: fr.Done.Cells,
+					Util:  fr.Done.Util,
+				})
 				detail := ""
 				if fr.Done.Cells != w.recvCells {
 					detail = fmt.Sprintf("worker counted %d cells, coordinator received %d", fr.Done.Cells, w.recvCells)

@@ -166,7 +166,10 @@ func New(cfg Config) (*Generator, error) {
 	g.layers = []pkt.SerializableLayer{&g.eth, &g.ip, &g.udp, &g.payload}
 	g.scratch = make([]byte, maxSize) // zeros; payloads slice into it
 	g.pad = make([]byte, pkt.MinFrameSize)
-	if n := cfg.Flows * len(cfg.Sizes); n <= cacheMaxEntries {
+	// The cardinality product can overflow int on absurd configs; a
+	// wrapped (negative) or zero product must disable the cache, not
+	// panic make or allocate an empty table nextView would index past.
+	if n := cfg.Flows * len(cfg.Sizes); n > 0 && n <= cacheMaxEntries {
 		g.cache = make([][]byte, n)
 	}
 	return g, nil
