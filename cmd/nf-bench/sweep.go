@@ -2,6 +2,9 @@ package main
 
 import (
 	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +19,7 @@ import (
 	"repro/netfpga/fleet"
 	"repro/netfpga/sweep"
 	"repro/netfpga/sweep/shard"
+	"repro/netfpga/sweep/shard/chaos"
 )
 
 // runSweepCmd implements `nf-bench sweep`: expand a scenario-matrix
@@ -49,6 +53,16 @@ func runSweepCmd(args []string) {
 	workerTimeout := fs.Duration("worker-timeout", 0, "kill a fleet worker silent for this long while owing cells and requeue its cells (0 = never)")
 	steal := fs.Bool("steal", false, "utilization-driven migration: when the queue drains and a fleet worker idles, the busiest worker parks a cell for it")
 	sched := fs.String("sched", "seeded", "scheduling policy: seeded (weight workers and elastic sizing by the latest matching run's persisted utilization; falls back to uniform when none exists) or uniform (digests identical either way)")
+	tlsCA := fs.String("tls-ca", "", "CA certificate (PEM) to verify -connect workers against; enables TLS on every dialed worker")
+	chaosSeed := fs.Uint64("chaos", 0, "inject deterministic transport faults (drops, delays, duplicates, corruption, truncation, kills, hangs) on every fleet worker, scheduled from this seed; 0 = off, digests are unchanged by any seed")
+	resume := fs.String("resume", "", "resume an interrupted sweep: adopt the run's persisted partial cells (digest-verified) and execute only the remainder")
+	runIDFlag := fs.String("run-id", "", "run id override (default: UTC timestamp); scripting and CI resume legs need a knowable id")
+	reconnect := fs.Bool("reconnect", true, "redial dead TCP workers and respawn dead local worker processes with exponential backoff (fleet mode)")
+	breakerFailures := fs.Int("breaker-failures", 0, "quarantine a fleet worker after this many failures inside -breaker-window (0 = 5, negative disables the breaker)")
+	breakerWindow := fs.Duration("breaker-window", 0, "circuit-breaker failure-counting window (0 = 1m)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "quarantine length before a single probe dial re-admits the worker; a failed probe doubles it (0 = 15s)")
+	stallTimeout := fs.Duration("stall-timeout", 0, "fail the run with per-worker forensics when no cell completes fleet-wide for this long (0 = never)")
+	fallback := fs.Bool("fallback", true, "when every fleet worker is dead or quarantined, run the remaining cells in-process instead of failing")
 	storeDir := fs.String("store", "nf-results", "results store directory")
 	noStore := fs.Bool("no-store", false, "skip the results store")
 	history := fs.String("history", "", "trend report: a cell's values across stored runs (key, scenario hash, or unique substring), then exit")
@@ -68,6 +82,52 @@ func runSweepCmd(args []string) {
 	if *history != "" {
 		runHistory(*storeDir, *history)
 		return
+	}
+	// -resume adopts an interrupted run's persisted partial records and
+	// can supply config/filter/seed from the interrupted run's meta when
+	// the flags were left at their defaults.
+	var resumeRecs []resultstore.Record
+	if *resume != "" {
+		if *noStore {
+			fmt.Fprintln(os.Stderr, "nf-bench sweep: -resume needs the results store (-no-store conflicts)")
+			os.Exit(2)
+		}
+		rst, err := resultstore.Open(*storeDir)
+		fatal(err)
+		runs, err := rst.Runs()
+		fatal(err)
+		for _, run := range runs {
+			if run == *resume {
+				if m, _, _, err := rst.ReadRunTolerant(run); err == nil && !m.Partial {
+					fmt.Fprintf(os.Stderr, "nf-bench sweep: run %s completed; nothing to resume\n", *resume)
+					os.Exit(1)
+				}
+			}
+		}
+		parts, err := rst.PartialRuns(*resume)
+		fatal(err)
+		if len(parts) == 0 {
+			fmt.Fprintf(os.Stderr, "nf-bench sweep: no partial runs with prefix %q in %s\n", *resume, *storeDir)
+			os.Exit(1)
+		}
+		for _, part := range parts {
+			pm, recs, dropped, err := rst.ReadRunTolerant(part)
+			fatal(err)
+			if *configPath == "" {
+				*configPath = pm.Config
+			}
+			if *filter == "" {
+				*filter = pm.Filter
+			}
+			if *seed == 0 {
+				*seed = pm.Seed
+			}
+			resumeRecs = append(resumeRecs, recs...)
+			if dropped > 0 {
+				fmt.Fprintf(os.Stderr, "resume: %s: %d torn trailing line(s) dropped\n", part, dropped)
+			}
+		}
+		fmt.Printf("resume: %d persisted cells from %d partial run(s) of %s\n", len(resumeRecs), len(parts), *resume)
 	}
 	if *configPath == "" {
 		fmt.Fprintln(os.Stderr, "nf-bench sweep: -config is required")
@@ -89,10 +149,24 @@ func runSweepCmd(args []string) {
 	// Any dynamic-fleet knob routes the run through the session
 	// coordinator; plain -shards N keeps the static by-key partition.
 	addrs := splitAddrs(*connect)
-	fleetMode := len(addrs) > 0 || *migrateAfter > 0 || *steal || *workerTimeout > 0
+	fleetMode := len(addrs) > 0 || *migrateAfter > 0 || *steal || *workerTimeout > 0 ||
+		*chaosSeed != 0 || *resume != "" || *stallTimeout > 0
 	procs := *shards
 	if len(addrs) > 0 && procs == 1 {
 		procs = 0 // remote workers only unless -shards asks for local ones
+	}
+	if *chaosSeed != 0 {
+		// Chaos without a hang detector would let an injected hang stall
+		// the run forever; default the watchdogs rather than demand four
+		// flags for one knob.
+		if *workerTimeout == 0 {
+			*workerTimeout = 20 * time.Second
+			fmt.Println("chaos: defaulting -worker-timeout to 20s")
+		}
+		if *stallTimeout == 0 {
+			*stallTimeout = 2 * time.Minute
+			fmt.Println("chaos: defaulting -stall-timeout to 2m")
+		}
 	}
 
 	cfg, err := sweep.LoadConfig(*configPath)
@@ -140,6 +214,9 @@ func runSweepCmd(args []string) {
 	// Nanosecond granularity: back-to-back sweeps in one second must
 	// not collide on the store's exclusive run file.
 	runID := time.Now().UTC().Format("20060102-150405.000000000")
+	if *runIDFlag != "" {
+		runID = *runIDFlag
+	}
 	if !*noStore {
 		st, err = resultstore.Open(*storeDir)
 		fatal(err)
@@ -149,6 +226,36 @@ func runSweepCmd(args []string) {
 		Run: runID, Name: cfg.Name, Config: *configPath, Filter: *filter,
 		Seed: *seed, Workers: w, Stamp: time.Now().UTC().Format(time.RFC3339),
 		Sched: *sched, PlanHash: resultstore.PlanHash(plan.Keys()),
+		ResumedFrom: *resume,
+	}
+
+	// Digest-verify the resumed records against this plan before they
+	// count: a record for a cell the plan does not expand, or one whose
+	// digest does not reproduce from its content, is re-run instead of
+	// trusted. Conflicting persisted records are a determinism bug and
+	// fail loudly.
+	var completed []sweep.CellRecord
+	if len(resumeRecs) > 0 {
+		scratch := plan.Merger()
+		rejected := 0
+		for _, r := range resumeRecs {
+			cr := sweep.CellRecord{
+				Key: r.Key, Seed: r.Seed, Values: r.Values, Labels: r.Labels,
+				SimPS: r.SimPS, Events: r.Events, Err: r.Err, Digest: r.Digest,
+			}
+			_, dup, err := scratch.Adopt(cr)
+			switch {
+			case err != nil && errors.Is(err, sweep.ErrDiverged):
+				fatal(err)
+			case err != nil:
+				rejected++
+			case dup:
+			default:
+				completed = append(completed, cr)
+			}
+		}
+		fmt.Printf("resume: %d cells verified, %d rejected, %d left to run\n",
+			len(completed), rejected, total-len(completed))
 	}
 
 	start := time.Now()
@@ -172,7 +279,15 @@ func runSweepCmd(args []string) {
 			},
 			procs: procs, addrs: addrs, migrateAfter: *migrateAfter,
 			hangTimeout: *workerTimeout, steal: *steal, quiet: *quiet,
-			sched: *sched,
+			sched: *sched, tlsCA: *tlsCA, chaosSeed: *chaosSeed,
+			reconnect: *reconnect, fallback: *fallback,
+			stallTimeout: *stallTimeout,
+			breaker: shard.Breaker{
+				Failures: *breakerFailures,
+				Window:   *breakerWindow,
+				Cooldown: *breakerCooldown,
+			},
+			completed: completed,
 		}, progress)
 	} else if *shards > 1 {
 		rs = runSharded(plan, st, meta, shardConfig{
@@ -379,9 +494,16 @@ type fleetConfig struct {
 	addrs        []string
 	migrateAfter uint64
 	hangTimeout  time.Duration
+	stallTimeout time.Duration
 	steal        bool
 	quiet        bool
 	sched        string
+	tlsCA        string
+	chaosSeed    uint64
+	reconnect    bool
+	fallback     bool
+	breaker      shard.Breaker
+	completed    []sweep.CellRecord
 }
 
 // seedElastic seeds an elastic pool from the latest in-process run of
@@ -416,28 +538,72 @@ func seedElastic(el *fleet.Elastic, st *resultstore.Store, meta *resultstore.Met
 func runFleet(plan *sweep.Plan, st *resultstore.Store, meta resultstore.Meta,
 	fc fleetConfig, progress func(sweep.CellResult)) *sweep.Results {
 
+	var tlsCfg *tls.Config
+	if fc.tlsCA != "" {
+		pem, err := os.ReadFile(fc.tlsCA)
+		fatal(err)
+		pool := x509.NewCertPool()
+		if !pool.AppendCertsFromPEM(pem) {
+			fatal(fmt.Errorf("no CA certificate found in %s", fc.tlsCA))
+		}
+		tlsCfg = &tls.Config{RootCAs: pool}
+	}
+
+	// Every worker is built as a (name, dial) pair: spawn a local
+	// `shard-worker` subprocess or dial a TCP/TLS address. With
+	// -reconnect (the default) the pairs become fleet Connectors —
+	// redialed with backoff after every death; without it each is
+	// dialed once and a death is final. -chaos wraps each dial so every
+	// incarnation gets its own deterministic fault stream.
+	var conns []*shard.Connector
 	var eps []*shard.Endpoint
+	nworkers := 0
+	addWorker := func(name string, dial func() (*shard.Endpoint, error)) {
+		nworkers++
+		if fc.chaosSeed != 0 {
+			dial = chaos.WrapDial(name, dial, chaos.Default(fc.chaosSeed))
+		}
+		if fc.reconnect {
+			conns = append(conns, &shard.Connector{Name: name, Dial: dial})
+			return
+		}
+		ep, err := dial()
+		fatal(err)
+		eps = append(eps, ep)
+	}
 	if fc.procs > 0 {
 		exe, err := os.Executable()
 		fatal(err)
 		for i := 0; i < fc.procs; i++ {
-			cmd := exec.Command(exe, "shard-worker")
-			cmd.Stderr = os.Stderr
-			in, err := cmd.StdinPipe()
-			fatal(err)
-			out, err := cmd.StdoutPipe()
-			fatal(err)
-			fatal(cmd.Start())
-			eps = append(eps, &shard.Endpoint{
-				Name: fmt.Sprintf("proc:%d", i), In: in, Out: out,
-				Kill: cmd.Process.Kill, Wait: cmd.Wait,
+			name := fmt.Sprintf("proc:%d", i)
+			addWorker(name, func() (*shard.Endpoint, error) {
+				cmd := exec.Command(exe, "shard-worker")
+				cmd.Stderr = os.Stderr
+				in, err := cmd.StdinPipe()
+				if err != nil {
+					return nil, err
+				}
+				out, err := cmd.StdoutPipe()
+				if err != nil {
+					return nil, err
+				}
+				if err := cmd.Start(); err != nil {
+					return nil, err
+				}
+				return &shard.Endpoint{
+					Name: name, In: in, Out: out,
+					Kill: cmd.Process.Kill, Wait: cmd.Wait,
+				}, nil
 			})
 		}
 	}
 	for _, addr := range fc.addrs {
-		ep, err := shard.Dial(addr)
-		fatal(err)
-		eps = append(eps, ep)
+		addr := addr
+		if tlsCfg != nil {
+			addWorker("tls:"+addr, func() (*shard.Endpoint, error) { return shard.DialTLS(addr, tlsCfg.Clone()) })
+		} else {
+			addWorker("tcp:"+addr, func() (*shard.Endpoint, error) { return shard.Dial(addr) })
+		}
 	}
 
 	// Seeded scheduling: the latest stored run of this exact plan over
@@ -460,17 +626,26 @@ func runFleet(plan *sweep.Plan, st *resultstore.Store, meta resultstore.Meta,
 	}
 
 	// The streamed partial run: every adopted cell is on disk before
-	// the merge.
+	// the merge. Resumed cells are written up front — the new partial
+	// alone is a complete account of the merged run, whatever happened
+	// to the interrupted one's files.
 	var rw *resultstore.RunWriter
 	partID := meta.Run + "-fleet"
 	if st != nil {
 		pm := meta
 		pm.Run = partID
 		pm.Partial = true
-		pm.Shard = fmt.Sprintf("fleet/%d", len(eps))
+		pm.Shard = fmt.Sprintf("fleet/%d", nworkers)
 		var err error
 		rw, err = st.Begin(pm)
 		fatal(err)
+		for _, cr := range fc.completed {
+			fatal(rw.Append(resultstore.Record{
+				Key: cr.Key, Digest: cr.Digest, Seed: cr.Seed,
+				Values: cr.Values, Labels: cr.Labels,
+				SimPS: cr.SimPS, Events: cr.Events, Err: cr.Err,
+			}))
+		}
 	}
 
 	requeued := 0
@@ -482,6 +657,10 @@ func runFleet(plan *sweep.Plan, st *resultstore.Store, meta resultstore.Meta,
 			requeued += ev.Cells
 			fmt.Fprintf(os.Stderr, "fleet: worker %s %s (%s), %d cells requeued\n",
 				ev.Worker, ev.Kind, ev.Detail, ev.Cells)
+		case "quarantine", "fallback":
+			// Degradation states likewise: a run that survived on the
+			// fallback executor should say so.
+			fmt.Fprintf(os.Stderr, "fleet: %s %s (%s)\n", ev.Worker, ev.Kind, ev.Detail)
 		default:
 			if !fc.quiet {
 				fmt.Printf("fleet: %s %s %s\n", ev.Worker, ev.Kind, ev.Detail)
@@ -496,10 +675,15 @@ func runFleet(plan *sweep.Plan, st *resultstore.Store, meta resultstore.Meta,
 			Segment: fc.segOn, SegmentBudget: fc.segBudget, Elastic: fc.elastic,
 		},
 		Endpoints:    eps,
+		Connectors:   conns,
 		MigrateAfter: fc.migrateAfter,
 		HangTimeout:  fc.hangTimeout,
+		StallTimeout: fc.stallTimeout,
+		Breaker:      fc.breaker,
+		Fallback:     fc.fallback,
 		Steal:        fc.steal,
 		Weights:      weights,
+		Completed:    fc.completed,
 		OnEvent:      onEvent,
 	}
 	rs, util, runErr := fl.Run(context.Background(), plan, func(cr sweep.CellResult) {
@@ -528,7 +712,7 @@ func runFleet(plan *sweep.Plan, st *resultstore.Store, meta resultstore.Meta,
 		fmt.Printf("merged fleet run into %s (%d cells, %d requeued)\n", meta.Run, n, requeued)
 	}
 	fmt.Printf("fleet utilization: %d pool workers over %d endpoints, %d cells, %.0f%% efficient (busy %.0fms / wall %.0fms)\n",
-		util.Workers, len(eps), util.Jobs, 100*util.Efficiency, util.BusyMS, util.WallMS)
+		util.Workers, nworkers, util.Jobs, 100*util.Efficiency, util.BusyMS, util.WallMS)
 	return rs
 }
 

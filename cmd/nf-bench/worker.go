@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"crypto/tls"
 	"flag"
 	"fmt"
 	"net"
@@ -21,11 +22,23 @@ import (
 //	nf-bench shard-worker                      # one session on stdio
 //	nf-bench shard-worker -listen :9090        # TCP workers
 //	nf-bench shard-worker -listen 127.0.0.1:0  # ephemeral port (printed)
+//	nf-bench shard-worker -listen :9443 -tls-cert w.pem -tls-key w.key
 func runShardWorkerCmd(args []string) {
 	fs := flag.NewFlagSet("shard-worker", flag.ExitOnError)
 	listen := fs.String("listen", "", "serve sessions on this TCP address (empty = one session on stdin/stdout)")
+	tlsCert := fs.String("tls-cert", "", "serve -listen sessions over TLS with this certificate (PEM); requires -tls-key")
+	tlsKey := fs.String("tls-key", "", "private key (PEM) for -tls-cert")
 	quiet := fs.Bool("q", false, "suppress per-session log lines in -listen mode")
 	fs.Parse(args)
+
+	if (*tlsCert != "") != (*tlsKey != "") {
+		fmt.Fprintln(os.Stderr, "nf-bench shard-worker: -tls-cert and -tls-key must be set together")
+		os.Exit(2)
+	}
+	if *tlsCert != "" && *listen == "" {
+		fmt.Fprintln(os.Stderr, "nf-bench shard-worker: -tls-cert requires -listen")
+		os.Exit(2)
+	}
 
 	if *listen == "" {
 		if err := shard.ServeSession(context.Background(), os.Stdin, os.Stdout, workerPlan); err != nil {
@@ -41,8 +54,17 @@ func runShardWorkerCmd(args []string) {
 		os.Exit(1)
 	}
 	// The resolved address goes to stdout first: with -listen :0 the
-	// spawner (CI scripts, tests) scrapes the actual port from here.
+	// spawner (CI scripts, tests) scrapes the actual port from here. The
+	// printed address is the TCP one whether or not TLS wraps it.
 	fmt.Printf("shard-worker listening on %s\n", l.Addr())
+	if *tlsCert != "" {
+		cert, err := tls.LoadX509KeyPair(*tlsCert, *tlsKey)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nf-bench shard-worker: %v\n", err)
+			os.Exit(1)
+		}
+		l = tls.NewListener(l, &tls.Config{Certificates: []tls.Certificate{cert}})
+	}
 	logf := func(format string, args ...any) {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "nf-bench shard-worker: "+format+"\n", args...)

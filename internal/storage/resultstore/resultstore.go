@@ -64,6 +64,10 @@ type Meta struct {
 	// run's capacity weights (set only when Sched is "seeded" and a
 	// donor run existed).
 	SchedFrom string `json:"sched_from,omitempty"`
+	// ResumedFrom is the interrupted run id whose partial records this
+	// run adopted (`sweep -resume`); provenance only, never part of any
+	// digest.
+	ResumedFrom string `json:"resumed_from,omitempty"`
 	// PlanHash identifies the scenario set (Hash over the sorted,
 	// newline-joined cell keys). Capacity lookups match on it so a
 	// run's utilization only ever seeds runs of the same plan.
@@ -184,9 +188,11 @@ func (st *Store) LatestDigests() map[string]string {
 	return out
 }
 
-// RunWriter appends one run. Records are written through immediately
-// (append-only); Close finalises the file and folds the run into the
-// index.
+// RunWriter appends one run. Every record is flushed to the file as it
+// is appended — a coordinator killed mid-run leaves a partial file
+// holding every cell it harvested (the raw material `sweep -resume`
+// rebuilds from), not a buffer's worth less; Close finalises the file
+// and folds the run into the index.
 type RunWriter struct {
 	st   *Store
 	meta Meta
@@ -211,6 +217,9 @@ func (st *Store) Begin(meta Meta) (*RunWriter, error) {
 	}
 	rw := &RunWriter{st: st, meta: meta, f: f, w: bufio.NewWriter(f)}
 	rw.writeLine(line{Meta: &meta})
+	if rw.err == nil {
+		rw.err = rw.w.Flush()
+	}
 	return rw, rw.err
 }
 
@@ -228,9 +237,12 @@ func (rw *RunWriter) writeLine(l line) {
 	}
 }
 
-// Append records one cell.
+// Append records one cell and flushes it through to the file.
 func (rw *RunWriter) Append(rec Record) error {
 	rw.writeLine(line{Cell: &rec})
+	if rw.err == nil {
+		rw.err = rw.w.Flush()
+	}
 	if rw.err == nil {
 		rw.recs = append(rw.recs, rec)
 	}
@@ -297,6 +309,67 @@ func (st *Store) ReadRun(run string) (Meta, []Record, error) {
 		}
 	}
 	return meta, recs, sc.Err()
+}
+
+// ReadRunTolerant loads one run like ReadRun, but stops at the first
+// malformed line instead of failing: everything before it is returned,
+// the rest is reported as dropped. This is the resume-path reader — a
+// coordinator killed mid-write leaves a torn final line, and the
+// records above the tear are exactly what `-resume` wants (each is
+// digest-verified again before it counts for anything). Real I/O
+// errors still fail.
+func (st *Store) ReadRunTolerant(run string) (Meta, []Record, int, error) {
+	f, err := os.Open(st.runPath(run))
+	if err != nil {
+		return Meta{}, nil, 0, err
+	}
+	defer f.Close()
+	var meta Meta
+	var recs []Record
+	dropped := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	for sc.Scan() {
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			dropped++
+			break
+		}
+		switch {
+		case l.Meta != nil:
+			meta = *l.Meta
+		case l.Cell != nil:
+			recs = append(recs, *l.Cell)
+		default:
+			dropped++
+		}
+	}
+	return meta, recs, dropped, sc.Err()
+}
+
+// PartialRuns lists the store's partial runs whose id starts with
+// prefix, sorted — how `-resume <run>` finds an interrupted run's
+// persisted pieces (the fleet path writes `<run>-fleet`, the static
+// shard path `<run>-s<i>of<n>`). Runs whose meta line is unreadable
+// are skipped: a file torn before its first line holds no records
+// worth adopting.
+func (st *Store) PartialRuns(prefix string) ([]string, error) {
+	runs, err := st.Runs()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, run := range runs {
+		if !strings.HasPrefix(run, prefix) {
+			continue
+		}
+		meta, _, _, err := st.ReadRunTolerant(run)
+		if err != nil || !meta.Partial {
+			continue
+		}
+		out = append(out, run)
+	}
+	return out, nil
 }
 
 // RunDigests returns key -> digest for one run.

@@ -354,3 +354,120 @@ func TestHashStable(t *testing.T) {
 		t.Error("hash collision on trivial keys")
 	}
 }
+
+func TestAppendFlushesThrough(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := st.Begin(Meta{Run: "r1", Partial: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Append(rec("a/x=1", "d1", 11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Append(rec("a/x=2", "d2", 12)); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: the writer is "SIGKILLed". Everything appended so far
+	// must already be on disk.
+	meta, recs, err := st.ReadRun("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.Partial || meta.Seed != 3 {
+		t.Errorf("meta not flushed: %+v", meta)
+	}
+	if len(recs) != 2 || recs[1].Digest != "d2" {
+		t.Errorf("records not flushed: %+v", recs)
+	}
+}
+
+func TestReadRunTolerantStopsAtTear(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := st.Begin(Meta{Run: "torn", Partial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Append(rec("a/x=1", "d1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Append(rec("a/x=2", "d2", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the file mid-record, the way a killed process does.
+	path := filepath.Join(dir, "runs", "torn.jsonl")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-15], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := st.ReadRun("torn"); err == nil {
+		t.Fatal("strict ReadRun accepted a torn file")
+	}
+	meta, recs, dropped, err := st.ReadRunTolerant("torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.Partial {
+		t.Errorf("meta lost: %+v", meta)
+	}
+	if len(recs) != 1 || recs[0].Key != "a/x=1" {
+		t.Errorf("want the 1 intact record, got %+v", recs)
+	}
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestPartialRunsByPrefix(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := func(run string, partial bool) {
+		t.Helper()
+		rw, err := st.Begin(Meta{Run: run, Partial: partial})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rw.Append(rec("a/x=1", "d1", 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := rw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("run1-fleet", true)
+	add("run1-s0of2", true)
+	add("run2", false)
+	add("run2-fleet", true)
+
+	got, err := st.PartialRuns("run1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "run1-fleet" || got[1] != "run1-s0of2" {
+		t.Errorf("PartialRuns(run1) = %v", got)
+	}
+	got, err = st.PartialRuns("run2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The complete run2 is excluded; only its partial sibling matches.
+	if len(got) != 1 || got[0] != "run2-fleet" {
+		t.Errorf("PartialRuns(run2) = %v", got)
+	}
+}

@@ -1,0 +1,166 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/netfpga/sweep/shard"
+)
+
+// frames builds a synthetic worker output stream of n JSON frames.
+func frames(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for i := 0; i < n; i++ {
+		if err := shard.WriteFrame(&buf, map[string]int{"frame": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// run pushes a canned stream through Wrap and returns every byte that
+// came out plus the terminal error.
+func run(t *testing.T, cfg Config, stream string, raw []byte) ([]byte, string) {
+	t.Helper()
+	killed := false
+	ep := &shard.Endpoint{
+		Name: "fake",
+		In:   io.Discard,
+		Out:  bytes.NewReader(raw),
+		Kill: func() error { killed = true; return nil },
+	}
+	w := Wrap(ep, cfg, stream)
+	out, err := io.ReadAll(w.Out)
+	_ = killed
+	if err == nil {
+		err = io.EOF
+	}
+	return out, err.Error()
+}
+
+func TestZeroConfigPassesThrough(t *testing.T) {
+	raw := frames(t, 50)
+	out, _ := run(t, Config{}, "w#1", raw)
+	if !bytes.Equal(out, raw) {
+		t.Fatalf("zero config altered the stream: %d bytes in, %d out", len(raw), len(out))
+	}
+}
+
+func TestScheduleIsDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed: 42, Drop: 0.15, Dup: 0.15, Corrupt: 0.1, Truncate: 0.02,
+		Delay: 0.2, DelayMax: time.Millisecond, Kill: 0.02,
+	}
+	raw := frames(t, 200)
+	out1, err1 := run(t, cfg, "w#1", raw)
+	out2, err2 := run(t, cfg, "w#1", raw)
+	if !bytes.Equal(out1, out2) || err1 != err2 {
+		t.Fatalf("same seed and stream produced different fault schedules: %d vs %d bytes (%q vs %q)",
+			len(out1), len(out2), err1, err2)
+	}
+	if bytes.Equal(out1, raw) {
+		t.Fatal("chaos config injected no faults over 200 frames")
+	}
+}
+
+func TestSeedAndStreamChangeSchedule(t *testing.T) {
+	cfg := Config{Seed: 42, Drop: 0.2, Dup: 0.2, Corrupt: 0.2}
+	raw := frames(t, 200)
+	base, _ := run(t, cfg, "w#1", raw)
+	cfg2 := cfg
+	cfg2.Seed = 43
+	otherSeed, _ := run(t, cfg2, "w#1", raw)
+	otherStream, _ := run(t, cfg, "w#2", raw)
+	if bytes.Equal(base, otherSeed) {
+		t.Fatal("changing the seed did not change the fault schedule")
+	}
+	if bytes.Equal(base, otherStream) {
+		t.Fatal("changing the stream name did not change the fault schedule")
+	}
+}
+
+func TestKillSeversAndKillsInner(t *testing.T) {
+	killed := false
+	ep := &shard.Endpoint{
+		Name: "fake",
+		In:   io.Discard,
+		Out:  bytes.NewReader(frames(t, 10)),
+		Kill: func() error { killed = true; return nil },
+	}
+	w := Wrap(ep, Config{Seed: 1, Kill: 1}, "w#1")
+	if _, err := io.ReadAll(w.Out); err == nil {
+		t.Fatal("kill fault left the stream readable to EOF without error")
+	}
+	if !killed {
+		t.Fatal("kill fault did not reach the inner endpoint's Kill")
+	}
+}
+
+func TestCorruptedFramesStayFramed(t *testing.T) {
+	// Corruption flips payload bytes, never the length prefix: the
+	// stream must stay parseable frame-by-frame until it is severed.
+	cfg := Config{Seed: 7, Corrupt: 0.5}
+	ep := &shard.Endpoint{Name: "fake", In: io.Discard, Out: bytes.NewReader(frames(t, 100))}
+	w := Wrap(ep, cfg, "w#1")
+	parsed, corrupt := 0, 0
+	for {
+		var v json.RawMessage
+		err := shard.ReadFrame(w.Out, &v)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var fe *shard.FrameError
+			if !errors.As(err, &fe) {
+				t.Fatalf("corrupted stream produced a non-FrameError: %v", err)
+			}
+			corrupt++
+			continue
+		}
+		parsed++
+	}
+	if corrupt == 0 {
+		t.Fatal("50% corruption over 100 frames corrupted nothing")
+	}
+	if parsed == 0 {
+		t.Fatal("no frame survived 50% corruption — framing itself broke")
+	}
+}
+
+func TestWrapDialStreamsPerIncarnation(t *testing.T) {
+	cfg := Config{Seed: 9, Drop: 0.3}
+	raw := frames(t, 100)
+	mk := func() func() (*shard.Endpoint, error) {
+		return func() (*shard.Endpoint, error) {
+			return &shard.Endpoint{Name: "w", In: io.Discard, Out: bytes.NewReader(raw)}, nil
+		}
+	}
+	dial := WrapDial("w", mk(), cfg)
+	ep1, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1, _ := io.ReadAll(ep1.Out)
+	ep2, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, _ := io.ReadAll(ep2.Out)
+	if bytes.Equal(out1, out2) {
+		t.Fatal("two incarnations drew the same fault schedule")
+	}
+	// A fresh WrapDial replays incarnation streams from #1.
+	ep3, err := WrapDial("w", mk(), cfg)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out3, _ := io.ReadAll(ep3.Out)
+	if !bytes.Equal(out1, out3) {
+		t.Fatal("incarnation 1 did not replay byte-for-byte across runs")
+	}
+}

@@ -4,7 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"sort"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/netfpga/fleet"
@@ -12,10 +16,10 @@ import (
 )
 
 // Fleet is the dynamic coordinator: it opens sessions on a set of
-// pre-connected worker endpoints (spawned subprocesses, TCP dials, or
-// both mixed), feeds the plan's cells out in chunks as workers drain
-// them, and merges the streamed records into one result set with
-// digests byte-identical to a single-process run.
+// worker endpoints (spawned subprocesses, TCP dials, or both mixed),
+// feeds the plan's cells out in chunks as workers drain them, and
+// merges the streamed records into one result set with digests
+// byte-identical to a single-process run.
 //
 // Unlike the static Coordinator, the fleet survives its workers:
 //
@@ -27,23 +31,39 @@ import (
 //     worker's in-flight result still lands.
 //   - Hangs: a worker that owes cells (or has never said Hello) and
 //     goes silent past HangTimeout is killed and treated as dead.
+//   - Flapping: a worker given as a Connector is redialed after death
+//     with exponential backoff and deterministic jitter; one that fails
+//     Breaker.Failures times inside Breaker.Window is quarantined for a
+//     cooldown, then re-admitted through a single probe dial whose
+//     failure doubles the cooldown.
 //   - Migration: a worker can park a running cell between two events
 //     and ship it back as a Checkpoint (forced by MigrateAfter, or
 //     requested by a Steal when the queue is empty and a peer idles);
 //     the fleet resumes it on another worker, which replays to the park
 //     point, verifies the state digest bit-exactly, and finishes the
 //     cell.
+//   - Degradation: when every remote path is gone — fixed endpoints
+//     dead, connectors quarantined with no dial in flight — and
+//     Fallback is set, the remaining cells run in-process on the
+//     coordinator through the same digest-verified Adopt path.
 //
-// A run fails only on determinism violations (sweep.ErrDiverged), on
-// losing every worker, or on a cell that exhausts its requeue budget —
-// never on an individual worker failure.
+// A run fails only on determinism violations (sweep.ErrDiverged), on a
+// cell that exhausts its requeue budget, on a fleet-wide stall past
+// StallTimeout (*StallError), or on losing every path to completion
+// with Fallback disabled (*FleetDownError) — never on an individual
+// worker failure.
 type Fleet struct {
 	// Req is the session template sent in each Open: config, filter,
 	// seed, and local-pool tuning. Shard/Shards are ignored — the fleet
 	// assigns cells dynamically.
 	Req Request
-	// Endpoints are the connected workers (>= 1).
+	// Endpoints are pre-connected workers. A dead endpoint stays dead —
+	// the fleet has no way to re-establish it.
 	Endpoints []*Endpoint
+	// Connectors are re-establishable workers: dialed at startup and
+	// redialed (with backoff) after every death. Endpoints and
+	// Connectors can be mixed; together they must be >= 1.
+	Connectors []*Connector
 	// Chunk is the number of cells per assignment; 0 auto-sizes from
 	// plan and fleet width.
 	Chunk int
@@ -55,11 +75,31 @@ type Fleet struct {
 	// for this long (0 = never). It must comfortably exceed the
 	// longest single cell's execution time.
 	HangTimeout time.Duration
+	// StallTimeout fails the whole run with a *StallError carrying
+	// per-worker forensics when no cell has been merged for this long
+	// (0 = never). It is the fleet-wide liveness watchdog: HangTimeout
+	// catches one silent worker, StallTimeout catches a silently wedged
+	// run.
+	StallTimeout time.Duration
+	// CloseGrace bounds the Close/Done handshake at the end of a run
+	// (0 = 15s); a worker that cannot acknowledge within it is killed
+	// (its cells are already merged, so nothing is lost).
+	CloseGrace time.Duration
+	// Backoff shapes the reconnect schedule for Connectors.
+	Backoff Backoff
+	// Breaker shapes the per-worker circuit breaker for Connectors.
+	Breaker Breaker
+	// Fallback enables graceful degradation: when no remote path to
+	// completion remains, the coordinator runs every unfinished cell
+	// in-process (on FallbackWorkers goroutines, default Req.Workers)
+	// instead of failing the run.
+	Fallback        bool
+	FallbackWorkers int
 	// Steal enables utilization-driven migration: when the pending
 	// queue is empty and a worker idles, the busiest worker owing >= 2
 	// cells is asked to park one.
 	Steal bool
-	// Weights are per-endpoint capacity weights (keyed by Endpoint.Name,
+	// Weights are per-endpoint capacity weights (keyed by worker name,
 	// 1.0 = fleet average; missing names default to 1.0), typically
 	// derived from a previous run's persisted utilization via
 	// fleet.CapacityWeights. A weight scales the worker's outstanding
@@ -67,14 +107,97 @@ type Fleet struct {
 	// threshold (slow workers shed backlog earlier). Weights change only
 	// placement: digests are byte-identical with and without them.
 	Weights map[string]float64
+	// Completed seeds the merger with cells finished by a previous,
+	// interrupted run. Each record is digest-verified through Adopt
+	// before it counts; records that fail verification are dropped back
+	// into the pending set and re-run (a record that diverges from an
+	// already-adopted one still fails the run). Adopted cells are not
+	// replayed to onCell — the caller already owns their persistence.
+	Completed []sweep.CellRecord
 	// OnEvent, when non-nil, observes fleet lifecycle events (deaths,
-	// requeues, migrations) from the coordinator goroutine.
+	// requeues, migrations, reconnects, quarantines) from the
+	// coordinator goroutine.
 	OnEvent func(FleetEvent)
 
 	// Reports holds each worker's session utilization after Run returns
 	// (workers that died without a Done frame are absent) — the raw
 	// material the next run's Weights are derived from.
 	Reports []WorkerReport
+}
+
+// Backoff is the reconnect schedule for fleet connectors: exponential
+// from Base to Max, plus a deterministic jitter in [0, delay/2] derived
+// from (Seed, worker name, attempt) — so concurrent redials spread out,
+// yet a replayed run redials on exactly the same schedule.
+type Backoff struct {
+	Base time.Duration // first retry delay (0 = 250ms)
+	Max  time.Duration // delay cap (0 = 10s)
+	Seed uint64        // jitter derivation seed
+}
+
+// Delay returns the wait before the attempt-th redial (attempt >= 1).
+func (b Backoff) Delay(name string, attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 10 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s#%d", name, attempt)
+	r := splitmix64(h.Sum64() ^ b.Seed)
+	return d + time.Duration(r%uint64(d/2+1))
+}
+
+// splitmix64 is the one-step mixer the jitter and chaos schedules
+// share: full-avalanche, so adjacent inputs give unrelated outputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Breaker is the per-worker circuit breaker: a connector that fails
+// Failures times within Window is quarantined — no redials — for a
+// cooldown starting at Cooldown. After it expires, a single probe dial
+// re-admits the worker on a successful Hello; a failed probe doubles
+// the cooldown (capped at 8x) and re-quarantines. Failures < 0
+// disables the breaker.
+type Breaker struct {
+	Failures int           // trip threshold (0 = 5)
+	Window   time.Duration // failure-counting window (0 = 1 minute)
+	Cooldown time.Duration // first quarantine length (0 = 15s)
+}
+
+func (b Breaker) failures() int {
+	if b.Failures == 0 {
+		return 5
+	}
+	return b.Failures
+}
+
+func (b Breaker) window() time.Duration {
+	if b.Window <= 0 {
+		return time.Minute
+	}
+	return b.Window
+}
+
+func (b Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return 15 * time.Second
+	}
+	return b.Cooldown
 }
 
 // WorkerReport is one endpoint's session outcome: how many cells it
@@ -90,19 +213,101 @@ type WorkerReport struct {
 // worker, and how many cells it moved.
 type FleetEvent struct {
 	Worker string
-	Kind   string // hello, death, hang, checkpoint, resume, reject, steal, duplicate, done
+	Kind   string // hello, death, hang, checkpoint, resume, reject, steal, duplicate, done, sched, adopt, reconnect, redial-failed, quarantine, probe, fallback
 	Detail string
 	Cells  int
 }
 
-// closeGrace bounds the Close/Done handshake at the end of a run; a
-// worker that cannot acknowledge within it is killed (its cells are
-// already merged, so nothing is lost).
-const closeGrace = 15 * time.Second
+// WorkerForensics is one worker's state snapshot inside a StallError
+// or FleetDownError: enough to tell a hung worker from a quarantined
+// one from a dial loop without re-running under a debugger.
+type WorkerForensics struct {
+	Name        string
+	Alive       bool
+	Helloed     bool
+	Dialing     bool
+	Quarantined bool
+	Outstanding int
+	Cells       int
+	Deaths      int
+	Attempts    int
+	SinceFrame  time.Duration
+	LastError   string
+}
 
-// fleetWorker is the coordinator's per-endpoint state.
+func (wf WorkerForensics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s[", wf.Name)
+	switch {
+	case wf.Alive:
+		fmt.Fprintf(&b, "alive, %d outstanding, silent %v", wf.Outstanding, wf.SinceFrame.Round(time.Millisecond))
+		if !wf.Helloed {
+			b.WriteString(", no hello")
+		}
+	case wf.Dialing:
+		fmt.Fprintf(&b, "dialing, attempt %d", wf.Attempts)
+	case wf.Quarantined:
+		fmt.Fprintf(&b, "quarantined after %d deaths", wf.Deaths)
+	default:
+		fmt.Fprintf(&b, "dead after %d deaths", wf.Deaths)
+	}
+	fmt.Fprintf(&b, ", %d cells done", wf.Cells)
+	if wf.LastError != "" {
+		fmt.Fprintf(&b, ", last: %s", wf.LastError)
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// StallError reports a fleet-wide liveness failure: no cell merged for
+// Stalled despite the run being incomplete. Workers carries the
+// per-worker forensics at the moment the watchdog fired.
+type StallError struct {
+	Stalled time.Duration
+	Merged  int
+	Total   int
+	Pending int
+	Workers []WorkerForensics
+}
+
+func (e *StallError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "shard: fleet stalled: no cell merged for %v with %d of %d cells done (%d queued)",
+		e.Stalled.Round(time.Second), e.Merged, e.Total, e.Pending)
+	for _, wf := range e.Workers {
+		b.WriteString("\n  ")
+		b.WriteString(wf.String())
+	}
+	return b.String()
+}
+
+// FleetDownError reports the loss of every path to completion: all
+// fixed endpoints dead and every connector quarantined or exhausted,
+// with Fallback disabled.
+type FleetDownError struct {
+	Merged  int
+	Total   int
+	Workers []WorkerForensics
+}
+
+func (e *FleetDownError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "shard: all %d workers dead or quarantined with %d of %d cells unfinished",
+		len(e.Workers), e.Total-e.Merged, e.Total)
+	for _, wf := range e.Workers {
+		b.WriteString("\n  ")
+		b.WriteString(wf.String())
+	}
+	return b.String()
+}
+
+// fleetWorker is the coordinator's per-slot state: one fixed endpoint
+// or one connector, across every incarnation of its transport.
 type fleetWorker struct {
-	ep          *Endpoint
+	name        string
+	conn        *Connector // nil = fixed endpoint, never redialed
+	ep          *Endpoint  // current transport (nil while disconnected)
+	gen         int        // incarnation counter; stale readers are fenced by it
 	send        chan Command
 	outstanding map[string]sessionItem
 	lastFrame   time.Time
@@ -114,22 +319,44 @@ type fleetWorker struct {
 	stealsOut   int
 	weight      float64 // capacity weight (1.0 = uniform)
 	limit       int     // outstanding top-up target, weight-scaled
+
+	// reconnect state
+	dialing  bool
+	attempt  int
+	nextDial time.Time
+	deaths   int
+	lastWhy  string
+
+	// breaker state
+	fails     []time.Time
+	quarUntil time.Time
+	probing   bool
+	cooldown  time.Duration
 }
 
 type fleetEvent struct {
 	w     int
+	gen   int
 	frame *SessionFrame
 	err   error
 }
 
+type dialResult struct {
+	w   int
+	ep  *Endpoint
+	err error
+}
+
 // Run executes the plan across the fleet. onCell, when non-nil,
 // observes every first-adopted cell in completion order from the
-// coordinator goroutine. The merged Results is in expansion order with
-// every digest recomputed and verified on arrival; the report
-// aggregates every worker's session utilization.
+// coordinator goroutine (pre-Completed cells excepted). The merged
+// Results is in expansion order with every digest recomputed and
+// verified on arrival; the report aggregates every worker's session
+// utilization.
 func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.CellResult)) (*sweep.Results, fleet.UtilizationReport, error) {
 	var util fleet.UtilizationReport
-	if len(f.Endpoints) == 0 {
+	nworkers := len(f.Endpoints) + len(f.Connectors)
+	if nworkers == 0 {
 		return nil, util, fmt.Errorf("shard: fleet has no endpoints")
 	}
 	emit := func(ev FleetEvent) {
@@ -142,7 +369,7 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 	total := len(plan.Cells)
 	chunk := f.Chunk
 	if chunk <= 0 {
-		chunk = total / (4 * len(f.Endpoints))
+		chunk = total / (4 * nworkers)
 		if chunk < 1 {
 			chunk = 1
 		}
@@ -151,28 +378,53 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 		}
 	}
 
+	// Adopt the previous run's verified cells before anything connects:
+	// a record that survives Adopt is as good as a fresh execution, one
+	// that does not goes back into the pending set.
+	adopted, readopt := 0, 0
+	for _, rec := range f.Completed {
+		_, dup, err := m.Adopt(rec)
+		if err != nil {
+			if errors.Is(err, sweep.ErrDiverged) {
+				return nil, util, err
+			}
+			readopt++
+			emit(FleetEvent{Kind: "adopt", Detail: rec.Key + " rejected: " + err.Error()})
+			continue
+		}
+		if !dup {
+			adopted++
+		}
+	}
+	if adopted > 0 || readopt > 0 {
+		emit(FleetEvent{Kind: "adopt", Detail: fmt.Sprintf("%d cells adopted from previous run, %d re-run", adopted, readopt), Cells: adopted})
+	}
+
 	// pending holds every cell not yet assigned to a live worker:
-	// initially the whole plan, later requeues and checkpoints.
+	// initially the unfinished plan, later requeues and checkpoints.
 	pending := make([]sessionItem, 0, total)
 	for _, key := range plan.Keys() {
-		pending = append(pending, sessionItem{key: key})
+		if !m.Filled(key) {
+			pending = append(pending, sessionItem{key: key})
+		}
 	}
 	// donor[key] remembers who shipped a pending checkpoint so the
 	// resume lands elsewhere when the fleet allows it.
 	donor := make(map[string]int)
 	requeues := make(map[string]int)
-	maxRequeue := 2 * len(f.Endpoints)
+	maxRequeue := 2 * nworkers
 	if maxRequeue < 4 {
 		maxRequeue = 4
 	}
 
 	events := make(chan fleetEvent)
+	dials := make(chan dialResult)
 	finished := make(chan struct{})
-	workers := make([]*fleetWorker, len(f.Endpoints))
+	workers := make([]*fleetWorker, 0, nworkers)
 	now := time.Now()
-	for i, ep := range f.Endpoints {
+	newWorker := func(name string, conn *Connector) *fleetWorker {
 		weight := 1.0
-		if w, ok := f.Weights[ep.Name]; ok && w > 0 {
+		if w, ok := f.Weights[name]; ok && w > 0 {
 			weight = w
 		}
 		// The top-up target scales with capacity: a weight-1.0 worker
@@ -186,32 +438,53 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 		if limit > 4*chunk {
 			limit = 4 * chunk
 		}
-		w := &fleetWorker{
-			ep:          ep,
-			send:        make(chan Command, 4*total+16),
-			outstanding: make(map[string]sessionItem),
+		return &fleetWorker{
+			name:        name,
+			conn:        conn,
+			outstanding: map[string]sessionItem{},
 			lastFrame:   now,
-			alive:       true,
 			weight:      weight,
 			limit:       limit,
+			cooldown:    f.Breaker.cooldown(),
 		}
-		workers[i] = w
-		go func(w *fleetWorker) { // writer
-			for cmd := range w.send {
-				if err := WriteFrame(w.ep.In, cmd); err != nil {
+	}
+	for _, ep := range f.Endpoints {
+		w := newWorker(ep.Name, nil)
+		w.ep = ep // attached below
+		workers = append(workers, w)
+	}
+	for _, c := range f.Connectors {
+		workers = append(workers, newWorker(c.Name, c))
+	}
+
+	// attach wires a transport incarnation into slot i: fresh send
+	// queue, writer and generation-fenced reader goroutines, and the
+	// session Open. The endpoint is captured by value in the goroutines
+	// — the coordinator nils w.ep on death while they may still touch
+	// the old transport.
+	attach := func(i int, ep *Endpoint) {
+		w := workers[i]
+		w.ep = ep
+		w.gen++
+		w.send = make(chan Command, 4*total+16)
+		w.lastFrame = time.Now()
+		w.alive, w.helloed, w.closed, w.done = true, false, false, false
+		go func(ep *Endpoint, send chan Command) { // writer
+			for cmd := range send {
+				if err := WriteFrame(ep.In, cmd); err != nil {
 					// The reader observes the broken transport; just
 					// drain so the coordinator never blocks.
-					for range w.send {
+					for range send {
 					}
 					return
 				}
 			}
-		}(w)
-		go func(i int, w *fleetWorker) { // reader
+		}(ep, w.send)
+		go func(i, gen int, ep *Endpoint) { // reader
 			for {
 				var fr SessionFrame
-				ev := fleetEvent{w: i}
-				if err := ReadFrame(w.ep.Out, &fr); err != nil {
+				ev := fleetEvent{w: i, gen: gen}
+				if err := ReadFrame(ep.Out, &fr); err != nil {
 					ev.err = err
 				} else {
 					ev.frame = &fr
@@ -225,10 +498,36 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 					return
 				}
 			}
-		}(i, w)
+		}(i, w.gen, ep)
 		req := f.Req
 		req.Shard, req.Shards = 0, 0
 		w.send <- Command{Open: &req}
+	}
+	for i, w := range workers {
+		if w.conn == nil {
+			ep := w.ep
+			w.ep = nil
+			attach(i, ep)
+		}
+	}
+	startDial := func(i int) {
+		w := workers[i]
+		w.dialing = true
+		go func(i int, c *Connector) {
+			ep, err := c.Dial()
+			select {
+			case dials <- dialResult{w: i, ep: ep, err: err}:
+			case <-finished:
+				if ep != nil && ep.Kill != nil {
+					_ = ep.Kill()
+				}
+			}
+		}(i, w.conn)
+	}
+	for i, w := range workers {
+		if w.conn != nil {
+			startDial(i)
+		}
 	}
 	if len(f.Weights) > 0 {
 		emit(FleetEvent{Kind: "sched", Detail: "weights " + fleet.FormatWeights(f.Weights), Cells: len(f.Weights)})
@@ -237,13 +536,15 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 	defer func() {
 		close(finished)
 		for _, w := range workers {
-			if w.ep.Kill != nil {
+			if w.ep != nil && w.ep.Kill != nil {
 				_ = w.ep.Kill()
 			}
 		}
 		for _, w := range workers {
-			close(w.send)
-			if w.ep.Wait != nil {
+			if w.send != nil {
+				close(w.send)
+			}
+			if w.ep != nil && w.ep.Wait != nil {
 				_ = w.ep.Wait()
 			}
 		}
@@ -258,13 +559,26 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 		}
 		return n
 	}
-	alive := func() (n int) {
-		for _, w := range workers {
-			if w.alive {
-				n++
+
+	forensics := func() []WorkerForensics {
+		now := time.Now()
+		out := make([]WorkerForensics, len(workers))
+		for i, w := range workers {
+			out[i] = WorkerForensics{
+				Name:        w.name,
+				Alive:       w.alive,
+				Helloed:     w.helloed,
+				Dialing:     w.dialing,
+				Quarantined: now.Before(w.quarUntil),
+				Outstanding: len(w.outstanding),
+				Cells:       w.recvCells,
+				Deaths:      w.deaths,
+				Attempts:    w.attempt,
+				SinceFrame:  now.Sub(w.lastFrame),
+				LastError:   w.lastWhy,
 			}
 		}
-		return n
+		return out
 	}
 
 	// feed tops worker i up to its weight-scaled outstanding limit
@@ -293,7 +607,7 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 				delete(donor, it.key)
 				w.outstanding[it.key] = it
 				w.send <- Command{Resume: it.resume}
-				emit(FleetEvent{Worker: w.ep.Name, Kind: "resume", Detail: it.key, Cells: 1})
+				emit(FleetEvent{Worker: w.name, Kind: "resume", Detail: it.key, Cells: 1})
 				continue
 			}
 			w.outstanding[it.key] = it
@@ -328,14 +642,61 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 		return nil
 	}
 
+	// recordFailure feeds the circuit breaker: prune the window, trip
+	// into quarantine at the threshold, and treat any failure during a
+	// probe as the probe's verdict — re-quarantine with the cooldown
+	// doubled.
+	recordFailure := func(i int, now time.Time) {
+		w := workers[i]
+		if w.conn == nil || f.Breaker.Failures < 0 {
+			return
+		}
+		if w.probing {
+			w.probing = false
+			w.cooldown *= 2
+			if max := 8 * f.Breaker.cooldown(); w.cooldown > max {
+				w.cooldown = max
+			}
+			w.quarUntil = now.Add(w.cooldown)
+			w.fails = nil
+			emit(FleetEvent{Worker: w.name, Kind: "quarantine", Detail: fmt.Sprintf("probe failed; quarantined for %v", w.cooldown)})
+			return
+		}
+		w.fails = append(w.fails, now)
+		cut := now.Add(-f.Breaker.window())
+		for len(w.fails) > 0 && w.fails[0].Before(cut) {
+			w.fails = w.fails[1:]
+		}
+		if len(w.fails) >= f.Breaker.failures() {
+			w.quarUntil = now.Add(w.cooldown)
+			w.fails = nil
+			emit(FleetEvent{Worker: w.name, Kind: "quarantine",
+				Detail: fmt.Sprintf("%d failures within %v; quarantined for %v", f.Breaker.failures(), f.Breaker.window(), w.cooldown)})
+		}
+	}
+
 	markDead := func(i int, kind, why string) error {
 		w := workers[i]
 		if !w.alive {
 			return nil
 		}
 		w.alive = false
-		if w.ep.Kill != nil {
-			_ = w.ep.Kill()
+		w.deaths++
+		w.lastWhy = why
+		if w.ep != nil {
+			if w.ep.Kill != nil {
+				_ = w.ep.Kill()
+			}
+			if w.ep.Wait != nil {
+				// Reap off the coordinator goroutine: Kill makes Wait
+				// prompt, but a subprocess reap must not stall feeding.
+				go func(wait func() error) { _ = wait() }(w.ep.Wait)
+			}
+			w.ep = nil
+		}
+		if w.send != nil {
+			close(w.send)
+			w.send = nil
 		}
 		n := 0
 		var err error
@@ -346,13 +707,15 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 			n++
 		}
 		w.outstanding = map[string]sessionItem{}
-		emit(FleetEvent{Worker: w.ep.Name, Kind: kind, Detail: why, Cells: n})
+		emit(FleetEvent{Worker: w.name, Kind: kind, Detail: why, Cells: n})
+		now := time.Now()
+		recordFailure(i, now)
+		if w.conn != nil && !now.Before(w.quarUntil) {
+			w.attempt++
+			w.nextDial = now.Add(f.Backoff.Delay(w.name, w.attempt))
+		}
 		if err != nil {
 			return err
-		}
-		if alive() == 0 && m.Placed() < total {
-			return fmt.Errorf("shard: all %d workers dead with %d of %d cells unfinished (last: %s: %s)",
-				len(workers), total-m.Placed(), total, w.ep.Name, why)
 		}
 		feedAll()
 		return nil
@@ -387,7 +750,7 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 		if idle && victim >= 0 {
 			workers[victim].stealsOut++
 			workers[victim].send <- Command{Steal: true}
-			emit(FleetEvent{Worker: workers[victim].ep.Name, Kind: "steal", Cells: len(workers[victim].outstanding)})
+			emit(FleetEvent{Worker: workers[victim].name, Kind: "steal", Cells: len(workers[victim].outstanding)})
 		}
 	}
 
@@ -395,11 +758,18 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 	if f.HangTimeout > 0 && f.HangTimeout/4 < tick {
 		tick = f.HangTimeout / 4
 	}
+	if f.Backoff.Base > 0 && f.Backoff.Base/2 < tick {
+		tick = f.Backoff.Base / 2
+	}
 	if tick < 10*time.Millisecond {
 		tick = 10 * time.Millisecond
 	}
 	ticker := time.NewTicker(tick)
 	defer ticker.Stop()
+	closeGrace := f.CloseGrace
+	if closeGrace <= 0 {
+		closeGrace = 15 * time.Second
+	}
 
 	var closeAt time.Time
 	closing := false
@@ -422,6 +792,119 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 		return true
 	}
 
+	lastProgress := time.Now()
+
+	// runFallback executes every unfinished cell in-process — the
+	// degradation path when no remote worker can. Results flow through
+	// the same digest-verifying Adopt as remote records, so fallback
+	// cells are byte-identical to what the fleet would have produced.
+	runFallback := func() error {
+		var keys []string
+		for _, key := range plan.Keys() {
+			if !m.Filled(key) {
+				keys = append(keys, key)
+			}
+		}
+		pending = pending[:0]
+		for k := range donor {
+			delete(donor, k)
+		}
+		nw := f.FallbackWorkers
+		if nw <= 0 {
+			nw = f.Req.Workers
+		}
+		if nw <= 0 {
+			nw = 1
+		}
+		if nw > len(keys) && len(keys) > 0 {
+			nw = len(keys)
+		}
+		emit(FleetEvent{Worker: "fallback", Kind: "fallback",
+			Detail: fmt.Sprintf("no remote path left; running %d cells in-process on %d workers", len(keys), nw), Cells: len(keys)})
+		type fbRes struct {
+			cr  sweep.CellResult
+			err error
+		}
+		keyCh := make(chan string)
+		resCh := make(chan fbRes, len(keys))
+		var busyNS atomic.Int64
+		fbStart := time.Now()
+		for i := 0; i < nw; i++ {
+			go func() {
+				for key := range keyCh {
+					if ctx.Err() != nil {
+						resCh <- fbRes{err: ctx.Err()}
+						continue
+					}
+					t0 := time.Now()
+					cr, err := plan.RunCell(ctx, key, f.Req.ClockBatch, f.Req.FrameBurst, nil)
+					busyNS.Add(int64(time.Since(t0)))
+					resCh <- fbRes{cr: cr, err: err}
+				}
+			}()
+		}
+		go func() {
+			for _, key := range keys {
+				keyCh <- key
+			}
+			close(keyCh)
+		}()
+		cells := 0
+		var failErr error
+		for range keys {
+			r := <-resCh
+			if r.err != nil {
+				if failErr == nil {
+					failErr = r.err
+				}
+				continue
+			}
+			cr, dup, err := m.Adopt(r.cr.Record())
+			if err != nil {
+				if failErr == nil {
+					failErr = err
+				}
+				continue
+			}
+			if dup {
+				continue
+			}
+			cells++
+			lastProgress = time.Now()
+			if onCell != nil {
+				onCell(cr)
+			}
+		}
+		wall := time.Since(fbStart)
+		rep := fleet.UtilizationReport{
+			Workers: nw,
+			Jobs:    cells,
+			WallMS:  float64(wall) / float64(time.Millisecond),
+			BusyMS:  float64(busyNS.Load()) / float64(time.Millisecond),
+		}
+		if wall > 0 && nw > 0 {
+			rep.Efficiency = rep.BusyMS / (rep.WallMS * float64(nw))
+		}
+		util.Merge(rep)
+		f.Reports = append(f.Reports, WorkerReport{Name: "fallback", Cells: cells, Util: rep})
+		return failErr
+	}
+
+	// pathRemains reports whether any worker can still make progress:
+	// alive, mid-dial, or a connector that is neither quarantined nor
+	// out of its backoff schedule.
+	pathRemains := func(now time.Time) bool {
+		for _, w := range workers {
+			if w.alive || w.dialing {
+				return true
+			}
+			if w.conn != nil && !now.Before(w.quarUntil) {
+				return true
+			}
+		}
+		return false
+	}
+
 	for {
 		if !closing && m.Placed() == total {
 			startClose()
@@ -429,13 +912,23 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 		if closing && closeDone() {
 			break
 		}
+		if !closing && !pathRemains(time.Now()) {
+			if !f.Fallback {
+				return nil, util, &FleetDownError{Merged: m.Placed(), Total: total, Workers: forensics()}
+			}
+			if err := runFallback(); err != nil {
+				return nil, util, err
+			}
+			continue
+		}
 
 		select {
 		case <-ctx.Done():
 			return nil, util, ctx.Err()
 		case <-ticker.C:
+			now := time.Now()
 			if closing {
-				if time.Since(closeAt) > closeGrace {
+				if now.Sub(closeAt) > closeGrace {
 					for i, w := range workers {
 						if w.alive && !w.done {
 							if err := markDead(i, "death", "no done frame within close grace"); err != nil {
@@ -446,10 +939,19 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 				}
 				continue
 			}
+			if f.StallTimeout > 0 && now.Sub(lastProgress) > f.StallTimeout {
+				return nil, util, &StallError{
+					Stalled: now.Sub(lastProgress),
+					Merged:  m.Placed(),
+					Total:   total,
+					Pending: len(pending),
+					Workers: forensics(),
+				}
+			}
 			if f.HangTimeout > 0 {
 				for i, w := range workers {
 					owes := len(w.outstanding) > 0 || !w.helloed
-					if w.alive && owes && time.Since(w.lastFrame) > f.HangTimeout {
+					if w.alive && owes && now.Sub(w.lastFrame) > f.HangTimeout {
 						if err := markDead(i, "hang", fmt.Sprintf("silent for over %v with %d cells outstanding",
 							f.HangTimeout, len(w.outstanding))); err != nil {
 							return nil, util, err
@@ -457,9 +959,74 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 					}
 				}
 			}
+			for i, w := range workers {
+				if w.alive || w.dialing || w.conn == nil {
+					continue
+				}
+				if !w.quarUntil.IsZero() {
+					if now.Before(w.quarUntil) {
+						continue
+					}
+					// Quarantine expired: the next dial is the probe.
+					w.quarUntil = time.Time{}
+					w.probing = true
+					w.nextDial = now
+					emit(FleetEvent{Worker: w.name, Kind: "probe", Detail: "quarantine expired; probing"})
+				}
+				if now.Before(w.nextDial) {
+					continue
+				}
+				startDial(i)
+			}
 			maybeSteal()
+		case dr := <-dials:
+			w := workers[dr.w]
+			w.dialing = false
+			if closing {
+				if dr.ep != nil && dr.ep.Kill != nil {
+					_ = dr.ep.Kill()
+				}
+				continue
+			}
+			if dr.err != nil {
+				now := time.Now()
+				w.lastWhy = "dial: " + dr.err.Error()
+				emit(FleetEvent{Worker: w.name, Kind: "redial-failed", Detail: dr.err.Error(), Cells: 0})
+				recordFailure(dr.w, now)
+				if !now.Before(w.quarUntil) {
+					w.attempt++
+					w.nextDial = now.Add(f.Backoff.Delay(w.name, w.attempt))
+				}
+				continue
+			}
+			attach(dr.w, dr.ep)
+			if w.gen > 1 {
+				emit(FleetEvent{Worker: w.name, Kind: "reconnect", Detail: fmt.Sprintf("incarnation %d", w.gen)})
+			}
 		case ev := <-events:
 			w := workers[ev.w]
+			if ev.gen != w.gen || (!w.alive && ev.err == nil && ev.frame.Cell == nil) {
+				// Stale incarnation. The one thing still worth taking is
+				// a completed cell — "the presumed-dead worker's
+				// in-flight result still lands" — through the same
+				// dup-tolerant Adopt; everything else (hello, done,
+				// checkpoints, errors) belongs to a session that no
+				// longer exists.
+				if ev.err == nil && ev.frame.Cell != nil {
+					if cr, dup, err := m.Adopt(*ev.frame.Cell); err == nil {
+						delete(w.outstanding, ev.frame.Cell.Key)
+						if !dup {
+							lastProgress = time.Now()
+							if onCell != nil {
+								onCell(cr)
+							}
+							emit(FleetEvent{Worker: w.name, Kind: "duplicate", Detail: ev.frame.Cell.Key + " (late arrival)", Cells: 1})
+							feedAll()
+						}
+					}
+				}
+				continue
+			}
 			w.lastFrame = time.Now()
 			if ev.err != nil {
 				if !w.alive {
@@ -495,7 +1062,15 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 					continue
 				}
 				w.helloed = true
-				emit(FleetEvent{Worker: w.ep.Name, Kind: "hello", Cells: fr.Hello.Cells})
+				detail := ""
+				if w.probing {
+					w.probing = false
+					detail = "probe readmitted"
+					w.cooldown = f.Breaker.cooldown()
+				}
+				w.fails = nil
+				w.attempt = 0
+				emit(FleetEvent{Worker: w.name, Kind: "hello", Detail: detail, Cells: fr.Hello.Cells})
 				feed(ev.w)
 			case fr.Cell != nil:
 				w.recvCells++
@@ -514,9 +1089,10 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 				}
 				delete(w.outstanding, fr.Cell.Key)
 				if dup {
-					emit(FleetEvent{Worker: w.ep.Name, Kind: "duplicate", Detail: fr.Cell.Key, Cells: 1})
+					emit(FleetEvent{Worker: w.name, Kind: "duplicate", Detail: fr.Cell.Key, Cells: 1})
 					continue
 				}
+				lastProgress = time.Now()
 				if onCell != nil {
 					onCell(cr)
 				}
@@ -527,18 +1103,18 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 					w.stealsOut--
 				}
 				if m.Filled(fr.Checkpoint.Key) {
-					emit(FleetEvent{Worker: w.ep.Name, Kind: "checkpoint", Detail: fr.Checkpoint.Key + " (stale)", Cells: 0})
+					emit(FleetEvent{Worker: w.name, Kind: "checkpoint", Detail: fr.Checkpoint.Key + " (stale)", Cells: 0})
 					continue
 				}
 				cp := *fr.Checkpoint
 				pending = append(pending, sessionItem{key: cp.Key, resume: &cp})
 				donor[cp.Key] = ev.w
-				emit(FleetEvent{Worker: w.ep.Name, Kind: "checkpoint", Detail: cp.Key, Cells: 1})
+				emit(FleetEvent{Worker: w.name, Kind: "checkpoint", Detail: cp.Key, Cells: 1})
 				feedAll()
 			case fr.Reject != nil:
 				it, owed := w.outstanding[fr.Reject.Key]
 				delete(w.outstanding, fr.Reject.Key)
-				emit(FleetEvent{Worker: w.ep.Name, Kind: "reject", Detail: fr.Reject.Key + ": " + fr.Reject.Reason, Cells: 1})
+				emit(FleetEvent{Worker: w.name, Kind: "reject", Detail: fr.Reject.Key + ": " + fr.Reject.Reason, Cells: 1})
 				if owed {
 					if err := requeue(it, "rejected: "+fr.Reject.Reason); err != nil {
 						return nil, util, err
@@ -549,7 +1125,7 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 				w.done = true
 				util.Merge(fr.Done.Util)
 				f.Reports = append(f.Reports, WorkerReport{
-					Name:  w.ep.Name,
+					Name:  w.name,
 					Cells: fr.Done.Cells,
 					Util:  fr.Done.Util,
 				})
@@ -557,7 +1133,7 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 				if fr.Done.Cells != w.recvCells {
 					detail = fmt.Sprintf("worker counted %d cells, coordinator received %d", fr.Done.Cells, w.recvCells)
 				}
-				emit(FleetEvent{Worker: w.ep.Name, Kind: "done", Detail: detail, Cells: fr.Done.Cells})
+				emit(FleetEvent{Worker: w.name, Kind: "done", Detail: detail, Cells: fr.Done.Cells})
 			case fr.Err != "":
 				if err := markDead(ev.w, "death", "worker failed: "+fr.Err); err != nil {
 					return nil, util, err
@@ -570,6 +1146,7 @@ func (f *Fleet) Run(ctx context.Context, plan *sweep.Plan, onCell func(sweep.Cel
 		}
 	}
 
+	sort.Slice(f.Reports, func(i, j int) bool { return f.Reports[i].Name < f.Reports[j].Name })
 	rs, err := m.Results()
 	if err != nil {
 		return nil, util, err

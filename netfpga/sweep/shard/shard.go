@@ -118,15 +118,18 @@ func WriteFrame(w io.Writer, v any) error {
 
 // ReadFrame reads one length-prefixed frame into v. io.EOF is returned
 // unwrapped when the stream ends cleanly between frames; every
-// malformed-stream failure (oversized prefix, truncated payload,
-// undecodable bytes) is a *FrameError.
+// malformed-stream failure (truncated header, oversized prefix,
+// truncated payload, undecodable bytes) is a *FrameError.
 func ReadFrame(r io.Reader, v any) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
 			return io.EOF
 		}
-		return fmt.Errorf("shard: reading frame header: %w", err)
+		// A partial header is a torn stream, not a clean end: type it so
+		// fuzzers and fault handlers can rely on every malformed byte
+		// sequence surfacing as a *FrameError.
+		return &FrameError{Reason: "reading frame header", Err: err}
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {

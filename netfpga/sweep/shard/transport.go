@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"crypto/tls"
 	"fmt"
 	"io"
 	"net"
@@ -30,6 +31,39 @@ type Endpoint struct {
 	Wait func() error
 }
 
+// Connector is a worker the fleet can re-establish: a stable name plus
+// a dial function that yields a fresh Endpoint each time it is called
+// (a TCP redial, a subprocess respawn). The fleet dials it at startup
+// and again — with exponential backoff — whenever the previous
+// incarnation dies, so a flapping worker rejoins instead of being lost
+// for the rest of the run.
+type Connector struct {
+	// Name labels the worker across incarnations; Weights and events
+	// key on it.
+	Name string
+	// Dial establishes a new incarnation. It is called from a
+	// coordinator-owned goroutine, one call in flight per connector.
+	Dial func() (*Endpoint, error)
+}
+
+// Fixed wraps an already-connected endpoint as a single-shot connector:
+// the first dial hands the endpoint out, any redial fails. It lets the
+// fleet treat pre-connected endpoints and reconnectable workers
+// uniformly.
+func Fixed(ep *Endpoint) *Connector {
+	var used bool
+	var mu sync.Mutex
+	return &Connector{Name: ep.Name, Dial: func() (*Endpoint, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if used {
+			return nil, fmt.Errorf("shard: endpoint %s cannot be redialed", ep.Name)
+		}
+		used = true
+		return ep, nil
+	}}
+}
+
 // Dial connects to a session worker serving on addr (see
 // ListenAndServe / `nf-bench shard-worker -listen`).
 func Dial(addr string) (*Endpoint, error) {
@@ -37,13 +71,35 @@ func Dial(addr string) (*Endpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shard: dialing worker %s: %w", addr, err)
 	}
+	return connEndpoint("tcp:"+addr, conn), nil
+}
+
+// DialTLS connects to a TLS-serving session worker (see `nf-bench
+// shard-worker -listen -tls-cert/-tls-key`). cfg carries the trust
+// decision — typically RootCAs holding the fleet's CA; tls.Dial derives
+// ServerName from addr when cfg leaves it empty. The handshake runs
+// eagerly so a certificate the coordinator does not trust fails the
+// dial, not the first frame.
+func DialTLS(addr string, cfg *tls.Config) (*Endpoint, error) {
+	conn, err := tls.Dial("tcp", addr, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("shard: dialing TLS worker %s: %w", addr, err)
+	}
+	if err := conn.Handshake(); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("shard: TLS handshake with worker %s: %w", addr, err)
+	}
+	return connEndpoint("tls:"+addr, conn), nil
+}
+
+func connEndpoint(name string, conn net.Conn) *Endpoint {
 	var once sync.Once
 	kill := func() error {
 		var err error
 		once.Do(func() { err = conn.Close() })
 		return err
 	}
-	return &Endpoint{Name: "tcp:" + addr, In: conn, Out: conn, Kill: kill}, nil
+	return &Endpoint{Name: name, In: conn, Out: conn, Kill: kill}
 }
 
 // ListenAndServe serves session workers on a TCP listener: one session

@@ -159,6 +159,12 @@ type sessionItem struct {
 // reported as an Err frame and returned; per-cell failures are ordinary
 // records with Err set.
 func ServeSession(ctx context.Context, in io.Reader, out io.Writer, planFor PlanFunc) error {
+	// A session-scoped context bounds shutdown: when the stream breaks,
+	// in-flight cells are cancelled instead of run to completion — their
+	// results have nowhere to go, and a fleet that killed this worker
+	// must not find its goroutines still alive a full cell later.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var wmu sync.Mutex
 	send := func(f SessionFrame) error {
 		wmu.Lock()
@@ -218,15 +224,22 @@ func ServeSession(ctx context.Context, in io.Reader, out io.Writer, planFor Plan
 			}
 		}()
 	}
-	finish := func() {
+	// drain lets in-flight and queued cells run to completion (the
+	// orderly Close path); abort cancels them first (the torn-stream
+	// path — nobody is listening for their results).
+	drain := func() {
 		close(work)
 		wg.Wait()
+	}
+	abort := func() {
+		cancel()
+		drain()
 	}
 
 	for {
 		var cmd Command
 		if err := ReadFrame(in, &cmd); err != nil {
-			finish()
+			abort()
 			if err == io.EOF {
 				return fmt.Errorf("shard worker: coordinator closed the stream mid-session")
 			}
@@ -242,7 +255,7 @@ func ServeSession(ctx context.Context, in io.Reader, out io.Writer, planFor Plan
 		case cmd.Steal:
 			stealReq.Add(1)
 		case cmd.Close:
-			finish()
+			drain()
 			wall := time.Since(start)
 			util := fleet.UtilizationReport{
 				Workers: req.Workers,
@@ -255,10 +268,10 @@ func ServeSession(ctx context.Context, in io.Reader, out io.Writer, planFor Plan
 			}
 			return send(SessionFrame{Done: &SessionDone{Cells: int(cells.Load()), Util: util}})
 		case cmd.Open != nil:
-			finish()
+			abort()
 			return fail(fmt.Errorf("shard worker: second open on an established session"))
 		default:
-			finish()
+			abort()
 			return fail(fmt.Errorf("shard worker: empty command"))
 		}
 	}
@@ -271,10 +284,18 @@ func ServeSession(ctx context.Context, in io.Reader, out io.Writer, planFor Plan
 // winds the session down.
 func runSessionItem(ctx context.Context, plan *sweep.Plan, req Request, it sessionItem,
 	segEvery uint64, stealReq *atomic.Int64, send func(SessionFrame) error, cells *atomic.Int64) {
+	// A cancelled session must ship nothing: a cell aborted by ctx
+	// carries a context error in its record, which is self-consistent
+	// under the digest and would be adopted as a legitimately-failed
+	// cell if it ever reached a coordinator.
+	if ctx.Err() != nil {
+		return
+	}
 	if it.resume != nil {
 		var verifyErr error
 		cr, err := plan.RunCell(ctx, it.key, req.ClockBatch, req.FrameBurst, resumeWrap(it.resume.State, &verifyErr))
 		switch {
+		case ctx.Err() != nil:
 		case err != nil:
 			_ = send(SessionFrame{Reject: &Reject{Key: it.key, Reason: err.Error()}})
 		case verifyErr != nil:
@@ -289,6 +310,9 @@ func runSessionItem(ctx context.Context, plan *sweep.Plan, req Request, it sessi
 
 	var parked netfpga.WindowState
 	cr, err := plan.RunCell(ctx, it.key, req.ClockBatch, req.FrameBurst, parkWrap(it.migrateAfter, segEvery, stealReq, &parked))
+	if ctx.Err() != nil {
+		return
+	}
 	if err != nil {
 		_ = send(SessionFrame{Reject: &Reject{Key: it.key, Reason: err.Error()}})
 		return
