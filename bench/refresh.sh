@@ -22,8 +22,14 @@ go test -bench 'BenchmarkMulticastFlood$' \
 # iterations per run keep the median meaningful.
 go test -bench 'BenchmarkSwitchMillionFlows$' \
   -benchtime=200000x -count=10 -benchmem -run '^$' . | grep Benchmark | tee -a bench/baseline.txt
+# The hybrid-fidelity pair runs one background-heavy sweep cell per
+# iteration (full ~100ms, hybrid ~5ms) and reports frames/sec; the
+# benchgate -speedup ratio below is the tentpole's >= 5x headline gate.
+go test -bench 'BenchmarkBackgroundHeavy(Full|Hybrid)$' \
+  -benchtime=2x -count=6 -run '^$' . | grep Benchmark | tee -a bench/baseline.txt
 # Frames/sec headline from the refreshed medians (self-compare: the
 # interesting before/after is old-vs-new baseline in the commit diff).
 go run ./cmd/benchgate -old bench/baseline.txt -new bench/baseline.txt \
   -gate BenchmarkSwitchIMIXWorkload \
-  -headline BenchmarkSwitchIMIXWorkload,BenchmarkDatapathMinFrames10G,BenchmarkDatapathBurst10G
+  -headline BenchmarkSwitchIMIXWorkload,BenchmarkDatapathMinFrames10G,BenchmarkDatapathBurst10G,BenchmarkBackgroundHeavyHybrid \
+  -speedup BenchmarkBackgroundHeavyHybrid/BenchmarkBackgroundHeavyFull:5

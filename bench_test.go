@@ -19,6 +19,7 @@ import (
 	"repro/netfpga/pkt"
 	"repro/netfpga/projects/router"
 	"repro/netfpga/projects/switchp"
+	"repro/netfpga/sweep"
 	"repro/netfpga/workload"
 )
 
@@ -97,6 +98,47 @@ func benchTailHeavy(b *testing.B, segment bool) {
 
 func BenchmarkFleetTailHeavyBatch(b *testing.B)         { benchTailHeavy(b, true) }
 func BenchmarkFleetTailHeavyBatchWholeJob(b *testing.B) { benchTailHeavy(b, false) }
+
+// benchBackgroundHeavy runs one background-heavy sweep cell per
+// iteration — reference switch, 63 of 64 flows background, 20 ms
+// window — at the given fidelity, and reports delivered frames per
+// wall-clock second. The full/hybrid pair is the tentpole's headline:
+// hybrid advances background traffic analytically and must deliver at
+// least 5x the full-fidelity frames/sec on this scenario (benchgate's
+// -speedup flag gates the ratio in CI; TestHybridCalibration gates
+// that the speed costs no frames, bytes or bounded-error latency).
+func benchBackgroundHeavy(b *testing.B, fid string) {
+	spec := sweep.Spec{
+		Name:       "BGH",
+		Boards:     []string{"sume"},
+		Projects:   []string{"reference_switch"},
+		Workloads:  []sweep.Workload{{Name: "bg63of64", Flows: 64, Background: 63}},
+		Seeds:      []uint64{1},
+		Fidelities: []string{fid},
+		WindowUS:   20000,
+	}
+	groups := []sweep.Group{{Spec: spec, Measure: sweep.GenericMeasure}}
+	var frames float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := sweep.RunGroups(context.Background(), &fleet.Runner{Workers: 1}, groups, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range rs.Cells {
+			if rs.Cells[j].Err != "" {
+				b.Fatalf("cell %s failed: %s", rs.Cells[j].Cell.Key, rs.Cells[j].Err)
+			}
+			frames += rs.Cells[j].Values["rx_frames"]
+		}
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(frames/s, "frames/sec")
+	}
+}
+
+func BenchmarkBackgroundHeavyFull(b *testing.B)   { benchBackgroundHeavy(b, "full") }
+func BenchmarkBackgroundHeavyHybrid(b *testing.B) { benchBackgroundHeavy(b, "hybrid") }
 
 // ---- micro-benchmarks of the substrate hot paths ----
 

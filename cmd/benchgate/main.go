@@ -22,34 +22,22 @@ import (
 	"strings"
 )
 
-// parseBench extracts the median ns/op per benchmark name (GOMAXPROCS
-// suffix stripped) from a `go test -bench` output file.
-func parseBench(path string) (map[string]float64, error) {
+// parseBench extracts per-benchmark metric medians (GOMAXPROCS suffix
+// stripped) from a `go test -bench` output file. Every value/unit pair
+// on a benchmark line is collected, so alongside "ns/op" the map holds
+// custom metrics reported via b.ReportMetric (e.g. "frames/sec").
+func parseBench(path string) (map[string]map[string]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	samples := make(map[string][]float64)
+	samples := make(map[string]map[string][]float64)
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
-		// Benchmark lines: name iterations value "ns/op" [more metrics].
+		// Benchmark lines: name iterations value unit [value unit]...
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-			continue
-		}
-		nsIdx := -1
-		for i, tok := range fields {
-			if tok == "ns/op" {
-				nsIdx = i - 1
-				break
-			}
-		}
-		if nsIdx < 2 {
-			continue
-		}
-		v, err := strconv.ParseFloat(fields[nsIdx], 64)
-		if err != nil {
 			continue
 		}
 		name := fields[0]
@@ -58,22 +46,49 @@ func parseBench(path string) (map[string]float64, error) {
 				name = name[:i]
 			}
 		}
-		samples[name] = append(samples[name], v)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if samples[name] == nil {
+				samples[name] = make(map[string][]float64)
+			}
+			unit := fields[i+1]
+			samples[name][unit] = append(samples[name][unit], v)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	out := make(map[string]float64, len(samples))
-	for name, vs := range samples {
-		sort.Float64s(vs)
-		mid := len(vs) / 2
-		if len(vs)%2 == 1 {
-			out[name] = vs[mid]
-		} else {
-			out[name] = (vs[mid-1] + vs[mid]) / 2
+	out := make(map[string]map[string]float64, len(samples))
+	for name, metrics := range samples {
+		out[name] = make(map[string]float64, len(metrics))
+		for unit, vs := range metrics {
+			sort.Float64s(vs)
+			mid := len(vs) / 2
+			if len(vs)%2 == 1 {
+				out[name][unit] = vs[mid]
+			} else {
+				out[name][unit] = (vs[mid-1] + vs[mid]) / 2
+			}
 		}
 	}
 	return out, nil
+}
+
+// framesPerSec returns a benchmark's throughput: the explicit
+// "frames/sec" metric when the benchmark reported one (macro benches
+// where one iteration is a whole scenario), else the inverted ns/op
+// (micro benches where one iteration is one frame).
+func framesPerSec(m map[string]float64) (float64, bool) {
+	if v, ok := m["frames/sec"]; ok && v > 0 {
+		return v, true
+	}
+	if n, ok := m["ns/op"]; ok && n > 0 {
+		return 1e9 / n, true
+	}
+	return 0, false
 }
 
 func main() {
@@ -82,7 +97,10 @@ func main() {
 	gate := flag.String("gate", "", "comma-separated benchmark names that must not regress")
 	maxRegress := flag.Float64("max-regress", 20, "maximum allowed regression in percent")
 	headline := flag.String("headline", "",
-		"comma-separated per-frame benchmarks to report as frames/sec throughput")
+		"comma-separated benchmarks to report as frames/sec throughput")
+	speedup := flag.String("speedup", "",
+		"comma-separated FAST/SLOW:MIN triples: fail unless benchmark FAST's "+
+			"frames/sec is at least MIN times benchmark SLOW's in the fresh run")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" || *gate == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -old, -new and -gate are required")
@@ -105,8 +123,8 @@ func main() {
 		if name == "" {
 			continue
 		}
-		o, okO := oldB[name]
-		n, okN := newB[name]
+		o, okO := oldB[name]["ns/op"]
+		n, okN := newB[name]["ns/op"]
 		if !okO || !okN {
 			fmt.Printf("%-40s missing (old=%v new=%v)\n", name, okO, okN)
 			failed = true
@@ -120,23 +138,57 @@ func main() {
 		}
 		fmt.Printf("%-40s %14.1f %14.1f %+8.1f%%%s\n", name, o, n, delta, verdict)
 	}
-	// The throughput headline: per-frame benchmarks inverted to
-	// frames/sec, the paper-facing number (informational, never gated —
-	// the ns/op gate above is the enforcement point).
+	// The throughput headline: the paper-facing frames/sec figures
+	// (informational, never gated — the ns/op gate above and the
+	// -speedup ratios below are the enforcement points).
 	for _, name := range strings.Split(*headline, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
-		n, ok := newB[name]
-		if !ok || n <= 0 {
+		n, ok := framesPerSec(newB[name])
+		if !ok {
 			continue
 		}
-		line := fmt.Sprintf("headline %s: %.0f frames/sec", name, 1e9/n)
-		if o, ok := oldB[name]; ok && o > 0 {
-			line += fmt.Sprintf(" (baseline %.0f, %+.1f%%)", 1e9/o, (o-n)/o*100)
+		line := fmt.Sprintf("headline %s: %.0f frames/sec", name, n)
+		if o, ok := framesPerSec(oldB[name]); ok {
+			line += fmt.Sprintf(" (baseline %.0f, %+.1f%%)", o, (n-o)/o*100)
 		}
 		fmt.Println(line)
+	}
+	// Speedup gates: structural perf claims (hybrid fidelity >= 5x the
+	// full-fidelity frames/sec on the background-heavy scenario) that a
+	// same-benchmark regression threshold cannot express.
+	for _, trip := range strings.Split(*speedup, ",") {
+		trip = strings.TrimSpace(trip)
+		if trip == "" {
+			continue
+		}
+		names, minStr, ok := strings.Cut(trip, ":")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: bad -speedup %q (want FAST/SLOW:MIN)\n", trip)
+			os.Exit(2)
+		}
+		fast, slow, ok := strings.Cut(names, "/")
+		min, err := strconv.ParseFloat(minStr, 64)
+		if !ok || err != nil || min <= 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: bad -speedup %q (want FAST/SLOW:MIN)\n", trip)
+			os.Exit(2)
+		}
+		fv, okF := framesPerSec(newB[fast])
+		sv, okS := framesPerSec(newB[slow])
+		if !okF || !okS || sv <= 0 {
+			fmt.Printf("speedup %s/%s: missing (fast=%v slow=%v)\n", fast, slow, okF, okS)
+			failed = true
+			continue
+		}
+		ratio := fv / sv
+		verdict := ""
+		if ratio < min {
+			verdict = "  BELOW FLOOR"
+			failed = true
+		}
+		fmt.Printf("speedup %s/%s: %.1fx (floor %.1fx)%s\n", fast, slow, ratio, min, verdict)
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchgate: FAIL (threshold %+.0f%%)\n", *maxRegress)

@@ -40,6 +40,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -70,6 +71,9 @@ func main() {
 	burst := flag.String("burst", "adaptive", "vectorized frame-burst window: adaptive, off, or a max cycles-per-window cap (results identical in every mode)")
 	segment := flag.String("segment", "auto", "segment scheduler: auto, off, or an events-per-segment budget (results identical in every mode)")
 	execName := flag.String("exec", "local", "execution backend: local (fixed pool) or elastic (grow/shrink workers mid-batch; results identical)")
+	fidelity := flag.String("fidelity", "full", "execution fidelity: full (cycle-accurate everywhere) or hybrid (background-tagged flows run the analytic model; results differ from full by design)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	jsonOut := flag.Bool("json", false, "write per-experiment metrics and wall-clock to BENCH_<stamp>.json")
 	jsonPath := flag.String("json-out", "", "override the -json output path")
 	storeDir := flag.String("store", "nf-results", "results store directory -json runs are also indexed into (sweep -history then covers perf trajectories)")
@@ -105,8 +109,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nf-bench: -exec elastic requires the segment scheduler (-segment off conflicts)")
 		os.Exit(2)
 	}
+	fid := parseFidelity(*fidelity)
+	stopProf := startProfiles(*cpuprofile, *memprofile)
+	defer stopProf()
 	mkExec := func(w int) fleet.Executor {
-		return buildExecutor(*execName, w, *seed, *batch, burstN, segOn, segBudget)
+		return buildExecutor(*execName, w, *seed, *batch, burstN, segOn, segBudget, fid)
 	}
 	store := ""
 	if !*noStore {
@@ -114,9 +121,9 @@ func main() {
 	}
 
 	if !*parallel {
-		walls, tables := runSuite(todo, mkExec(1), os.Stdout)
+		walls, tables, frames := runSuite(todo, mkExec(1), os.Stdout)
 		if *jsonOut || *jsonPath != "" {
-			writeJSON(*jsonPath, todo, walls, tables, 1, *seed, store)
+			writeJSON(*jsonPath, todo, walls, tables, frames, 1, *seed, store)
 		}
 		return
 	}
@@ -128,9 +135,9 @@ func main() {
 	// Sequential reference pass first (tables discarded — they are
 	// byte-identical to the parallel pass by the fleet's determinism
 	// contract), then the parallel pass that prints.
-	seqWalls, _ := runSuite(todo, &fleet.Runner{Workers: 1, BaseSeed: *seed,
-		ClockBatch: *batch, FrameBurst: burstN}, io.Discard)
-	parWalls, parTables := runSuite(todo, mkExec(w), os.Stdout)
+	seqWalls, _, _ := runSuite(todo, &fleet.Runner{Workers: 1, BaseSeed: *seed,
+		ClockBatch: *batch, FrameBurst: burstN, Fidelity: fid}, io.Discard)
+	parWalls, parTables, parFrames := runSuite(todo, mkExec(w), os.Stdout)
 
 	fmt.Printf("==== fleet speedup (%d workers, GOMAXPROCS=%d) ====\n\n", w, runtime.GOMAXPROCS(0))
 	fmt.Printf("%-4s %12s %12s %8s\n", "exp", "sequential", "parallel", "speedup")
@@ -147,7 +154,7 @@ func main() {
 		speedup(seqTotal, parTotal))
 
 	if *jsonOut || *jsonPath != "" {
-		writeJSON(*jsonPath, todo, parWalls, parTables, w, *seed, store)
+		writeJSON(*jsonPath, todo, parWalls, parTables, parFrames, w, *seed, store)
 	}
 
 	fleetDemo(w, *seed, *batch, burstN)
@@ -180,16 +187,77 @@ func parseBurst(v string) int {
 // buildExecutor constructs the chosen local execution backend from the
 // shared CLI knobs — the one place the main and sweep modes agree on
 // what "local" and "elastic" mean. name must already be validated.
-func buildExecutor(name string, w int, seed uint64, batch, burst int, segOn bool, segBudget uint64) fleet.Executor {
+func buildExecutor(name string, w int, seed uint64, batch, burst int, segOn bool, segBudget uint64, fid string) fleet.Executor {
 	if name == "elastic" {
 		return &fleet.Elastic{
 			Runner: fleet.Runner{BaseSeed: seed, ClockBatch: batch,
-				FrameBurst: burst, SegmentBudget: segBudget},
+				FrameBurst: burst, SegmentBudget: segBudget, Fidelity: fid},
 			Min: 1, Max: w,
 		}
 	}
 	return &fleet.Runner{Workers: w, BaseSeed: seed, ClockBatch: batch,
-		FrameBurst: burst, Segment: segOn, SegmentBudget: segBudget}
+		FrameBurst: burst, Segment: segOn, SegmentBudget: segBudget,
+		Fidelity: fid}
+}
+
+// parseFidelity maps the -fidelity flag: "full" is the cycle-accurate
+// default and maps to the empty override so cell-level fidelity axes
+// keep deciding for themselves; "hybrid" runs background-tagged flows
+// through the analytic aggregate model (results differ from full by
+// design — hybrid runs are golden-digested separately).
+func parseFidelity(v string) string {
+	switch v {
+	case "full", "":
+		return ""
+	case "hybrid":
+		return netfpga.FidelityHybrid
+	}
+	fmt.Fprintf(os.Stderr, "nf-bench: -fidelity must be full or hybrid (got %q)\n", v)
+	os.Exit(2)
+	return ""
+}
+
+// startProfiles starts CPU profiling if asked and returns an idempotent
+// stop function that finishes the CPU profile and writes the heap
+// profile — the shared -cpuprofile/-memprofile hook for the main and
+// sweep modes.
+func startProfiles(cpu, mem string) func() {
+	var f *os.File
+	if cpu != "" {
+		var err error
+		f, err = os.Create(cpu)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nf-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "nf-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if f != nil {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		if mem != "" {
+			g, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nf-bench: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // settle the live set before snapshotting it
+			if err := pprof.WriteHeapProfile(g); err != nil {
+				fmt.Fprintf(os.Stderr, "nf-bench: -memprofile: %v\n", err)
+			}
+			g.Close()
+		}
+	}
 }
 
 // parseSegment maps the -segment flag: "off" disables the segment
@@ -211,14 +279,17 @@ func parseSegment(v string) (on bool, budget uint64) {
 }
 
 // runSuite executes the experiments on the given backend, rendering
-// tables to out, and returns each experiment's wall-clock time and
-// tables. Cells stream as they finish — a long experiment shows its
-// devices completing instead of a silent pause before the table.
-func runSuite(todo []experiments.Def, ex fleet.Executor, out io.Writer) ([]time.Duration, [][]*experiments.Table) {
+// tables to out, and returns each experiment's wall-clock time, tables,
+// and total received frames (summed over cells — the numerator of the
+// frames/sec perf headline). Cells stream as they finish — a long
+// experiment shows its devices completing instead of a silent pause
+// before the table.
+func runSuite(todo []experiments.Def, ex fleet.Executor, out io.Writer) ([]time.Duration, [][]*experiments.Table, []float64) {
 	walls := make([]time.Duration, len(todo))
 	all := make([][]*experiments.Table, len(todo))
+	frames := make([]float64, len(todo))
 	for i, d := range todo {
-		var progress func(cr sweep.CellResult)
+		var print func(cr sweep.CellResult)
 		if out != io.Discard {
 			fmt.Fprintf(out, "==== %s: %s ====\n", d.ID, d.Title)
 			// Expansion is cheap and pure; counting cells up front
@@ -228,10 +299,20 @@ func runSuite(todo []experiments.Def, ex fleet.Executor, out io.Writer) ([]time.
 				total = len(cells)
 			}
 			done := 0
-			progress = func(cr sweep.CellResult) {
+			print = func(cr sweep.CellResult) {
 				done++
 				fmt.Fprintf(out, "[%*d/%d] %-52s %s\n", digits(total), done, total,
 					cr.Cell.Key, summarizeCell(cr))
+			}
+		}
+		idx := i
+		progress := func(cr sweep.CellResult) {
+			// Generic cells report rx_frames; latency cells report the
+			// probe count instead (each probe is one measured frame).
+			// Either way the sum is the frames/sec numerator.
+			frames[idx] += cr.Values["rx_frames"] + cr.Values["probes"]
+			if print != nil {
+				print(cr)
 			}
 		}
 		start := time.Now()
@@ -243,7 +324,7 @@ func runSuite(todo []experiments.Def, ex fleet.Executor, out io.Writer) ([]time.
 			fmt.Fprintln(out, t)
 		}
 	}
-	return walls, all
+	return walls, all, frames
 }
 
 // benchJSON is the BENCH_<stamp>.json schema: one record per run, with
@@ -262,6 +343,7 @@ type benchExpJSON struct {
 	ID      string             `json:"id"`
 	Title   string             `json:"title"`
 	WallNs  int64              `json:"wall_ns"`
+	Frames  float64            `json:"frames"`
 	Metrics map[string]float64 `json:"metrics"`
 }
 
@@ -270,7 +352,7 @@ type benchExpJSON struct {
 // additionally indexes the run into the results store, one record per
 // experiment, so `nf-bench sweep -history bench/<ID>` charts the perf
 // trajectory across commits.
-func writeJSON(path string, todo []experiments.Def, walls []time.Duration, tables [][]*experiments.Table, workers int, seed uint64, storeDir string) {
+func writeJSON(path string, todo []experiments.Def, walls []time.Duration, tables [][]*experiments.Table, frames []float64, workers int, seed uint64, storeDir string) {
 	stamp := time.Now().UTC().Format("20060102-150405")
 	if path == "" {
 		path = "BENCH_" + stamp + ".json"
@@ -284,7 +366,7 @@ func writeJSON(path string, todo []experiments.Def, walls []time.Duration, table
 	}
 	for i, e := range todo {
 		rec := benchExpJSON{ID: e.ID, Title: e.Title, WallNs: walls[i].Nanoseconds(),
-			Metrics: make(map[string]float64)}
+			Frames: frames[i], Metrics: make(map[string]float64)}
 		for _, t := range tables[i] {
 			for k, v := range t.Metrics {
 				rec.Metrics[t.ID+"/"+k] = v
@@ -344,7 +426,11 @@ func persistBench(dir string, doc benchJSON, seed uint64, workers int) error {
 		for _, k := range keys {
 			fmt.Fprintf(&canon, "%s=%v;", k, e.Metrics[k])
 		}
+		// Like wall_ns, frames stays out of the digest canon: it is a
+		// throughput bookkeeping value, and folding it in would mark
+		// every pre-existing bench history as "changed" spuriously.
 		values["wall_ns"] = float64(e.WallNs)
+		values["frames"] = e.Frames
 		if err := rw.Append(resultstore.Record{
 			Key: "bench/" + e.ID, Seed: seed, Values: values,
 			Labels: map[string]string{"title": e.Title},

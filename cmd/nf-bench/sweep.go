@@ -46,6 +46,9 @@ func runSweepCmd(args []string) {
 	burst := fs.String("burst", "adaptive", "vectorized frame-burst window: adaptive, off, or a max cycles-per-window cap (cell digests identical in every mode)")
 	segment := fs.String("segment", "auto", "segment scheduler: auto, off, or an events-per-segment budget (cell digests identical in every mode)")
 	execName := fs.String("exec", "local", "execution backend: local (fixed pool) or elastic (grow/shrink workers mid-batch; digests identical)")
+	fidelityFlag := fs.String("fidelity", "full", "execution fidelity override for cells without their own fidelity axis: full (cycle-accurate) or hybrid (analytic background model; digests differ from full by design)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	shards := fs.Int("shards", 1, "partition cells by canonical key across N OS processes (digests identical to a single-process run); with -connect, N > 1 adds N local worker processes to the fleet")
 	shardWorker := fs.Bool("shard-worker", false, "internal: serve one shard over length-prefixed JSON on stdin/stdout")
 	connect := fs.String("connect", "", "comma-separated worker addresses (host:port) running `nf-bench shard-worker -listen`; cells are assigned dynamically and a dead worker's cells requeue onto survivors")
@@ -180,6 +183,9 @@ func runSweepCmd(args []string) {
 	}
 	segOn, segBudget := parseSegment(*segment)
 	burstN := parseBurst(*burst)
+	fid := parseFidelity(*fidelityFlag)
+	stopProf := startProfiles(*cpuprofile, *memprofile)
+	defer stopProf()
 	if *execName == "elastic" && !segOn {
 		fmt.Fprintln(os.Stderr, "nf-bench sweep: -exec elastic requires the segment scheduler (-segment off conflicts)")
 		os.Exit(2)
@@ -275,7 +281,7 @@ func runSweepCmd(args []string) {
 				config: *configPath, filter: *filter, seed: *seed,
 				workers: w, batch: *batch, burst: burstN,
 				segOn: segOn, segBudget: segBudget,
-				elastic: *execName == "elastic",
+				elastic: *execName == "elastic", fidelity: fid,
 			},
 			procs: procs, addrs: addrs, migrateAfter: *migrateAfter,
 			hangTimeout: *workerTimeout, steal: *steal, quiet: *quiet,
@@ -294,10 +300,10 @@ func runSweepCmd(args []string) {
 			shards: *shards, config: *configPath, filter: *filter, seed: *seed,
 			workers: w, batch: *batch, burst: burstN,
 			segOn: segOn, segBudget: segBudget,
-			elastic: *execName == "elastic",
+			elastic: *execName == "elastic", fidelity: fid,
 		}, progress)
 	} else {
-		ex := buildExecutor(*execName, w, *seed, *batch, burstN, segOn, segBudget)
+		ex := buildExecutor(*execName, w, *seed, *batch, burstN, segOn, segBudget, fid)
 		if el, ok := ex.(*fleet.Elastic); ok && *sched == "seeded" && st != nil {
 			seedElastic(el, st, &meta)
 		}
@@ -369,6 +375,7 @@ func runSweepCmd(args []string) {
 		failed = printDiffs(fmt.Sprintf("vs golden %s", *comparePath), diffs) || failed
 	}
 	if failed {
+		stopProf()
 		os.Exit(1)
 	}
 }
@@ -397,6 +404,7 @@ type shardConfig struct {
 	segOn          bool
 	segBudget      uint64
 	elastic        bool
+	fidelity       string
 }
 
 // runSharded executes the plan across OS-process shards, streaming
@@ -449,6 +457,7 @@ func runSharded(plan *sweep.Plan, st *resultstore.Store, meta resultstore.Meta,
 			Config: sc.config, Filter: sc.filter, Seed: sc.seed,
 			Workers: sc.workers, ClockBatch: sc.batch, FrameBurst: sc.burst,
 			Segment: sc.segOn, SegmentBudget: sc.segBudget, Elastic: sc.elastic,
+			Fidelity: sc.fidelity,
 		},
 		Spawn: spawn,
 	}
@@ -673,6 +682,7 @@ func runFleet(plan *sweep.Plan, st *resultstore.Store, meta resultstore.Meta,
 			Config: fc.config, Filter: fc.filter, Seed: fc.seed,
 			Workers: fc.workers, ClockBatch: fc.batch, FrameBurst: fc.burst,
 			Segment: fc.segOn, SegmentBudget: fc.segBudget, Elastic: fc.elastic,
+			Fidelity: fc.fidelity,
 		},
 		Endpoints:    eps,
 		Connectors:   conns,
@@ -802,11 +812,22 @@ func runHistory(storeDir, query string) {
 		}
 	}
 	valKeys := sweep.SortKeys(union)
+	// bench-<stamp> rows persist frames + wall_ns; derive the frames/sec
+	// headline column so the trend view reads like the benchgate report
+	// instead of raw nanoseconds.
+	_, haveFrames := union["frames"]
+	_, haveWall := union["wall_ns"]
+	deriveFPS := haveFrames && haveWall
 	header := []string{"run", "digest", "Δ"}
 	header = append(header, valKeys...)
+	if deriveFPS {
+		header = append(header, "frames/sec")
+	}
 	rows := [][]string{header}
 	changes := 0
 	prevDigest := ""
+	var firstFPS, lastFPS float64
+	fpsRuns := 0
 	for _, h := range hits {
 		marker := ""
 		if prevDigest != "" && h.rec.Digest != prevDigest {
@@ -822,12 +843,34 @@ func runHistory(storeDir, query string) {
 				row = append(row, "-")
 			}
 		}
+		if deriveFPS {
+			fr, okF := h.rec.Values["frames"]
+			wall, okW := h.rec.Values["wall_ns"]
+			if okF && okW && wall > 0 && fr > 0 {
+				fps := fr / (wall / 1e9)
+				row = append(row, fmt.Sprintf("%.4g", fps))
+				if fpsRuns == 0 {
+					firstFPS = fps
+				}
+				lastFPS = fps
+				fpsRuns++
+			} else {
+				row = append(row, "-")
+			}
+		}
 		if h.rec.Err != "" {
 			row[len(row)-1] += " ERR:" + h.rec.Err
 		}
 		rows = append(rows, row)
 	}
 	printAligned(rows)
+	if fpsRuns > 0 {
+		fmt.Printf("\nheadline: %.4g frames/sec", lastFPS)
+		if fpsRuns > 1 && firstFPS > 0 {
+			fmt.Printf(" (%.2fx vs oldest run's %.4g)", lastFPS/firstFPS, firstFPS)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("\ndigest changed %d time(s) across %d runs", changes, len(hits))
 	if e, ok := st.Index()[resultstore.Hash(key)]; ok {
 		fmt.Printf("; latest digest %s (run %s)", e.Digest, e.Run)

@@ -87,6 +87,10 @@ type Device struct {
 
 	// regNext is the next free mount base for auto-mounted blocks.
 	regNext uint32
+
+	// bg is the hybrid-fidelity analytic traffic model; nil in full
+	// fidelity, where no hybrid branch anywhere can execute.
+	bg *Background
 }
 
 // Options tune device instantiation.
@@ -110,6 +114,13 @@ type Options struct {
 	// 1 = per-cycle ticking only, N > 1 = at most N cycles per window).
 	// Like ClockBatch, results are identical for every value.
 	FrameBurst int
+	// Fidelity selects the execution mode: "" or FidelityFull simulates
+	// every frame cycle-accurately (bit-exact with all prior releases);
+	// FidelityHybrid installs the analytic Background model, and
+	// measures route background-tagged traffic through it instead of
+	// the datapath. Unlike ClockBatch/FrameBurst this knob CHANGES
+	// results — hybrid runs are golden-digested separately.
+	Fidelity string
 }
 
 // NewDevice instantiates a board.
@@ -137,6 +148,16 @@ func NewDevice(board BoardSpec, opts Options) *Device {
 	}
 	if opts.FrameBurst != 0 {
 		d.Dsn.SetFrameBurst(opts.FrameBurst)
+	}
+	switch opts.Fidelity {
+	case "", FidelityFull:
+		// Cycle-accurate everywhere; no coupler is installed, so every
+		// hybrid branch in the datapath is dead code.
+	case FidelityHybrid:
+		d.bg = NewBackground(s, board)
+		d.Dsn.SetBackground(d.bg)
+	default:
+		panic(fmt.Sprintf("core: unknown fidelity %q", opts.Fidelity))
 	}
 	for i := 0; i < board.Ports; i++ {
 		cfg := board.PortConfig(i)
@@ -217,9 +238,21 @@ func (d *Device) Snapshot() map[string]uint64 {
 			out["host."+k] = v
 		}
 	}
+	if d.bg != nil {
+		for k, v := range d.bg.Stats() {
+			out["bg."+k] = v
+		}
+	}
 	out["sim.events"] = d.Sim.Executed()
 	return out
 }
+
+// Hybrid reports whether the device runs in hybrid fidelity.
+func (d *Device) Hybrid() bool { return d.bg != nil }
+
+// Background returns the hybrid-fidelity analytic model, or nil in
+// full fidelity.
+func (d *Device) Background() *Background { return d.bg }
 
 // RunFor advances the simulation by dur. Under a segment hook the run
 // is split into resumable segments with yields between them; the end

@@ -39,9 +39,10 @@ func procConnector(t *testing.T, name string) *shard.Connector {
 		if err := cmd.Start(); err != nil {
 			return nil, err
 		}
-		t.Cleanup(func() { _ = cmd.Process.Kill(); _ = cmd.Wait() })
+		wait := singleWait(cmd)
+		t.Cleanup(func() { _ = cmd.Process.Kill(); _ = wait() })
 		return &shard.Endpoint{Name: name, In: in, Out: out,
-			Kill: cmd.Process.Kill, Wait: cmd.Wait}, nil
+			Kill: cmd.Process.Kill, Wait: wait}, nil
 	}}
 }
 

@@ -7,11 +7,24 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/netfpga/sweep"
 	"repro/netfpga/sweep/shard"
 )
+
+// singleWait serializes cmd.Wait behind a sync.Once: the fleet's
+// reaper goroutine and the test cleanup may both wait on the worker
+// process, and os/exec.Cmd.Wait is not safe for concurrent use.
+func singleWait(cmd *exec.Cmd) func() error {
+	var once sync.Once
+	var err error
+	return func() error {
+		once.Do(func() { err = cmd.Wait() })
+		return err
+	}
+}
 
 // sessionProcSelf starts this test binary as a stdio session worker —
 // the subprocess transport of the dynamic fleet, same wiring as
@@ -36,9 +49,10 @@ func sessionProcSelf(t *testing.T, name string) *shard.Endpoint {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { _ = cmd.Process.Kill(); _ = cmd.Wait() })
+	wait := singleWait(cmd)
+	t.Cleanup(func() { _ = cmd.Process.Kill(); _ = wait() })
 	return &shard.Endpoint{Name: name, In: in, Out: out,
-		Kill: cmd.Process.Kill, Wait: cmd.Wait}
+		Kill: cmd.Process.Kill, Wait: wait}
 }
 
 // tcpWorkerSelf starts this test binary as a listening TCP worker on an

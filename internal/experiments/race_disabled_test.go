@@ -1,0 +1,5 @@
+//go:build !race
+
+package experiments
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. The
+// wall-clock speedup assertion skips under it: race instrumentation
+// slows the two fidelities by different factors, so the ratio stops
+// measuring the fast path.
+const raceEnabled = true

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// limitProbe is a BatchComponent that records the edge each BatchLimit
+// query lands on, exposing the clock's backoff cadence directly. It
+// answers "no window" (1) on every query except the one numbered
+// windowOn (1-based), where it offers a 4-edge window.
+type limitProbe struct {
+	clk      *Clock
+	left     int
+	windowOn int
+	asked    []uint64
+	batched  int
+}
+
+func (p *limitProbe) Tick() bool { p.left--; return p.left > 0 }
+
+func (p *limitProbe) BatchLimit() int {
+	p.asked = append(p.asked, p.clk.Ticks())
+	if len(p.asked) == p.windowOn {
+		return 4
+	}
+	return 1
+}
+
+func (p *limitProbe) TickBatch(n int) (int, bool) {
+	p.left -= n
+	p.batched += n
+	return n, true
+}
+
+// TestBatchLimitBackoffSchedule pins the query-backoff schedule: after
+// each consecutive "no window" answer the stride doubles (1, 3, 7, 15,
+// 31) and caps at batchBackoffMax, so on traffic that never batches the
+// queries land at edges 0, 2, 6, 14, 30, 62, 94, ... — gaps of 2, 4, 8,
+// 16, then a steady 32. A silent change to the backoff arithmetic is a
+// perf regression (limit scans on every edge) or a responsiveness
+// regression (windows opening later than documented); either shows up
+// here as a shifted edge list.
+func TestBatchLimitBackoffSchedule(t *testing.T) {
+	s := New()
+	clk := s.NewClock("dp", 2*Nanosecond)
+	clk.SetBatch(1 << 20) // one inline run: the budget never cuts a query short
+	p := &limitProbe{clk: clk, left: 200}
+	clk.Register(p)
+	s.Drain(0)
+
+	want := []uint64{0, 2, 6, 14, 30, 62, 94, 126, 158, 190}
+	if !reflect.DeepEqual(p.asked, want) {
+		t.Fatalf("backoff query edges = %v, want %v", p.asked, want)
+	}
+	if p.batched != 0 {
+		t.Fatalf("limit-1 answers opened a %d-edge window", p.batched)
+	}
+}
+
+// TestBatchLimitBackoffStrideReset pins the boundary case the backoff
+// must get right: a limit answered exactly at a stride-reset edge (the
+// first query after a full skip run) opens its window immediately, and
+// the successful answer resets the stride to zero — the next query
+// lands on the very next edge and the backoff rebuilds from 1. Query 5
+// is the tick-30 stride-reset edge of the schedule above.
+func TestBatchLimitBackoffStrideReset(t *testing.T) {
+	s := New()
+	clk := s.NewClock("dp", 2*Nanosecond)
+	clk.SetBatch(1 << 20)
+	p := &limitProbe{clk: clk, left: 200, windowOn: 5}
+	clk.Register(p)
+	s.Drain(0)
+
+	if p.batched != 4 {
+		t.Fatalf("window at stride reset absorbed %d edges, want 4", p.batched)
+	}
+	// 0..30 as before; the tick-30 window absorbs edges 30-33; the reset
+	// stride re-queries at 34 and rebuilds 1, 3, 7, 15, 31, 31.
+	want := []uint64{0, 2, 6, 14, 30, 34, 36, 40, 48, 64, 96, 128, 160, 192}
+	if !reflect.DeepEqual(p.asked, want) {
+		t.Fatalf("query edges after stride-reset window = %v, want %v", p.asked, want)
+	}
+}
+
+// backoffScenario drives a vecWorker through a job mix that exercises
+// the backoff: `offset` single-cycle jobs (every edge a decision, so
+// BatchLimit answers 1 and the stride climbs), then a long batchable
+// job, a short choppy stretch, and a second long job. Sweeping offset
+// slides the long job's start across every skip-schedule alignment —
+// including landing exactly on a stride-reset query edge.
+func backoffScenario(t *testing.T, offset int, batched bool, clockBatch int) ([]string, uint64, uint64, uint64) {
+	t.Helper()
+	s := New()
+	clk := s.NewClock("dp", 2*Nanosecond)
+	clk.SetBatch(clockBatch)
+	jobs := make([]int, 0, offset+11)
+	for i := 0; i < offset; i++ {
+		jobs = append(jobs, 1)
+	}
+	jobs = append(jobs, 50)
+	for i := 0; i < 9; i++ {
+		jobs = append(jobs, 1)
+	}
+	jobs = append(jobs, 37)
+	w := &vecWorker{s: s, clk: clk, tr: &trace{}, jobs: jobs}
+	if batched {
+		clk.Register(w)
+	} else {
+		clk.Register(plainComp{w})
+	}
+	s.Drain(0)
+	return w.tr.events, s.Executed(), clk.Ticks(), w.batched
+}
+
+// TestBatchBackoffBoundaryEquivalence proves the backoff is invisible
+// in results: for every alignment of a batchable job against the skip
+// schedule — the window answered exactly at a stride reset, one edge
+// before, one edge after, and everything in between — vectorized
+// execution stays bit-identical to per-edge execution in trace, event
+// count and edge count. Backoff may delay a window's start; it must
+// never change what the edges compute.
+func TestBatchBackoffBoundaryEquivalence(t *testing.T) {
+	sawWindows := false
+	for offset := 0; offset <= 40; offset++ {
+		ref, refExec, refTicks, _ := backoffScenario(t, offset, false, DefaultBatch)
+		if len(ref) == 0 {
+			t.Fatalf("offset=%d produced no events", offset)
+		}
+		for _, k := range []int{2, DefaultBatch, 1 << 20} {
+			got, exec, ticks, batchedCycles := backoffScenario(t, offset, true, k)
+			if exec != refExec {
+				t.Errorf("offset=%d batch=%d executed %d events, want %d", offset, k, exec, refExec)
+			}
+			if ticks != refTicks {
+				t.Errorf("offset=%d batch=%d ran %d edges, want %d", offset, k, ticks, refTicks)
+			}
+			if batchedCycles > 0 {
+				sawWindows = true
+			}
+			if !reflect.DeepEqual(got, ref) {
+				t.Errorf("offset=%d batch=%d trace diverges from per-edge reference", offset, k)
+			}
+		}
+	}
+	if !sawWindows {
+		t.Error("no offset opened a vectorized window; the scenario does not exercise the backoff")
+	}
+}

@@ -31,6 +31,12 @@ type Runner struct {
 	// per window; jobs that set their own Options.FrameBurst win). Like
 	// ClockBatch, per-device results are identical for every value.
 	FrameBurst int
+	// Fidelity, when non-empty, overrides every device's execution
+	// fidelity ("full"/"hybrid"; jobs that set their own
+	// Options.Fidelity win). Unlike the two knobs above this CHANGES
+	// results: hybrid devices route background traffic through the
+	// analytic model and are golden-digested separately.
+	Fidelity string
 	// Segment enables the segmented work-stealing scheduler: each
 	// device executes in resumable windows of at most SegmentBudget
 	// simulation events, parked bit-exactly between segments, and the
@@ -201,6 +207,9 @@ func (r *Runner) runJob(ctx context.Context, job Job, index int, segBudget uint6
 		}
 		if opts.FrameBurst == 0 {
 			opts.FrameBurst = r.FrameBurst
+		}
+		if opts.Fidelity == "" {
+			opts.Fidelity = r.Fidelity
 		}
 		dev := netfpga.NewDevice(job.Board, opts)
 		if segBudget > 0 && yield != nil {

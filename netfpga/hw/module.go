@@ -68,6 +68,48 @@ type BatchTicker interface {
 	TickBatch(n int) (engaged, busy bool)
 }
 
+// BackgroundCoupler is the contention hook a hybrid-fidelity run
+// installs on a design: an analytic background-traffic model that
+// shares egress capacity with the cycle-accurate datapath. When a
+// queueing module (OutputQueues) enqueues a foreground frame for a
+// port, it asks Release for the clear-time of the background backlog
+// pending at that instant and holds the frame until then — the frame
+// waits behind exactly the background it arrived behind, and
+// background admitted later queues conceptually behind the frame
+// rather than extending its wait. That per-frame wait is how
+// background load shows up in foreground latency percentiles.
+// CouplePort registers the module's wake hook and WaitUntil arms it,
+// so a parked queue stage re-arms the clock exactly when its head
+// frame's wait expires; the wake fires from a simulation event, never
+// re-entrantly from inside a Tick.
+//
+// Release is pure — no mutation, no event scheduling — so it is safe
+// anywhere, including BatchLimit/TickBatch. WaitUntil schedules an
+// event and must only be called from a Tick edge.
+//
+// Full-fidelity designs carry no coupler (Background() == nil) and
+// every related branch is dead, which is the bit-exactness argument
+// for the default path.
+type BackgroundCoupler interface {
+	// CouplePort registers wake to be called when a WaitUntil deadline
+	// for port bit expires.
+	CouplePort(bit int, wake func())
+	// Release returns the clear-time of port bit's background backlog
+	// pending now, or 0 when the wire is free. Pure.
+	Release(bit int) Time
+	// WaitUntil arms port bit's coupled wake for time t. Tick-edge
+	// only.
+	WaitUntil(bit int, t Time)
+}
+
+// SetBackground installs the design's background coupler (nil for full
+// fidelity). Core installs it before any modules are built so queue
+// constructors can couple their ports.
+func (d *Design) SetBackground(bc BackgroundCoupler) { d.background = bc }
+
+// Background returns the installed background coupler, or nil.
+func (d *Design) Background() BackgroundCoupler { return d.background }
+
 // TimingConstrained is implemented by modules whose logic limits the
 // achievable clock frequency. Synthesize fails if the design clock exceeds
 // the slowest module's Fmax.
@@ -125,6 +167,9 @@ type Design struct {
 	pool     FramePool
 	overhead Resources
 	synth    bool
+	// background is the hybrid-fidelity contention hook; nil in full
+	// fidelity, where every coupler branch is dead code.
+	background BackgroundCoupler
 }
 
 // NewDesign creates a design named name on the given datapath clock with a

@@ -241,7 +241,12 @@ func (o *OutputQueues) BatchLimit() int {
 			nOut++
 			w = minLimit(w, emitWindow(p.emit, p.out, bus))
 		} else if p.q.Len() > 0 {
-			return 1 // next cycle starts draining a frame
+			if !o.waiting(p) {
+				return 1 // next cycle starts a frame or captures a wait
+			}
+			// Queued behind a captured background wait: frozen until
+			// the release event, which ends the window anyway. No
+			// constraint — the txHold-stall precedent.
 		}
 	}
 	return w
@@ -263,7 +268,10 @@ func (o *OutputQueues) TickBatch(n int) (bool, bool) {
 	for i := range o.ports {
 		p := &o.ports[i]
 		if !p.emit.active() {
-			if p.q.Len() > 0 { // unreachable for n > 1 (limit 1), but exact
+			if p.q.Len() > 0 && !o.waiting(p) {
+				// Unreachable for n > 1 (limit 1), but exact. A blocked
+				// port stays parked — not busy — so the clock can gate
+				// until the background drain event wakes it.
 				engaged, busy = true, true
 			}
 			continue

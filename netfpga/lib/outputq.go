@@ -19,6 +19,12 @@ type OutputQueues struct {
 	ports []oqPort
 	bits  []int // configured destination bit positions
 
+	// bg is the design's hybrid-fidelity coupler: each enqueued frame
+	// captures the clear-time of the background backlog it arrived
+	// behind and waits for it before draining. nil in full fidelity,
+	// where every coupling branch below is dead code.
+	bg hw.BackgroundCoupler
+
 	inPkts uint64
 }
 
@@ -28,6 +34,16 @@ type oqPort struct {
 	out  *hw.Stream
 	emit *streamFrame
 	pkts uint64
+
+	// rels (hybrid only) parallels q: rels[i] is the background
+	// release captured when q's i-th frame was enqueued — the
+	// clear-time of the backlog pending at that instant, 0 for a free
+	// wire. Captured once per frame, never extended: background
+	// admitted later conceptually queues behind the frame. Releases
+	// are non-decreasing in enqueue order (the model's backlog
+	// clear-time is monotone), so the head entry is always the
+	// earliest outstanding wait.
+	rels []hw.Time
 }
 
 // PortQueueBytes is the default per-port buffer (matching the reference
@@ -65,7 +81,43 @@ func NewOutputQueues(d *hw.Design, in *hw.Stream, outs map[int]*hw.Stream, queue
 	for i := range oq.ports {
 		oq.ports[i].q.OnPush(wake)
 	}
+	if bc := d.Background(); bc != nil {
+		oq.bg = bc
+		for i := range oq.ports {
+			bc.CouplePort(oq.ports[i].bit, wake)
+		}
+	}
 	return oq
+}
+
+// blocked reports whether a port's head frame is still inside its
+// captured background wait, arming the release wake when it is. It may
+// schedule an event, so only the per-cycle Tick drain calls it; the
+// batch machinery asks the pure waiting instead. A blocked port does
+// not start a new frame and imposes no batching constraint: like a
+// MACAttach txHold stall, only a foreign event (the armed release) can
+// unblock it, and that event ends any vectorized window anyway.
+func (o *OutputQueues) blocked(p *oqPort) bool {
+	if o.bg == nil || len(p.rels) == 0 {
+		return false
+	}
+	if rel := p.rels[0]; rel > o.d.Now() {
+		o.bg.WaitUntil(p.bit, rel)
+		return true
+	}
+	n := copy(p.rels, p.rels[1:])
+	p.rels = p.rels[:n]
+	return false
+}
+
+// waiting is the pure form of blocked for BatchLimit/TickBatch: true
+// while the head frame's captured release is unexpired. Frames are
+// only enqueued on per-edge Ticks (a Last beat bounds every window to
+// 1), and the same Tick's drain stage parks on the wait and arms the
+// wake, so a true answer here always has the release event pending —
+// the clock can gate or batch freely and still come back in time.
+func (o *OutputQueues) waiting(p *oqPort) bool {
+	return o.bg != nil && len(p.rels) > 0 && p.rels[0] > o.d.Now()
 }
 
 // Name implements hw.Module.
@@ -104,6 +156,14 @@ func (o *OutputQueues) Tick() bool {
 		p := &o.ports[i]
 		if !p.emit.active() {
 			if p.q.Len() == 0 {
+				continue
+			}
+			if o.blocked(p) {
+				// The head frame is inside its captured background
+				// wait: it holds, and the port deliberately does NOT
+				// count as busy — the clock may gate off, and the
+				// release event blocked just armed wakes this module
+				// exactly when the wait expires.
 				continue
 			}
 			p.emit.start(p.q.Pop())
@@ -153,6 +213,13 @@ func (o *OutputQueues) route(f *hw.Frame) {
 		copyF.Meta.DstPorts = 1 << uint(p.bit)
 		if !p.q.Push(copyF) {
 			pool.Put(copyF)
+		} else if o.bg != nil {
+			// Capture the frame's background wait at enqueue: the
+			// clear-time of the backlog it arrived behind. Route runs
+			// on a per-edge Tick (a Last beat bounds every window to
+			// 1), so the capture lands on the exact cycle it would
+			// have per-cycle.
+			p.rels = append(p.rels, o.bg.Release(p.bit))
 		}
 	}
 }

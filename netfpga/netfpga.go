@@ -51,6 +51,17 @@ type (
 	WindowState = core.WindowState
 	// Time is simulated time in picoseconds.
 	Time = hw.Time
+	// Background is the hybrid-fidelity analytic traffic model a
+	// hybrid device carries (Device.Background; nil in full fidelity).
+	Background = core.Background
+)
+
+// Fidelity values for Options.Fidelity: full (the default, bit-exact
+// cycle-accurate simulation of every frame) and hybrid (cycle-accurate
+// foreground plus the analytic background model).
+const (
+	FidelityFull   = core.FidelityFull
+	FidelityHybrid = core.FidelityHybrid
 )
 
 // Duration units.

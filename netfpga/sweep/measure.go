@@ -24,6 +24,9 @@ import (
 // (non-zero only on BER cells).
 func GenericMeasure(c *fleet.Ctx, cell Cell) (Outcome, error) {
 	dev := c.Dev
+	if dev.Hybrid() {
+		return genericHybridMeasure(c, cell)
+	}
 	gen, err := workload.New(cell.Workload.Config(c.Seed))
 	if err != nil {
 		return Outcome{}, err
@@ -66,6 +69,105 @@ func GenericMeasure(c *fleet.Ctx, cell Cell) (Outcome, error) {
 	o.Set("goodput_gbps", float64(rxBytes)*8/window.Seconds()/1e9)
 	o.Set("drops", float64(QueueDrops(dev)))
 	o.Set("fcs_errors", float64(fcsErrs))
+	return o, nil
+}
+
+// genericHybridMeasure is GenericMeasure's hybrid-fidelity twin: it
+// walks the identical RNG sequence (tap draw from the job RNG, then the
+// generator's flow and size draws), but frames of background-tagged
+// flows never enter the cycle-accurate datapath. They accumulate into
+// per-ingress (frames, bytes) aggregates and are offered once per pacing
+// interval to the device's analytic Background model, flooded to every
+// egress port except the ingress — the delivery pattern of an unlearned
+// destination MAC through the reference designs, which is exactly what
+// the generator's workload traffic does in full fidelity. Foreground
+// frames take the normal tap path and queue behind the modeled
+// background backlog in the output-queue stage.
+//
+// Reported values extend GenericMeasure's: rx/drop totals fold the
+// model's delivered/dropped counters in, and the bg_* values expose the
+// model's conservation counters (offered == delivered + dropped holds
+// exactly for frames and bytes — asserted by the calibration tests) plus
+// the peak modeled occupancy. BER is not applied to background traffic;
+// fcs_errors counts only cycle-accurate frames.
+func genericHybridMeasure(c *fleet.Ctx, cell Cell) (Outcome, error) {
+	dev := c.Dev
+	gen, err := workload.New(cell.Workload.Config(c.Seed))
+	if err != nil {
+		return Outcome{}, err
+	}
+	model := dev.Background()
+	taps := make([]*netfpga.PortTap, dev.Board.Ports)
+	for i := range taps {
+		taps[i] = dev.Tap(i)
+		taps[i].SetCounting(true)
+	}
+	window := cell.Spec.Window()
+	var sent uint64
+	bgF := make([]uint64, len(taps)) // per-ingress background aggregates
+	bgB := make([]uint64, len(taps))
+	for dev.Now() < window && !c.Canceled() {
+		var totF, totB uint64
+		for i := 0; i < 4*len(taps); i++ {
+			ti := c.Rand.Intn(len(taps))
+			frame, size, background := gen.NextHybrid()
+			if !background {
+				if taps[ti].Send(frame) {
+					sent++
+				}
+				continue
+			}
+			// The model has no tx FIFO to reject an arrival; every
+			// background draw counts as sent and is resolved into
+			// delivered or dropped by admission.
+			sent++
+			bgF[ti]++
+			bgB[ti] += uint64(size)
+			totF++
+			totB += uint64(size)
+		}
+		if totF > 0 {
+			// Flood: each egress is offered every ingress's aggregate
+			// except its own.
+			for e := range taps {
+				if f := totF - bgF[e]; f > 0 {
+					model.Offer(e, f, totB-bgB[e])
+				}
+				bgF[e], bgB[e] = 0, 0
+			}
+		}
+		dev.RunFor(10 * netfpga.Microsecond)
+	}
+	dev.RunUntilIdle(0)
+
+	var o Outcome
+	var rxFrames, rxBytes, fcsErrs uint64
+	for _, tap := range taps {
+		f, b := tap.Counts()
+		rxFrames += f
+		rxBytes += b
+		fcsErrs += tap.MAC().Stats()["fcs_errors"]
+	}
+	offF, offB, delF, delB, drpF, drpB := model.Totals()
+	var peak uint64
+	for i := 0; i < model.Ports(); i++ {
+		if hw := model.HighWater(i); hw > peak {
+			peak = hw
+		}
+	}
+	o.Set("sent", float64(sent))
+	o.Set("rx_frames", float64(rxFrames+delF))
+	o.Set("rx_bytes", float64(rxBytes+delB))
+	o.Set("goodput_gbps", float64(rxBytes+delB)*8/window.Seconds()/1e9)
+	o.Set("drops", float64(QueueDrops(dev)+drpF))
+	o.Set("fcs_errors", float64(fcsErrs))
+	o.Set("bg_offered_frames", float64(offF))
+	o.Set("bg_offered_bytes", float64(offB))
+	o.Set("bg_delivered_frames", float64(delF))
+	o.Set("bg_delivered_bytes", float64(delB))
+	o.Set("bg_dropped_frames", float64(drpF))
+	o.Set("bg_dropped_bytes", float64(drpB))
+	o.Set("bg_highwater_bytes", float64(peak))
 	return o, nil
 }
 
@@ -187,13 +289,27 @@ func LatencyMeasure(c *fleet.Ctx, cell Cell) (Outcome, error) {
 	window := cell.Spec.Window()
 	gap := window / netfpga.Time(probes)
 	sendAt := make([]netfpga.Time, 0, probes)
+	model := dev.Background()
 	for i := 0; i < probes && !c.Canceled(); i++ {
 		if gen != nil {
 			// Background load from the non-probe ports: unlearned
 			// destinations flood, so the probe path's output queue
-			// sees real contention.
+			// sees real contention. In hybrid fidelity every
+			// background frame is by definition background traffic:
+			// the same draws route through the analytic model (same
+			// flood pattern), and only the probes stay cycle-accurate.
 			for j := 0; j < bg; j++ {
-				bgTaps[(i*bg+j)%len(bgTaps)].Send(gen.Next())
+				in := bgTaps[(i*bg+j)%len(bgTaps)]
+				if model != nil {
+					size := uint64(len(gen.NextView()))
+					for e := range taps {
+						if e != in.Port() {
+							model.Offer(e, 1, size)
+						}
+					}
+					continue
+				}
+				in.Send(gen.Next())
 			}
 		}
 		sendAt = append(sendAt, dev.Now())
@@ -235,6 +351,15 @@ func LatencyMeasure(c *fleet.Ctx, cell Cell) (Outcome, error) {
 	o.Set("latency_p99_ps", percentileSorted(lats, 99))
 	o.Set("latency_mean_ps", sum/float64(len(lats)))
 	o.Set("latency_max_ps", lats[len(lats)-1])
+	if model != nil {
+		offF, offB, delF, delB, drpF, drpB := model.Totals()
+		o.Set("bg_offered_frames", float64(offF))
+		o.Set("bg_offered_bytes", float64(offB))
+		o.Set("bg_delivered_frames", float64(delF))
+		o.Set("bg_delivered_bytes", float64(delB))
+		o.Set("bg_dropped_frames", float64(drpF))
+		o.Set("bg_dropped_bytes", float64(drpB))
+	}
 	return o, nil
 }
 

@@ -206,13 +206,14 @@ func (p *Plan) sealResult(i int, res fleet.Result) CellResult {
 // RunCell compiles and executes a single cell of the plan and returns
 // its sealed result. wrap, when non-nil, may decorate the compiled job
 // before it runs — the hook distributed workers use to install
-// checkpoint/park instrumentation around the job's Drive. The cell's
-// seed, digest and semantics are identical to batch execution (seeds
-// derive from (BaseSeed, key), never from batch position), so a cell
-// run alone — on any process, any machine — is byte-identical to the
-// same cell inside a full sweep. Safe to call concurrently for
-// different keys.
-func (p *Plan) RunCell(ctx context.Context, key string, clockBatch, frameBurst int, wrap func(fleet.Job) fleet.Job) (CellResult, error) {
+// checkpoint/park instrumentation around the job's Drive. fidelity,
+// when non-empty, is the run-level fidelity override (cells whose spec
+// carries a fidelity axis win). The cell's seed, digest and semantics
+// are identical to batch execution (seeds derive from (BaseSeed, key),
+// never from batch position), so a cell run alone — on any process,
+// any machine — is byte-identical to the same cell inside a full
+// sweep. Safe to call concurrently for different keys.
+func (p *Plan) RunCell(ctx context.Context, key string, clockBatch, frameBurst int, fidelity string, wrap func(fleet.Job) fleet.Job) (CellResult, error) {
 	i, ok := p.byKey[key]
 	if !ok {
 		return CellResult{}, fmt.Errorf("sweep: cell %q is not in the plan", key)
@@ -224,7 +225,7 @@ func (p *Plan) RunCell(ctx context.Context, key string, clockBatch, frameBurst i
 	if wrap != nil {
 		job = wrap(job)
 	}
-	r := &fleet.Runner{Workers: 1, BaseSeed: p.BaseSeed, ClockBatch: clockBatch, FrameBurst: frameBurst}
+	r := &fleet.Runner{Workers: 1, BaseSeed: p.BaseSeed, ClockBatch: clockBatch, FrameBurst: frameBurst, Fidelity: fidelity}
 	res := r.RunAll(ctx, []fleet.Job{job})[0]
 	return p.sealResult(i, res), nil
 }

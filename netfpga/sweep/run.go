@@ -186,9 +186,10 @@ func jobFor(cell Cell, m Measure, baseSeed uint64) (fleet.Job, error) {
 		Name:     cell.Key,
 		NoDevice: cell.Spec.NoDevice,
 		Options: netfpga.Options{
-			Seed:    seed,
-			PortBER: cell.BER,
-			NoHost:  cell.Spec.NoHost,
+			Seed:     seed,
+			PortBER:  cell.BER,
+			NoHost:   cell.Spec.NoHost,
+			Fidelity: cell.Fidelity,
 		},
 	}
 	if !cell.Spec.NoDevice {

@@ -80,6 +80,10 @@ type Request struct {
 	FrameBurst    int    `json:"frame_burst,omitempty"`
 	Segment       bool   `json:"segment,omitempty"`
 	SegmentBudget uint64 `json:"segment_budget,omitempty"`
+	// Fidelity is the run-level execution-fidelity override
+	// ("full"/"hybrid"; "" = full). Cells whose spec carries a
+	// fidelity axis win, exactly as in-process.
+	Fidelity string `json:"fidelity,omitempty"`
 	// Elastic runs the worker's cells on the elastic backend instead
 	// of a fixed pool (Workers then caps growth).
 	Elastic bool `json:"elastic,omitempty"`

@@ -22,13 +22,15 @@ func executorFor(req Request) fleet.Executor {
 	if req.Elastic {
 		return &fleet.Elastic{
 			Runner: fleet.Runner{BaseSeed: req.Seed, ClockBatch: req.ClockBatch,
-				FrameBurst: req.FrameBurst, SegmentBudget: req.SegmentBudget},
+				FrameBurst: req.FrameBurst, SegmentBudget: req.SegmentBudget,
+				Fidelity: req.Fidelity},
 			Min: 1, Max: req.Workers,
 		}
 	}
 	return &fleet.Runner{Workers: req.Workers, BaseSeed: req.Seed,
 		ClockBatch: req.ClockBatch, FrameBurst: req.FrameBurst,
-		Segment: req.Segment, SegmentBudget: req.SegmentBudget}
+		Segment: req.Segment, SegmentBudget: req.SegmentBudget,
+		Fidelity: req.Fidelity}
 }
 
 // Serve runs the worker side of the protocol: read one Request from in,

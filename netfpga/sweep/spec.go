@@ -30,11 +30,14 @@ type Workload struct {
 	Name  string                `json:"name"`
 	Sizes []workload.SizeWeight `json:"sizes,omitempty"`
 	Flows int                   `json:"flows,omitempty"`
+	// Background tags the first Background flows as background traffic
+	// for hybrid-fidelity cells (full-fidelity cells ignore it).
+	Background int `json:"background,omitempty"`
 }
 
 // Config returns the generator configuration for the given seed.
 func (w Workload) Config(seed uint64) workload.Config {
-	return workload.Config{Seed: seed, Sizes: w.Sizes, Flows: w.Flows}
+	return workload.Config{Seed: seed, Sizes: w.Sizes, Flows: w.Flows, Background: w.Background}
 }
 
 // Axis is one generic named parameter axis. Values are strings; Cell
@@ -67,6 +70,11 @@ type Spec struct {
 	// means one cell per combination with a seed derived from the cell
 	// key and the run's base seed.
 	Seeds []uint64 `json:"seeds,omitempty"`
+	// Fidelities is the execution-fidelity axis ("full"/"hybrid").
+	// Empty means full fidelity with no fid= key component, so every
+	// pre-existing spec expands to byte-identical keys (and therefore
+	// identical derived seeds and digests).
+	Fidelities []string `json:"fidelities,omitempty"`
 	// Params are additional named axes.
 	Params []Axis `json:"params,omitempty"`
 	// WindowUS bounds the generic measure's drive window in simulated
@@ -119,6 +127,8 @@ type Cell struct {
 	Workload Workload
 	BER      float64
 	Seed     uint64
+	// Fidelity is the cell's execution fidelity ("" means full).
+	Fidelity string
 	// Param holds the generic axis values.
 	Param map[string]string
 }
@@ -186,6 +196,11 @@ func (s *Spec) Expand(filter string) ([]Cell, error) {
 			return nil, fmt.Errorf("sweep: spec %s: param axis needs a name and values", s.Name)
 		}
 	}
+	for _, f := range s.Fidelities {
+		if f != netfpga.FidelityFull && f != netfpga.FidelityHybrid {
+			return nil, fmt.Errorf("sweep: spec %s: unknown fidelity %q", s.Name, f)
+		}
+	}
 	if len(s.Projects) > 0 && !s.NoBuild && !s.NoDevice {
 		for _, name := range s.Projects {
 			if _, ok := ProjectEntry(name); !ok {
@@ -225,6 +240,11 @@ func (s *Spec) Expand(filter string) ([]Cell, error) {
 	if !useSeed {
 		seeds = []uint64{0}
 	}
+	fids := s.Fidelities
+	useFid := len(fids) > 0
+	if !useFid {
+		fids = []string{""}
+	}
 
 	var cells []Cell
 	for _, b := range boards {
@@ -232,32 +252,37 @@ func (s *Spec) Expand(filter string) ([]Cell, error) {
 			for _, wl := range workloads {
 				for _, ber := range bers {
 					for _, seed := range seeds {
-						base := Cell{Spec: s, Board: b, Project: proj,
-							Workload: wl, BER: ber, Seed: seed}
-						var key strings.Builder
-						key.WriteString(s.Name)
-						add := func(k, v string) {
-							key.WriteByte('/')
-							key.WriteString(k)
-							key.WriteByte('=')
-							key.WriteString(v)
+						for _, fid := range fids {
+							base := Cell{Spec: s, Board: b, Project: proj,
+								Workload: wl, BER: ber, Seed: seed, Fidelity: fid}
+							var key strings.Builder
+							key.WriteString(s.Name)
+							add := func(k, v string) {
+								key.WriteByte('/')
+								key.WriteString(k)
+								key.WriteByte('=')
+								key.WriteString(v)
+							}
+							if b != "" {
+								add("board", b)
+							}
+							if proj != "" {
+								add("project", proj)
+							}
+							if wl.Name != "" {
+								add("wl", wl.Name)
+							}
+							if useBER {
+								add("ber", fmtFloat(ber))
+							}
+							if useSeed {
+								add("seed", strconv.FormatUint(seed, 10))
+							}
+							if useFid {
+								add("fid", fid)
+							}
+							cells = appendParamCells(cells, base, key.String(), s.Params)
 						}
-						if b != "" {
-							add("board", b)
-						}
-						if proj != "" {
-							add("project", proj)
-						}
-						if wl.Name != "" {
-							add("wl", wl.Name)
-						}
-						if useBER {
-							add("ber", fmtFloat(ber))
-						}
-						if useSeed {
-							add("seed", strconv.FormatUint(seed, 10))
-						}
-						cells = appendParamCells(cells, base, key.String(), s.Params)
 					}
 				}
 			}

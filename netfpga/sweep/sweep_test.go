@@ -503,7 +503,7 @@ func TestRunCellMatchesBatch(t *testing.T) {
 
 	wrapped := 0
 	for _, want := range rs.Cells {
-		got, err := p.RunCell(context.Background(), want.Cell.Key, 0, 0, func(j fleet.Job) fleet.Job {
+		got, err := p.RunCell(context.Background(), want.Cell.Key, 0, 0, "", func(j fleet.Job) fleet.Job {
 			wrapped++
 			return j
 		})
@@ -521,7 +521,7 @@ func TestRunCellMatchesBatch(t *testing.T) {
 	if wrapped != len(rs.Cells) {
 		t.Errorf("wrap hook ran %d times for %d cells", wrapped, len(rs.Cells))
 	}
-	if _, err := p.RunCell(context.Background(), "no/such=cell", 0, 0, nil); err == nil {
+	if _, err := p.RunCell(context.Background(), "no/such=cell", 0, 0, "", nil); err == nil {
 		t.Error("RunCell accepted a key outside the plan")
 	}
 	if i, ok := p.Lookup(rs.Cells[0].Cell.Key); !ok || i != 0 {

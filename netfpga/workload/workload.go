@@ -58,6 +58,12 @@ type Config struct {
 	// administered defaults (switch workloads usually override per
 	// frame after generation).
 	SrcMAC, DstMAC pkt.MAC
+	// Background tags the first Background flows (of Flows) as
+	// background traffic for hybrid-fidelity runs: NextHybrid reports
+	// their draws as aggregate (size-only) emissions instead of
+	// serialized frames. 0 (the default) means every flow is
+	// foreground; full-fidelity paths ignore the field entirely.
+	Background int
 }
 
 // flow is one synthetic conversation.
@@ -134,6 +140,10 @@ func New(cfg Config) (*Generator, error) {
 			return nil, fmt.Errorf("workload: non-positive weight")
 		}
 	}
+	if cfg.Background < 0 || cfg.Background > cfg.Flows {
+		return nil, fmt.Errorf("workload: background flows %d out of range [0, %d]",
+			cfg.Background, cfg.Flows)
+	}
 	g := &Generator{cfg: cfg, rng: sim.NewRand(cfg.Seed ^ 0x3017c10ad)}
 	// Build the flow set deterministically.
 	srcBase, dstBase := cfg.SrcNet.Addr.Uint32(), cfg.DstNet.Addr.Uint32()
@@ -197,10 +207,51 @@ func (g *Generator) NextView() []byte { return g.nextView() }
 func (g *Generator) nextView() []byte {
 	fi := g.rng.Intn(len(g.flows))
 	si := g.wheel[g.rng.Intn(len(g.wheel))]
+	b := g.frameFor(fi, si)
+	g.frames++
+	g.bytes += uint64(len(b))
+	return b
+}
+
+// NextHybrid draws the next emission for a hybrid-fidelity run. It
+// makes exactly the same two RNG draws as Next/NextView — flow, then
+// size — so a hybrid run walks the identical (flow, size) sequence a
+// full-fidelity run would. Foreground draws (flow index >=
+// cfg.Background) return the serialized frame view exactly as NextView
+// does; background draws skip serialization entirely and report only
+// the wire size, which is what the analytic model consumes. Generator
+// frame/byte counters advance identically either way, so conservation
+// checks can compare offered totals across fidelities.
+func (g *Generator) NextHybrid() (frame []byte, size int, background bool) {
+	if g.cfg.Background == 0 {
+		b := g.nextView()
+		return b, len(b), false
+	}
+	fi := g.rng.Intn(len(g.flows))
+	si := g.wheel[g.rng.Intn(len(g.wheel))]
+	if fi < g.cfg.Background {
+		// Sizes are validated >= 60 at New, so the serialized frame
+		// would never be min-padded beyond its declared size.
+		size = g.cfg.Sizes[si].Bytes
+		g.frames++
+		g.bytes += uint64(size)
+		return nil, size, true
+	}
+	b := g.frameFor(fi, si)
+	g.frames++
+	g.bytes += uint64(len(b))
+	return b, len(b), false
+}
+
+// Background returns the number of flows tagged background.
+func (g *Generator) Background() int { return g.cfg.Background }
+
+// frameFor returns the (cached or freshly serialized) frame for a
+// (flow, size) pair, maintaining the cache exactly as nextView does but
+// without the RNG draws or counter updates.
+func (g *Generator) frameFor(fi, si int) []byte {
 	if g.cache != nil {
 		if b := g.cache[fi*len(g.cfg.Sizes)+si]; b != nil {
-			g.frames++
-			g.bytes += uint64(len(b))
 			return b
 		}
 	}
@@ -211,8 +262,6 @@ func (g *Generator) nextView() []byte {
 		g.cache[fi*len(g.cfg.Sizes)+si] = cp
 		b = cp
 	}
-	g.frames++
-	g.bytes += uint64(len(b))
 	return b
 }
 
